@@ -1,0 +1,64 @@
+"""Ablation E — the adaptive algorithm-selection policy (§V-A).
+
+The paper suggests, from Figure 8's observation, "a dynamic, algorithm
+selection policy that selects the best performing algorithm among
+Delayed-LOS and EASY, for different proportions of small and large
+sized jobs".  We implemented it (:class:`repro.core.selector.
+AdaptiveSelector`) and here evaluate it across the P_S spectrum
+against both fixed policies.
+
+Expected shape: ADAPTIVE tracks the *envelope* — close to Delayed-LOS
+where large jobs dominate (low P_S), close to EASY where small jobs
+dominate (high P_S), never materially worse than the better fixed
+choice.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, save_report
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.sweep import run_algorithms
+from repro.metrics.report import format_table
+from repro.workload.generator import GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+P_SMALL_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+ALGORITHMS = ("EASY", "Delayed-LOS", "ADAPTIVE")
+
+
+def run_ablation():
+    rows = []
+    outcomes = {}
+    for p_small in P_SMALL_VALUES:
+        config = GeneratorConfig(
+            n_jobs=BENCH_JOBS, size=TwoStageSizeConfig(p_small=p_small)
+        )
+        workload = calibrate_beta_arr(config, 0.9, seed=123).workload
+        results = run_algorithms(workload, ALGORITHMS, max_skip_count=7)
+        waits = {name: results[name].mean_wait for name in ALGORITHMS}
+        outcomes[p_small] = waits
+        rows.append(
+            [p_small]
+            + [round(waits[name], 1) for name in ALGORITHMS]
+            + [min(("EASY", "Delayed-LOS"), key=waits.get)]
+        )
+    report = format_table(
+        ["P_S"] + [f"{n} wait" for n in ALGORITHMS] + ["best fixed"], rows
+    )
+    return outcomes, report
+
+
+def test_adaptive_ablation(benchmark):
+    outcomes, report = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_report(
+        "ablation_adaptive",
+        "Ablation E: adaptive EASY/Delayed-LOS selection across P_S "
+        "(Load=0.9)\n\n" + report,
+    )
+    for p_small, waits in outcomes.items():
+        best = min(waits["EASY"], waits["Delayed-LOS"])
+        worst = max(waits["EASY"], waits["Delayed-LOS"])
+        # Envelope property: adaptive never materially worse than the
+        # worse fixed policy, and within 25% of the better one.
+        assert waits["ADAPTIVE"] <= worst * 1.05, (p_small, waits)
+        assert waits["ADAPTIVE"] <= best * 1.25, (p_small, waits)

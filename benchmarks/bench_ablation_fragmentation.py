@@ -1,0 +1,127 @@
+"""Ablation F — space-continuity cost on a BlueGene-style machine.
+
+The paper models BlueGene/P as a flat processor pool, but real BG
+partitions must be *contiguous* (the paper's own §VI future-work
+discussion; Krevat et al. [8] study the resulting fragmentation and
+migration on BG/L).  This study quantifies what the flat-model
+abstraction hides:
+
+1. simulate a paper-scale workload with each scheduler on the flat
+   machine (exactly as the paper does),
+2. replay the resulting schedule — same start/finish instants — onto a
+   1-D contiguous-partition machine, first-fit,
+3. count allocations that would have *failed due to external
+   fragmentation* (free capacity sufficient, but no contiguous run),
+   with and without migration-based compaction [8].
+
+Expected shape: a nonzero fragmentation failure rate without
+migration that compaction drives to zero (every replayed allocation
+fits by construction of the flat schedule), echoing [8]'s conclusion
+that migration recovers the lost utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from benchmarks.common import BENCH_JOBS, save_report
+from repro.cluster.partition import FragmentationError, PartitionedMachine
+from repro.core.registry import make_scheduler
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.runner import SimulationRunner
+from repro.metrics.report import format_table
+from repro.workload.generator import GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+ALGORITHMS = ("EASY", "LOS", "Delayed-LOS")
+
+
+def replay_contiguously(metrics, machine_size: int, granularity: int, migrate: bool):
+    """Replay a completed schedule on a contiguous machine.
+
+    Returns (fragmentation failures, migrations performed, peak
+    fragmentation observed).
+    """
+    events = []
+    for record in metrics.records:
+        events.append((record.start, 1, "start", record))
+        events.append((record.finish, 0, "finish", record))
+    events.sort(key=lambda item: (item[0], item[1], item[3].job_id))
+
+    machine = PartitionedMachine(total=machine_size, granularity=granularity)
+    failures = 0
+    migrations = 0
+    peak_fragmentation = 0.0
+    for _, _, kind, record in events:
+        if kind == "finish":
+            if machine.span_of(record.job_id) is not None:
+                machine.release(record.job_id)
+            continue
+        peak_fragmentation = max(peak_fragmentation, machine.fragmentation())
+        try:
+            machine.allocate(record.job_id, record.num)
+        except FragmentationError:
+            if migrate:
+                migrations += machine.compact()
+                machine.allocate(record.job_id, record.num)  # must fit now
+            else:
+                failures += 1  # job silently skipped in this replay
+    return failures, migrations, peak_fragmentation
+
+
+def run_study():
+    config = GeneratorConfig(n_jobs=BENCH_JOBS, size=TwoStageSizeConfig(p_small=0.5))
+    workload = calibrate_beta_arr(config, 0.9, seed=131).workload
+    rows = []
+    outcomes: Dict[str, Dict[str, float]] = {}
+    for name in ALGORITHMS:
+        metrics = SimulationRunner(workload, make_scheduler(name, max_skip_count=7)).run()
+        failures, _, peak = replay_contiguously(
+            metrics, workload.machine_size, workload.granularity, migrate=False
+        )
+        migrated_failures, migrations, _ = replay_contiguously(
+            metrics, workload.machine_size, workload.granularity, migrate=True
+        )
+        outcomes[name] = {
+            "failures": failures,
+            "migrated_failures": migrated_failures,
+            "migrations": migrations,
+            "peak_fragmentation": peak,
+        }
+        rows.append(
+            [
+                name,
+                failures,
+                f"{failures / metrics.n_jobs:.1%}",
+                round(peak, 3),
+                migrations,
+                migrated_failures,
+            ]
+        )
+    report = format_table(
+        [
+            "scheduler",
+            "frag failures",
+            "failure rate",
+            "peak fragmentation",
+            "migrations (compact)",
+            "failures w/ migration",
+        ],
+        rows,
+    )
+    return outcomes, report
+
+
+def test_fragmentation_study(benchmark):
+    outcomes, report = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    save_report(
+        "ablation_fragmentation",
+        "Ablation F: contiguity cost of the flat BlueGene model "
+        "(Load=0.9, P_S=0.5)\n\n" + report,
+    )
+    for name, data in outcomes.items():
+        # Migration always rescues the schedule: capacity sufficed by
+        # construction, compaction makes it contiguous.
+        assert data["migrated_failures"] == 0, name
+        # Fragmentation is real on this workload shape.
+        assert data["peak_fragmentation"] > 0.0, name

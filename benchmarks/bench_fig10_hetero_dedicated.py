@@ -1,0 +1,41 @@
+"""Figure 10 — heterogeneous metrics vs Load (P_D = 0.9, P_S = 0.5).
+
+The stress case: dedicated jobs dominate (90%), batch jobs thread the
+gaps between rigid reservations.  The paper: Hybrid-LOS still
+outperforms LOS-D and EASY-D.
+
+Expected shape: Hybrid-LOS beats EASY-D on wait and utilization,
+matches LOS-D, and the advantage persists even with few batch jobs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import PAPER_LOADS, figure10
+
+
+def run_figure10():
+    return figure10(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=10)
+
+
+def test_figure10(benchmark):
+    sweep = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    save_report(
+        "fig10_hetero_dedicated",
+        render_sweep(sweep, "Figure 10: metrics vs Load (heterogeneous, P_D=0.9, P_S=0.5)"),
+    )
+
+    assert mean_metric(sweep, "Hybrid-LOS", "mean_wait") <= mean_metric(
+        sweep, "EASY-D", "mean_wait"
+    )
+    assert mean_metric(sweep, "Hybrid-LOS", "utilization") >= mean_metric(
+        sweep, "EASY-D", "utilization"
+    )
+    assert mean_metric(sweep, "Hybrid-LOS", "mean_wait") <= 1.10 * mean_metric(
+        sweep, "LOS-D", "mean_wait"
+    )
+
+    # P_D = 0.9: dedicated jobs dominate every run.
+    for run in sweep.series["Hybrid-LOS"]:
+        fraction = len(run.dedicated_records()) / run.n_jobs
+        assert fraction > 0.7, f"expected >70% dedicated, got {fraction:.0%}"

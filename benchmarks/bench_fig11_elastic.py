@@ -1,0 +1,50 @@
+"""Figure 11 — runtime elasticity: the -E algorithm families.
+
+Workloads injected with Elastic Control Commands (P_E = 0.2 ET and
+P_R = 0.1 RT per job, §IV-D):
+
+- batch (P_S = 0.5): Delayed-LOS-E vs LOS-E vs EASY-E (feeds Table VI),
+- heterogeneous (P_S = P_D = 0.5): Hybrid-LOS-E vs LOS-DE vs EASY-DE
+  (feeds Table VII).
+
+Expected shape: the proposed elastic variants still win, but — as the
+paper notes — by smaller margins than the non-elastic Tables IV/V,
+because on-the-fly kill-by changes perturb the packing the DP planned.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import PAPER_LOADS, figure11
+
+
+def run_figure11():
+    return figure11(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=11)
+
+
+def test_figure11(benchmark):
+    results = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+
+    batch = results["batch"]
+    save_report(
+        "fig11_elastic_batch",
+        render_sweep(batch, "Figure 11 (batch): ECC workload, P_S=0.5"),
+    )
+    delayed = mean_metric(batch, "Delayed-LOS-E", "mean_wait")
+    assert delayed <= mean_metric(batch, "LOS-E", "mean_wait")
+    assert delayed <= mean_metric(batch, "EASY-E", "mean_wait")
+
+    hetero = results["heterogeneous"]
+    save_report(
+        "fig11_elastic_hetero",
+        render_sweep(hetero, "Figure 11 (heterogeneous): ECC workload, P_S=P_D=0.5"),
+    )
+    hybrid = mean_metric(hetero, "Hybrid-LOS-E", "mean_wait")
+    assert hybrid <= mean_metric(hetero, "EASY-DE", "mean_wait")
+    assert hybrid <= 1.10 * mean_metric(hetero, "LOS-DE", "mean_wait")
+
+    # ECCs were genuinely processed in every run.
+    for sweep in results.values():
+        for runs in sweep.series.values():
+            for run in runs:
+                assert sum(run.ecc_stats.values()) > 0, "no ECCs processed"

@@ -1,0 +1,48 @@
+"""Figure 5 — metrics vs the maximum skip count C_s (P_S = 0.5).
+
+Batch workload at Load = 0.9 with a balanced size mix.  The paper's
+observations this bench reproduces:
+
+- Delayed-LOS outperforms LOS and EASY over the C_s sweep,
+- waiting time first decreases with C_s, then stabilizes after a
+  slight increase — i.e. there is an interior optimum (≈7-8 in the
+  paper), so delaying the head job pays off but unboundedly delaying
+  it does not,
+- EASY and LOS are flat reference lines (they ignore C_s).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import figure5
+
+CS_VALUES = tuple(range(1, 21))
+
+
+def run_figure5():
+    return figure5(n_jobs=BENCH_JOBS, cs_values=CS_VALUES, load=0.9, seed=5)
+
+
+def test_figure5(benchmark):
+    sweep = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    save_report(
+        "fig5_cs_sweep",
+        render_sweep(sweep, "Figure 5: metrics vs C_s (Load=0.9, P_S=0.5)"),
+    )
+
+    # Baselines are flat in C_s.
+    for baseline in ("EASY", "LOS"):
+        waits = sweep.metric_series(baseline, "mean_wait")
+        assert max(waits) == min(waits), f"{baseline} must ignore C_s"
+
+    # Delayed-LOS beats both baselines on average over the sweep.
+    delayed = mean_metric(sweep, "Delayed-LOS", "mean_wait")
+    assert delayed <= mean_metric(sweep, "LOS", "mean_wait")
+    assert delayed <= mean_metric(sweep, "EASY", "mean_wait")
+
+    # Interior optimum: the best C_s is neither the first nor beyond
+    # the stabilization point, and the curve stabilizes at large C_s
+    # (identical decisions once scount never reaches the threshold).
+    waits = sweep.metric_series("Delayed-LOS", "mean_wait")
+    assert min(waits) < waits[0] or min(waits) < waits[-1]
+    assert waits[-1] == waits[-2] == waits[-3], "tail must stabilize"

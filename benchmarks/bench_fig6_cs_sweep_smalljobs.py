@@ -1,0 +1,44 @@
+"""Figure 6 — metrics vs C_s with a small-job-heavy mix (P_S = 0.8).
+
+Same setup as Figure 5 but with small jobs dominating.  The paper's
+observation: with plenty of small jobs to fill holes, Delayed-LOS's
+performance becomes *insensitive* to C_s beyond a small threshold
+(≈3) — the optimum C_s depends on the packing properties of the
+workload.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import figure6
+
+CS_VALUES = tuple(range(1, 21))
+
+
+def run_figure6():
+    return figure6(n_jobs=BENCH_JOBS, cs_values=CS_VALUES, load=0.9, seed=6)
+
+
+def test_figure6(benchmark):
+    sweep = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_report(
+        "fig6_cs_sweep_smalljobs",
+        render_sweep(sweep, "Figure 6: metrics vs C_s (Load=0.9, P_S=0.8)"),
+    )
+
+    # Delayed-LOS still at least matches LOS on average.
+    assert mean_metric(sweep, "Delayed-LOS", "mean_wait") <= mean_metric(
+        sweep, "LOS", "mean_wait"
+    )
+
+    # Insensitivity above the small knee: the spread of the waiting
+    # time over C_s >= 3 is small relative to its level.
+    waits = sweep.metric_series("Delayed-LOS", "mean_wait")
+    tail = waits[2:]  # C_s >= 3
+    level = statistics.mean(tail)
+    spread = max(tail) - min(tail)
+    assert spread <= 0.25 * level, (
+        f"expected insensitivity to C_s >= 3; spread {spread:.1f} vs level {level:.1f}"
+    )

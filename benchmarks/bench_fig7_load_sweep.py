@@ -1,0 +1,40 @@
+"""Figure 7 — batch metrics vs Load at P_S = 0.2 (large-job-heavy).
+
+The paper's flagship batch experiment: with few small jobs to fill
+holes between the large ones, packing quality matters most, and
+Delayed-LOS outperforms both LOS and EASY over Load ∈ [0.5, 1].
+The same sweep feeds Table IV (see bench_table4).
+
+Expected shape: Delayed-LOS lowest mean wait across the sweep;
+utilization at least matching the baselines at high load.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import PAPER_LOADS, figure7
+
+
+def run_figure7():
+    return figure7(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=7)
+
+
+def test_figure7(benchmark):
+    sweep = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    save_report(
+        "fig7_load_sweep",
+        render_sweep(sweep, "Figure 7: metrics vs Load (batch, P_S=0.2)"),
+    )
+
+    delayed_wait = mean_metric(sweep, "Delayed-LOS", "mean_wait")
+    assert delayed_wait <= mean_metric(sweep, "LOS", "mean_wait")
+    assert delayed_wait <= mean_metric(sweep, "EASY", "mean_wait")
+    assert mean_metric(sweep, "Delayed-LOS", "utilization") >= 0.99 * mean_metric(
+        sweep, "LOS", "utilization"
+    )
+
+    # Waiting time grows with load for every algorithm (coarse trend:
+    # the last point exceeds the first).
+    for name in sweep.series:
+        waits = sweep.metric_series(name, "mean_wait")
+        assert waits[-1] > waits[0], name

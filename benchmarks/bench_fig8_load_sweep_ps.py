@@ -1,0 +1,39 @@
+"""Figure 8 — waiting time vs Load for P_S = 0.5 and P_S = 0.8.
+
+As the share of small jobs grows, backfilling opportunities abound and
+Delayed-LOS's advantage over EASY narrows ("performance of Delayed-LOS
+comes closer to EASY"), while both keep outperforming LOS.
+
+Expected shape: Delayed-LOS <= LOS on mean wait in both mixes, and the
+relative Delayed-LOS-vs-EASY gap shrinks from P_S=0.5 to P_S=0.8.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import PAPER_LOADS, figure8
+
+
+def run_figure8():
+    return figure8(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=8)
+
+
+def test_figure8(benchmark):
+    results = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    gaps = {}
+    for label, sweep in results.items():
+        save_report(
+            f"fig8_load_sweep_{label.replace('=', '').replace('.', '')}",
+            render_sweep(sweep, f"Figure 8: wait vs Load (batch, {label})",
+                         metrics=("mean_wait",)),
+        )
+        delayed = mean_metric(sweep, "Delayed-LOS", "mean_wait")
+        los = mean_metric(sweep, "LOS", "mean_wait")
+        easy = mean_metric(sweep, "EASY", "mean_wait")
+        # Both mixes: Delayed-LOS at least matches LOS.
+        assert delayed <= 1.02 * los, label
+        gaps[label] = (easy - delayed) / easy
+
+    # With many small jobs Delayed-LOS and EASY converge: the relative
+    # advantage at P_S=0.8 is no larger than at P_S=0.5 plus noise.
+    assert gaps["P_S=0.8"] <= gaps["P_S=0.5"] + 0.05, gaps

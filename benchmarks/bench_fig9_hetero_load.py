@@ -1,0 +1,39 @@
+"""Figure 9 — heterogeneous metrics vs Load (P_D = 0.5, P_S = 0.2).
+
+Half the jobs are dedicated with rigid start times; batch jobs must be
+packed around their reservations.  The paper: Hybrid-LOS outperforms
+LOS-D and EASY-D (feeding Table V).
+
+Expected shape: Hybrid-LOS (and LOS-D, which shares the DP machinery)
+clearly beat EASY-D on waiting time and utilization; Hybrid-LOS at
+least matches EASY-D everywhere it matters.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, mean_metric, render_sweep, save_report
+from repro.experiments.figures import PAPER_LOADS, figure9
+
+
+def run_figure9():
+    return figure9(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=9)
+
+
+def test_figure9(benchmark):
+    sweep = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    save_report(
+        "fig9_hetero_load",
+        render_sweep(sweep, "Figure 9: metrics vs Load (heterogeneous, P_D=0.5, P_S=0.2)"),
+    )
+
+    hybrid_wait = mean_metric(sweep, "Hybrid-LOS", "mean_wait")
+    assert hybrid_wait <= mean_metric(sweep, "EASY-D", "mean_wait")
+    assert mean_metric(sweep, "Hybrid-LOS", "utilization") >= mean_metric(
+        sweep, "EASY-D", "utilization"
+    )
+    # The DP family stays within a whisker of each other.
+    assert hybrid_wait <= 1.10 * mean_metric(sweep, "LOS-D", "mean_wait")
+
+    # The workload really is heterogeneous at every point.
+    for run in sweep.series["Hybrid-LOS"]:
+        assert run.dedicated_records(), "expected dedicated jobs in the mix"

@@ -1,0 +1,53 @@
+"""Replication study — Figure 7 across multiple seeds.
+
+The paper plots a single run per point.  This bench replicates the
+Figure 7 load sweep over several seeds and reports mean ± 95% CI per
+load point — quantifying how much of the algorithm gaps is signal
+versus draw-to-draw noise.
+
+Expected: Delayed-LOS's waiting-time advantage over LOS and EASY is
+consistent in the sweep-mean across seeds (lower mean; significance by
+non-overlapping CIs is reported but not asserted — it depends on the
+seed count).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, save_report
+from repro.experiments.figures import PAPER_LOADS, figure7
+from repro.experiments.replicate import format_replicated, replicate_sweep
+
+SEEDS = (7, 17, 27, 37, 47)
+
+
+def run_replication():
+    return replicate_sweep(
+        lambda seed: figure7(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=seed),
+        seeds=SEEDS,
+    )
+
+
+def test_replicated_figure7(benchmark):
+    replicated = benchmark.pedantic(run_replication, rounds=1, iterations=1)
+    report = "\n\n".join(
+        format_replicated(replicated, metric)
+        for metric in ("mean_wait", "utilization", "slowdown")
+    )
+    gap_los = replicated.significant_gap("Delayed-LOS", "LOS", "mean_wait")
+    gap_easy = replicated.significant_gap("Delayed-LOS", "EASY", "mean_wait")
+    report += (
+        f"\n\nDelayed-LOS vs LOS wait gap significant at 95%: {gap_los}"
+        f"\nDelayed-LOS vs EASY wait gap significant at 95%: {gap_easy}"
+    )
+    save_report(
+        "replication_fig7",
+        f"Replication: Figure 7 over seeds {SEEDS}\n\n" + report,
+    )
+
+    def sweep_mean(algorithm):
+        points = replicated.aggregate(algorithm, "mean_wait")
+        return sum(p.mean for p in points) / len(points)
+
+    delayed = sweep_mean("Delayed-LOS")
+    assert delayed < sweep_mean("LOS")
+    assert delayed < sweep_mean("EASY")

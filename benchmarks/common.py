@@ -1,0 +1,109 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper at
+full paper scale (``N_J = 500`` jobs per point; override with the
+``REPRO_BENCH_JOBS`` environment variable), prints the series the
+paper plots plus a paper-vs-measured comparison, and saves the text
+report under ``benchmarks/output/``.
+
+Absolute numbers are *not* asserted — our workloads are fresh draws
+from the paper's statistical model, not the authors' exact traces.
+Only robust directional claims (who wins on average across the sweep)
+are checked; see EXPERIMENTS.md for the recorded outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Sequence
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.sweep import SweepResult
+from repro.metrics.report import format_comparison_table, format_metrics_table
+
+#: Paper scale by default; set REPRO_BENCH_JOBS=100 for quick runs.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "500"))
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def mean_metric(sweep: SweepResult, algorithm: str, metric: str) -> float:
+    """Mean of a metric across the sweep (robust direction checks)."""
+    series = sweep.metric_series(algorithm, metric)
+    return sum(series) / len(series)
+
+
+def render_sweep(
+    sweep: SweepResult,
+    title: str,
+    metrics: Sequence[str] = ("utilization", "mean_wait", "slowdown"),
+) -> str:
+    """Figure-style report: tables plus an ASCII plot per metric."""
+    parts = [f"{'=' * 72}", title, f"jobs per point: {BENCH_JOBS}", ""]
+    parts.append(
+        format_metrics_table(sweep.sweep_label, sweep.sweep_values, sweep.rows(),
+                             metrics=[m for m in metrics if m != "slowdown"])
+    )
+    if "slowdown" in metrics:
+        rows = {
+            name: [{"slowdown": run.slowdown} for run in runs]
+            for name, runs in sweep.series.items()
+        }
+        parts.append("")
+        parts.append(
+            format_metrics_table(
+                sweep.sweep_label, sweep.sweep_values, rows, metrics=["slowdown"]
+            )
+        )
+    for metric in metrics:
+        series = {
+            name: sweep.metric_series(name, metric) for name in sweep.series
+        }
+        parts.append("")
+        parts.append(
+            ascii_plot(
+                sweep.sweep_values,
+                series,
+                title=f"{metric} vs {sweep.sweep_label}",
+                height=12,
+            )
+        )
+    return "\n".join(parts)
+
+
+def render_improvements(
+    title: str,
+    measured: Mapping[str, Mapping[str, float]],
+    paper: Mapping[str, Mapping[str, float]],
+) -> str:
+    """Tables IV-VII style paper-vs-measured comparison with a
+    quantitative fidelity verdict (sign agreement + magnitude ratio)."""
+    from repro.experiments.fidelity import score_fidelity
+
+    parts = [
+        format_comparison_table(f"{title} — measured (max % improvement)", measured),
+        "",
+        format_comparison_table(f"{title} — paper reported", dict(paper)),
+        "",
+        score_fidelity(measured, paper).summary(),
+    ]
+    return "\n".join(parts)
+
+
+def save_report(name: str, text: str) -> None:
+    """Print the report and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "BENCH_JOBS",
+    "OUTPUT_DIR",
+    "mean_metric",
+    "render_improvements",
+    "render_sweep",
+    "save_report",
+]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Working with Cloud Workload Format (CWF) traces.
+
+Shows the full trace lifecycle:
+
+1. generate a heterogeneous, elastic workload,
+2. serialize it to CWF (the paper's Figure 4 SWF extension — requested
+   start times in field 19, ECCs in fields 20–21),
+3. reload the file and verify the round-trip,
+4. print summary statistics of the trace,
+5. simulate the reloaded trace.
+
+Run:
+    python examples/cwf_trace_tools.py [output.cwf]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    CWFWorkloadGenerator,
+    GeneratorConfig,
+    Workload,
+    make_scheduler,
+    simulate,
+)
+from repro.workload.cwf import parse_cwf_workload
+from repro.workload.load import mean_runtime, mean_size
+
+
+def main() -> None:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.mkdtemp()) / "demo.cwf"
+    )
+
+    config = GeneratorConfig(
+        n_jobs=200, p_dedicated=0.3, p_extend=0.2, p_reduce=0.1
+    )
+    workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(31))
+
+    # --- write ---------------------------------------------------------
+    workload.to_cwf(target)
+    print(f"wrote {target} ({target.stat().st_size} bytes)")
+
+    # --- reload and verify ---------------------------------------------
+    jobs, eccs = parse_cwf_workload(target)
+    reloaded = Workload(
+        jobs=jobs,
+        eccs=eccs,
+        machine_size=workload.machine_size,
+        granularity=workload.granularity,
+    )
+    assert len(reloaded) == len(workload)
+    assert len(reloaded.eccs) == len(workload.eccs)
+    print("round-trip OK: jobs and ECCs preserved")
+
+    # --- trace statistics ------------------------------------------------
+    print(
+        f"\ntrace statistics:\n"
+        f"  jobs:            {len(reloaded)} "
+        f"({len(reloaded.dedicated_jobs)} dedicated)\n"
+        f"  ECCs:            {len(reloaded.eccs)}\n"
+        f"  mean job size:   {mean_size(reloaded.jobs):.1f} processors\n"
+        f"  mean runtime:    {mean_runtime(reloaded.jobs):.0f} s\n"
+        f"  offered load:    {reloaded.offered_load():.3f}"
+    )
+
+    # --- simulate the reloaded trace -------------------------------------
+    metrics = simulate(reloaded, make_scheduler("Hybrid-LOS-E"))
+    print(
+        f"\nHybrid-LOS-E on the reloaded trace: "
+        f"utilization {metrics.utilization:.3f}, "
+        f"mean wait {metrics.mean_wait:.0f} s, "
+        f"{metrics.dedicated_on_time_rate:.0%} of dedicated slots on time"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments lacking the ``wheel`` package
+(PEP 660 editable installs need it): ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` with old tooling.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,219 @@
+"""Command-line entry point: ``repro-sim``.
+
+Runs one simulation (or a small comparison) from the terminal::
+
+    repro-sim --algorithms EASY LOS Delayed-LOS --jobs 500 --load 0.9
+    repro-sim --cwf my_workload.cwf --algorithms Hybrid-LOS
+    repro-sim --list-algorithms
+
+Useful for eyeballing the system without writing Python; the full
+reproduction lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.runner import SimulationRunner
+from repro.metrics.report import format_table
+from repro.workload.cwf import parse_cwf_workload
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
+from repro.workload.twostage import TwoStageSizeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-sim`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Simulate parallel-job scheduling (IPPS 2012 Delayed-LOS / "
+            "Hybrid-LOS reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "--list-algorithms", action="store_true", help="list registry names and exit"
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["EASY", "LOS", "Delayed-LOS"],
+        help="algorithms to compare (Table III names)",
+    )
+    parser.add_argument("--jobs", type=int, default=500, help="jobs to generate (N_J)")
+    parser.add_argument("--machine", type=int, default=320, help="machine size M")
+    parser.add_argument(
+        "--load", type=float, default=0.9, help="target offered load (calibrated)"
+    )
+    parser.add_argument("--p-small", type=float, default=0.5, help="P_S")
+    parser.add_argument("--p-dedicated", type=float, default=0.0, help="P_D")
+    parser.add_argument("--p-extend", type=float, default=0.0, help="P_E")
+    parser.add_argument("--p-reduce", type=float, default=0.0, help="P_R")
+    parser.add_argument("--cs", type=int, default=7, help="C_s skip threshold")
+    parser.add_argument("--lookahead", type=int, default=50, help="DP lookahead")
+    parser.add_argument("--seed", type=int, default=42, help="RNG seed")
+    parser.add_argument(
+        "--cwf", type=str, default=None, help="load a CWF workload file instead of generating"
+    )
+    parser.add_argument(
+        "--save-cwf", type=str, default=None, help="write the generated workload to a CWF file"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print workload characterization before running"
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="validate the workload and exit non-zero on errors (no simulation)",
+    )
+    parser.add_argument(
+        "--timeline", action="store_true",
+        help="render a text occupancy timeline per algorithm (small runs only)",
+    )
+    parser.add_argument(
+        "--export-csv", type=str, default=None,
+        help="write per-run aggregates to this CSV file",
+    )
+    parser.add_argument(
+        "--export-json", type=str, default=None,
+        help="write the first algorithm's full run (records included) to JSON",
+    )
+    parser.add_argument(
+        "--figure", type=str, default=None, choices=["1", "5", "6", "7", "8", "9", "10", "11"],
+        help="regenerate a paper figure instead of a single comparison "
+        "(equivalent benchmark lives in benchmarks/)",
+    )
+    return parser
+
+
+def _build_workload(args: argparse.Namespace) -> Workload:
+    if args.cwf:
+        jobs, eccs = parse_cwf_workload(args.cwf)
+        return Workload(
+            jobs=jobs,
+            eccs=eccs,
+            machine_size=args.machine,
+            granularity=1,
+            description=f"loaded from {args.cwf}",
+        )
+    config = GeneratorConfig(
+        n_jobs=args.jobs,
+        machine_size=args.machine,
+        size=TwoStageSizeConfig(p_small=args.p_small),
+        p_dedicated=args.p_dedicated,
+        p_extend=args.p_extend,
+        p_reduce=args.p_reduce,
+    )
+    calibration = calibrate_beta_arr(config, args.load, seed=args.seed)
+    return calibration.workload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_algorithms:
+        for name in sorted(ALGORITHMS):
+            print(name)
+        return 0
+    if args.figure:
+        return _figure_report(args.figure, args.jobs)
+
+    workload = _build_workload(args)
+    if args.save_cwf:
+        workload.to_cwf(args.save_cwf)
+        print(f"wrote {args.save_cwf}")
+    print(
+        f"workload: {len(workload)} jobs "
+        f"({len(workload.dedicated_jobs)} dedicated, {len(workload.eccs)} ECCs), "
+        f"offered load {workload.offered_load():.3f}, M={workload.machine_size}"
+    )
+    if args.validate:
+        from repro.workload.validate import format_issues, has_errors, validate_workload
+
+        issues = validate_workload(workload)
+        print(format_issues(issues))
+        return 1 if has_errors(issues) else 0
+    if args.stats:
+        from repro.workload.stats import characterize
+
+        print()
+        print(characterize(workload).render())
+        print()
+
+    rows = []
+    results = {}
+    for name in args.algorithms:
+        scheduler = make_scheduler(name, max_skip_count=args.cs, lookahead=args.lookahead)
+        metrics = SimulationRunner(workload, scheduler).run()
+        results[name] = metrics
+        rows.append(
+            [
+                name,
+                round(metrics.utilization, 4),
+                round(metrics.mean_wait, 1),
+                round(metrics.slowdown, 3),
+                round(metrics.makespan, 0),
+            ]
+        )
+    print(format_table(["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"], rows))
+
+    if args.timeline:
+        from repro.metrics.timeline import render_timeline
+
+        for name, metrics in results.items():
+            print(f"\n--- timeline: {name} ---")
+            print(render_timeline(metrics.records, workload.machine_size, max_rows=30))
+    if args.export_csv:
+        from repro.metrics.export import runs_to_csv
+
+        runs_to_csv(results.values(), args.export_csv)
+        print(f"wrote {args.export_csv}")
+    if args.export_json:
+        from repro.metrics.export import run_to_json
+
+        first = next(iter(results.values()))
+        run_to_json(first, args.export_json)
+        print(f"wrote {args.export_json}")
+    return 0
+
+
+def _figure_report(figure_id: str, n_jobs: int) -> int:
+    """Run one paper-figure experiment and print its series."""
+    from repro.experiments import figures
+    from repro.experiments.ascii_plot import ascii_plot
+    from repro.experiments.sweep import SweepResult
+
+    runner = {
+        "1": lambda: figures.figure1(n_jobs=n_jobs),
+        "5": lambda: figures.figure5(n_jobs=n_jobs),
+        "6": lambda: figures.figure6(n_jobs=n_jobs),
+        "7": lambda: figures.figure7(n_jobs=n_jobs),
+        "8": lambda: figures.figure8(n_jobs=n_jobs),
+        "9": lambda: figures.figure9(n_jobs=n_jobs),
+        "10": lambda: figures.figure10(n_jobs=n_jobs),
+        "11": lambda: figures.figure11(n_jobs=n_jobs),
+    }[figure_id]
+    result = runner()
+    sweeps = result if isinstance(result, dict) else {f"figure {figure_id}": result}
+    for label, sweep in sweeps.items():
+        assert isinstance(sweep, SweepResult)
+        print(f"\n=== {label} ===")
+        for metric in ("utilization", "mean_wait"):
+            series = {name: sweep.metric_series(name, metric) for name in sweep.series}
+            print(
+                ascii_plot(
+                    sweep.sweep_values,
+                    series,
+                    title=f"{metric} vs {sweep.sweep_label}",
+                    height=12,
+                )
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

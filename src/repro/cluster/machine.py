@@ -1,0 +1,168 @@
+"""Capacity model of the simulated parallel machine.
+
+The paper's testbed is a simulated BlueGene/P with 320 processors where
+"only integer multiples of 32 processors can be assigned to jobs"
+(§IV-A).  :class:`Machine` models exactly that: a flat processor pool
+with a hard allocation granularity.  No torus topology or contiguity is
+modelled because the paper does not model it either (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.cluster.accounting import UtilizationTracker
+
+
+class AllocationError(RuntimeError):
+    """Raised on invalid allocate/release requests.
+
+    These always indicate a scheduler bug (double start, capacity
+    overflow, wrong granularity), so they are loud rather than soft.
+    """
+
+
+class Machine:
+    """A parallel machine with granular, capacity-checked allocation.
+
+    Args:
+        total: Total number of processors (the paper's ``M``).
+        granularity: Allocation unit in processors (32 on BlueGene/P).
+            Every request must be a positive multiple of this.
+        tracker: Optional utilization tracker; when provided, every
+            allocation change is recorded so mean utilization can be
+            integrated exactly.
+
+    Invariants (enforced on every call):
+        * ``0 <= used <= total``
+        * every live allocation is a positive multiple of ``granularity``
+        * allocation ids are unique among live allocations
+    """
+
+    def __init__(
+        self,
+        total: int,
+        granularity: int = 1,
+        tracker: Optional[UtilizationTracker] = None,
+    ) -> None:
+        if total <= 0:
+            raise ValueError(f"machine size must be positive, got {total}")
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        if total % granularity != 0:
+            raise ValueError(
+                f"machine size {total} is not a multiple of granularity {granularity}"
+            )
+        self.total = int(total)
+        self.granularity = int(granularity)
+        self.tracker = tracker
+        self._allocations: Dict[Hashable, int] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Processors currently allocated."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Processors currently free (the paper's ``m``)."""
+        return self.total - self._used
+
+    @property
+    def units(self) -> int:
+        """Machine size expressed in granularity units."""
+        return self.total // self.granularity
+
+    def free_units(self) -> int:
+        """Free capacity in granularity units (exact by invariant)."""
+        return self.free // self.granularity
+
+    def holds(self, alloc_id: Hashable) -> bool:
+        """Whether ``alloc_id`` currently owns processors."""
+        return alloc_id in self._allocations
+
+    def allocation_of(self, alloc_id: Hashable) -> int:
+        """Processor count owned by ``alloc_id`` (0 when absent)."""
+        return self._allocations.get(alloc_id, 0)
+
+    def live_allocations(self) -> Dict[Hashable, int]:
+        """Snapshot of live allocations (id -> processors)."""
+        return dict(self._allocations)
+
+    def fits(self, num: int) -> bool:
+        """Whether a request of ``num`` processors fits right now."""
+        return 0 < num <= self.free
+
+    def validate_request(self, num: int) -> None:
+        """Raise :class:`AllocationError` when ``num`` is malformed.
+
+        A request is malformed if it is non-positive, exceeds the
+        machine, or is not a multiple of the granularity.  Malformed
+        requests can never be satisfied at any time, so workloads are
+        validated eagerly at load time.
+        """
+        if num <= 0:
+            raise AllocationError(f"request must be positive, got {num}")
+        if num > self.total:
+            raise AllocationError(f"request {num} exceeds machine size {self.total}")
+        if num % self.granularity != 0:
+            raise AllocationError(
+                f"request {num} violates allocation granularity {self.granularity}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def allocate(self, alloc_id: Hashable, num: int, time: float = 0.0) -> None:
+        """Allocate ``num`` processors to ``alloc_id`` at ``time``.
+
+        Raises:
+            AllocationError: on malformed requests, duplicate ids, or
+                insufficient free capacity.
+        """
+        self.validate_request(num)
+        if alloc_id in self._allocations:
+            raise AllocationError(f"allocation id {alloc_id!r} is already live")
+        if num > self.free:
+            raise AllocationError(
+                f"cannot allocate {num} processors; only {self.free} free of {self.total}"
+            )
+        self._allocations[alloc_id] = num
+        self._used += num
+        if self.tracker is not None:
+            self.tracker.observe(time, self._used)
+
+    def release(self, alloc_id: Hashable, time: float = 0.0) -> int:
+        """Release the allocation held by ``alloc_id``; returns its size.
+
+        Raises:
+            AllocationError: when ``alloc_id`` holds no allocation.
+        """
+        try:
+            num = self._allocations.pop(alloc_id)
+        except KeyError:
+            raise AllocationError(f"allocation id {alloc_id!r} is not live") from None
+        self._used -= num
+        if self.tracker is not None:
+            self.tracker.observe(time, self._used)
+        return num
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        assert 0 <= self._used <= self.total, (self._used, self.total)
+        assert self._used == sum(self._allocations.values())
+        for alloc_id, num in self._allocations.items():
+            assert num > 0 and num % self.granularity == 0, (alloc_id, num)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(total={self.total}, granularity={self.granularity}, "
+            f"used={self._used}, live={len(self._allocations)})"
+        )
+
+
+__all__ = ["AllocationError", "Machine"]

@@ -1,0 +1,203 @@
+"""Contiguous partition allocation (BlueGene-style).
+
+The paper's flat capacity model ignores a real BlueGene constraint it
+itself brings up in §VI: "a running job [must] shrink or expand in
+size while maintaining *space continuity* — a common requirement in
+supercomputers like BlueGene/P".  Krevat et al. [8] (related work)
+study exactly the fragmentation this causes and the migration that
+mitigates it.
+
+:class:`PartitionedMachine` models a 1-D chain of psets (granularity
+units) where every allocation must be a *contiguous* run.  It exposes
+the same allocate/release surface as :class:`~repro.cluster.machine.
+Machine` plus contiguity-specific queries, and distinguishes capacity
+exhaustion from *external fragmentation* (enough free psets, but no
+contiguous run long enough) so experiments can measure the latter —
+see ``benchmarks/bench_ablation_fragmentation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.cluster.machine import AllocationError
+
+
+class FragmentationError(AllocationError):
+    """Enough free capacity exists, but not contiguously."""
+
+
+class PartitionedMachine:
+    """A 1-D machine whose allocations must be contiguous pset runs.
+
+    Args:
+        total: Total processors.
+        granularity: Processors per pset (allocation unit *and*
+            contiguity cell).
+
+    The unit of placement is the pset index ``0 .. units-1``; an
+    allocation of ``num`` processors occupies ``num // granularity``
+    consecutive psets, placed first-fit (lowest start index).
+
+    >>> machine = PartitionedMachine(total=128, granularity=32)
+    >>> machine.allocate("a", 64)
+    0
+    >>> machine.allocate("b", 32)
+    2
+    >>> machine.release("a")
+    64
+    >>> machine.fits_contiguously(96)
+    False
+    >>> machine.compact()
+    1
+    >>> machine.fits_contiguously(96)
+    True
+    """
+
+    def __init__(self, total: int, granularity: int = 1) -> None:
+        if total <= 0 or granularity <= 0 or total % granularity != 0:
+            raise ValueError(
+                f"invalid machine geometry: total={total}, granularity={granularity}"
+            )
+        self.total = total
+        self.granularity = granularity
+        self.units = total // granularity
+        self._owner: List[Optional[Hashable]] = [None] * self.units
+        self._spans: Dict[Hashable, Tuple[int, int]] = {}  # id -> (start, length)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Processors currently allocated."""
+        return (self.units - self._owner.count(None)) * self.granularity
+
+    @property
+    def free(self) -> int:
+        """Processors currently free (possibly fragmented)."""
+        return self._owner.count(None) * self.granularity
+
+    def free_runs(self) -> List[Tuple[int, int]]:
+        """Maximal free runs as (start unit, length in units)."""
+        runs: List[Tuple[int, int]] = []
+        start = None
+        for index, owner in enumerate(self._owner):
+            if owner is None:
+                if start is None:
+                    start = index
+            elif start is not None:
+                runs.append((start, index - start))
+                start = None
+        if start is not None:
+            runs.append((start, self.units - start))
+        return runs
+
+    def largest_free_run(self) -> int:
+        """Length (units) of the largest contiguous free run."""
+        return max((length for _, length in self.free_runs()), default=0)
+
+    def fragmentation(self) -> float:
+        """External fragmentation in [0, 1].
+
+        ``1 - largest_free_run / total_free_units``; 0 when all free
+        capacity is one run (or none is free).
+        """
+        free_units = self._owner.count(None)
+        if free_units == 0:
+            return 0.0
+        return 1.0 - self.largest_free_run() / free_units
+
+    def fits_contiguously(self, num: int) -> bool:
+        """Whether ``num`` processors fit as one contiguous run now."""
+        if num <= 0 or num % self.granularity != 0:
+            return False
+        return self.largest_free_run() >= num // self.granularity
+
+    def span_of(self, alloc_id: Hashable) -> Optional[Tuple[int, int]]:
+        """(start unit, length units) of a live allocation, or None."""
+        return self._spans.get(alloc_id)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def allocate(self, alloc_id: Hashable, num: int) -> int:
+        """First-fit contiguous allocation; returns the start unit.
+
+        Raises:
+            AllocationError: malformed request, duplicate id, or not
+                enough total capacity.
+            FragmentationError: capacity exists but only fragmented.
+        """
+        if num <= 0 or num > self.total or num % self.granularity != 0:
+            raise AllocationError(
+                f"request {num} invalid for machine (total={self.total}, "
+                f"granularity={self.granularity})"
+            )
+        if alloc_id in self._spans:
+            raise AllocationError(f"allocation id {alloc_id!r} is already live")
+        length = num // self.granularity
+        for start, run in self.free_runs():
+            if run >= length:
+                for index in range(start, start + length):
+                    self._owner[index] = alloc_id
+                self._spans[alloc_id] = (start, length)
+                return start
+        if num <= self.free:
+            raise FragmentationError(
+                f"{num} processors free but largest contiguous run is "
+                f"{self.largest_free_run() * self.granularity}"
+            )
+        raise AllocationError(f"only {self.free} of {self.total} processors free")
+
+    def release(self, alloc_id: Hashable) -> int:
+        """Release an allocation; returns its size in processors."""
+        try:
+            start, length = self._spans.pop(alloc_id)
+        except KeyError:
+            raise AllocationError(f"allocation id {alloc_id!r} is not live") from None
+        for index in range(start, start + length):
+            self._owner[index] = None
+        return length * self.granularity
+
+    def compact(self) -> int:
+        """Defragment by migrating allocations to the lowest indices.
+
+        Models the BlueGene/L migration of Krevat et al. [8]: running
+        jobs are slid leftwards (order preserved) so all free psets
+        coalesce into one run.  Returns the number of allocations that
+        moved (the migration cost proxy).
+        """
+        moved = 0
+        cursor = 0
+        for alloc_id, (start, length) in sorted(
+            self._spans.items(), key=lambda item: item[1][0]
+        ):
+            if start != cursor:
+                for index in range(start, start + length):
+                    self._owner[index] = None
+                for index in range(cursor, cursor + length):
+                    self._owner[index] = alloc_id
+                self._spans[alloc_id] = (cursor, length)
+                moved += 1
+            cursor += length
+        return moved
+
+    def check_invariants(self) -> None:
+        """Assert span bookkeeping matches the ownership map."""
+        seen = 0
+        for alloc_id, (start, length) in self._spans.items():
+            assert all(
+                self._owner[index] == alloc_id for index in range(start, start + length)
+            ), f"span map corrupt for {alloc_id!r}"
+            seen += length
+        assert seen == self.units - self._owner.count(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionedMachine(units={self.units}, live={len(self._spans)}, "
+            f"frag={self.fragmentation():.2f})"
+        )
+
+
+__all__ = ["FragmentationError", "PartitionedMachine"]

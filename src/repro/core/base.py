@@ -1,0 +1,138 @@
+"""Scheduler interface shared by every policy.
+
+Policies are *pure deciders*: the simulation runner owns the machine,
+the queues and the clock, builds a :class:`SchedulerContext` snapshot
+at every scheduling event, and applies the returned
+:class:`CycleDecision`.  The only job field a policy mutates is
+``scount`` — exactly the state the paper's Notations box attaches to
+queued jobs.
+
+The runner re-invokes ``cycle`` until a pass makes no decision (a
+fix-point): the Cs-exceeded branch of Algorithm 1 activates *only the
+head job*, and remaining capacity must then be offered to the next
+head / the DP again within the same event.  ``allow_scount_increment``
+is true only on the first pass of an event so a skip counts once per
+scheduling cycle, matching "scount ... is incremented by one at every
+scheduling cycle".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.machine import Machine
+from repro.queues.active_list import ActiveList
+from repro.queues.batch_queue import BatchQueue
+from repro.queues.dedicated_queue import DedicatedQueue
+from repro.workload.job import Job
+
+
+@dataclass
+class SchedulerContext:
+    """Scheduler-visible snapshot at one scheduling instant.
+
+    Attributes:
+        now: Current simulation time ``t``.
+        machine: The machine (for ``M`` and free capacity ``m``).
+        batch_queue: ``W^b`` in FIFO order.
+        dedicated_queue: ``W^d`` sorted by requested start.
+        active: ``A`` sorted by increasing residual.
+        allow_scount_increment: True on the first ``cycle`` pass of an
+            event; policies must not bump ``scount`` on later passes.
+    """
+
+    now: float
+    machine: Machine
+    batch_queue: BatchQueue
+    dedicated_queue: DedicatedQueue
+    active: ActiveList
+    allow_scount_increment: bool = True
+
+    @property
+    def free(self) -> int:
+        """The paper's ``m`` — free processors at ``t``.
+
+        Computed as ``M - Σ a_i.num`` (Algorithm 1 line 1); asserted
+        equal to the machine's own bookkeeping.
+        """
+        m = self.machine.total - self.active.total_used
+        assert m == self.machine.free, (m, self.machine.free)
+        return m
+
+
+@dataclass
+class CycleDecision:
+    """What one scheduler pass wants done.
+
+    Attributes:
+        starts: Batch-queue jobs to activate *now*, in activation
+            order.  The runner allocates processors, stamps
+            ``start_time`` and moves them to the active list.
+        promotions: Dedicated-queue jobs to move to the head of the
+            batch queue with ``scount = C_s`` (Algorithm 3).  Applied
+            before ``starts``.
+    """
+
+    starts: List[Job] = field(default_factory=list)
+    promotions: List[Job] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """Whether the pass reached a fix-point."""
+        return not self.starts and not self.promotions
+
+    @staticmethod
+    def nothing() -> "CycleDecision":
+        """The empty decision (terminates the runner's cycle loop)."""
+        return CycleDecision()
+
+
+class Scheduler(abc.ABC):
+    """Base class of all scheduling policies.
+
+    Attributes:
+        name: Registry/display name (Table III spelling).
+        handles_dedicated: Whether the policy manages ``W^d``; the
+            runner refuses heterogeneous workloads otherwise.
+        elastic: Whether the runner should apply Elastic Control
+            Commands (the "-E" variants append the ECC processor; the
+            scheduling logic itself is unchanged, §V).
+    """
+
+    name: str = "scheduler"
+    handles_dedicated: bool = False
+
+    def __init__(self, elastic: bool = False) -> None:
+        self.elastic = bool(elastic)
+        if self.elastic:
+            self.name = f"{self.name}-E"
+
+    @abc.abstractmethod
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        """Run one scheduling pass over the snapshot.
+
+        Must be side-effect free except for ``scount`` bookkeeping on
+        queued jobs (guarded by ``ctx.allow_scount_increment``).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def due_dedicated_promotion(ctx: SchedulerContext) -> Optional[CycleDecision]:
+        """Algorithm 2 lines 6–7 / 39–42: promote a due dedicated head.
+
+        Returns a promotion decision when ``w_1^d.start <= t``, else
+        ``None``.  Shared by Hybrid-LOS and the -D baselines.
+        """
+        head = ctx.dedicated_queue.head
+        if head is not None and head.requested_start is not None and head.requested_start <= ctx.now:
+            return CycleDecision(promotions=[head])
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+__all__ = ["CycleDecision", "Scheduler", "SchedulerContext"]

@@ -1,0 +1,55 @@
+"""EASY backfill (Mu'alem & Feitelson [6]).
+
+Aggressive backfilling: the head job starts as soon as it fits; when
+it does not fit, a *shadow* reservation is computed for it (the
+earliest instant enough running jobs terminate) and any later queued
+job may start now provided it does not delay the head — i.e. it either
+terminates by the shadow time or fits into the "extra" processors that
+remain free at the shadow time after the head is placed.
+
+The shadow computation is shared with the LOS family
+(:func:`repro.core.freeze.batch_head_freeze` — the paper calls the
+same quantities freeze end time/capacity).
+
+Each ``cycle`` pass emits at most one start; the runner's fix-point
+loop re-invokes until quiescent, so the shadow is recomputed against
+real state after every activation.  This is equivalent to the classic
+single-scan formulation (each started job joins the active list and
+shrinks the recomputed extra capacity exactly as the scan's local
+bookkeeping would) and keeps the policy trivially auditable.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.freeze import batch_head_freeze
+
+
+class EasyBackfill(Scheduler):
+    """EASY: FCFS plus aggressive backfilling against the head job."""
+
+    name = "EASY"
+
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        queue = ctx.batch_queue.jobs()
+        if not queue:
+            return CycleDecision.nothing()
+        m = ctx.free
+        head = queue[0]
+        if head.num <= m:
+            return CycleDecision(starts=[head])
+        if len(queue) == 1 or m <= 0:
+            return CycleDecision.nothing()
+
+        shadow = batch_head_freeze(ctx, head)
+        for job in queue[1:]:
+            if job.num > m:
+                continue
+            ends_by_shadow = ctx.now + job.estimate <= shadow.fret
+            fits_extra = job.num <= shadow.frec
+            if ends_by_shadow or fits_extra:
+                return CycleDecision(starts=[job])
+        return CycleDecision.nothing()
+
+
+__all__ = ["EasyBackfill"]

@@ -1,0 +1,149 @@
+"""The ECC processor — runtime elasticity (§III-C, Figure 3).
+
+Elastic Control Commands arrive on their own FCFS *elastic control
+queue* and are applied by the ECC processor to previously submitted
+jobs, whether still queued or already running:
+
+- **ET** extends the execution-time requirement: the kill-by time of a
+  running job moves later; a queued job's estimate grows.
+- **RT** reduces it: a running job's kill-by moves earlier, clamped at
+  *now* (a reduction below the already-elapsed time terminates the job
+  immediately); a queued job's estimate shrinks, clamped at a minimal
+  runtime.
+- **EP/RP** (resource dimension) are the paper's future work; a
+  prototype is provided behind ``allow_resource_eccs`` and only for
+  queued jobs (the flat machine model cannot resize live
+  allocations), used by the ECC-intensity ablation.
+
+A per-job command cap ("a maximum count on number of ECCs can be
+imposed for a given job") is enforced when ``max_eccs_per_job`` is
+set.  The processor mutates jobs only; rescheduling the corresponding
+finish events is the simulation runner's duty, driven by the returned
+:class:`ECCResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.job import Job, JobState
+
+#: Estimates can never shrink below this (a zero-length job is
+#: meaningless in SWF-like workloads).
+MIN_RUNTIME = 1.0
+
+
+class ECCOutcome(Enum):
+    """What happened to one command."""
+
+    APPLIED_QUEUED = "applied-queued"
+    APPLIED_RUNNING = "applied-running"
+    TERMINATED_JOB = "terminated-job"  # RT reduced a running job to zero residual
+    DROPPED_FINISHED = "dropped-finished"  # job already completed
+    REJECTED_CAP = "rejected-cap"  # per-job ECC budget exhausted
+    REJECTED_RESOURCE = "rejected-resource"  # EP/RP without opt-in / on running job
+
+    @property
+    def applied(self) -> bool:
+        """Whether the job was actually modified."""
+        return self in (
+            ECCOutcome.APPLIED_QUEUED,
+            ECCOutcome.APPLIED_RUNNING,
+            ECCOutcome.TERMINATED_JOB,
+        )
+
+
+@dataclass(frozen=True)
+class ECCResult:
+    """Outcome of applying one ECC.
+
+    Attributes:
+        outcome: What happened.
+        new_kill_by: For commands applied to *running* jobs: the job's
+            new scheduled termination instant, so the runner can
+            reschedule the finish event.  ``None`` otherwise.
+    """
+
+    outcome: ECCOutcome
+    new_kill_by: Optional[float] = None
+
+
+class ECCProcessor:
+    """FCFS processor for the elastic control queue.
+
+    Args:
+        max_eccs_per_job: Optional per-job command budget.
+        allow_resource_eccs: Opt-in for the EP/RP prototype.
+    """
+
+    def __init__(
+        self,
+        max_eccs_per_job: Optional[int] = None,
+        allow_resource_eccs: bool = False,
+        machine_granularity: int = 1,
+        machine_size: Optional[int] = None,
+    ) -> None:
+        if max_eccs_per_job is not None and max_eccs_per_job < 0:
+            raise ValueError("max_eccs_per_job must be non-negative")
+        self.max_eccs_per_job = max_eccs_per_job
+        self.allow_resource_eccs = allow_resource_eccs
+        self.machine_granularity = machine_granularity
+        self.machine_size = machine_size
+        self.stats: dict[ECCOutcome, int] = {outcome: 0 for outcome in ECCOutcome}
+
+    # ------------------------------------------------------------------
+    def apply(self, ecc: ECC, job: Job, now: float) -> ECCResult:
+        """Apply one command to its target job at time ``now``."""
+        result = self._apply(ecc, job, now)
+        self.stats[result.outcome] += 1
+        if result.outcome.applied:
+            job.ecc_count += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply(self, ecc: ECC, job: Job, now: float) -> ECCResult:
+        if job.state is JobState.FINISHED:
+            return ECCResult(ECCOutcome.DROPPED_FINISHED)
+        if self.max_eccs_per_job is not None and job.ecc_count >= self.max_eccs_per_job:
+            return ECCResult(ECCOutcome.REJECTED_CAP)
+        if ecc.kind.is_procs:
+            return self._apply_resource(ecc, job)
+        return self._apply_time(ecc, job, now)
+
+    def _apply_time(self, ecc: ECC, job: Job, now: float) -> ECCResult:
+        assert job.actual is not None
+        delta = ecc.signed_amount()
+        if job.state is JobState.RUNNING:
+            assert job.start_time is not None
+            elapsed = now - job.start_time
+            new_estimate = max(elapsed, job.estimate + delta)
+            new_actual = max(elapsed, job.actual + delta)
+            job.estimate = new_estimate
+            job.actual = new_actual
+            new_kill_by = job.start_time + min(new_estimate, new_actual)
+            if new_kill_by <= now:
+                return ECCResult(ECCOutcome.TERMINATED_JOB, new_kill_by=now)
+            return ECCResult(ECCOutcome.APPLIED_RUNNING, new_kill_by=new_kill_by)
+        # Queued (or pending) job: adjust the declared requirement.
+        job.estimate = max(MIN_RUNTIME, job.estimate + delta)
+        job.actual = max(MIN_RUNTIME, job.actual + delta)
+        return ECCResult(ECCOutcome.APPLIED_QUEUED)
+
+    def _apply_resource(self, ecc: ECC, job: Job) -> ECCResult:
+        if not self.allow_resource_eccs or job.state is JobState.RUNNING:
+            return ECCResult(ECCOutcome.REJECTED_RESOURCE)
+        gran = self.machine_granularity
+        delta = ecc.signed_amount()
+        # Snap to the allocation granularity, clamp into [gran, M].
+        new_num = int(round((job.num + delta) / gran)) * gran
+        new_num = max(gran, new_num)
+        if self.machine_size is not None:
+            new_num = min(self.machine_size, new_num)
+        job.num = new_num
+        return ECCResult(ECCOutcome.APPLIED_QUEUED)
+
+
+__all__ = ["ECCOutcome", "ECCProcessor", "ECCResult", "MIN_RUNTIME"]

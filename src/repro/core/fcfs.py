@@ -1,0 +1,30 @@
+"""Plain first-come-first-served scheduling.
+
+The related-work baseline ([5], [13]): the head of the queue starts as
+soon as it fits; nothing ever jumps the queue.  Included because the
+backfilling literature (and our ablation benches) measure EASY/LOS
+gains against it.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+
+
+class FCFS(Scheduler):
+    """Strict FCFS: no backfilling, no reservations needed.
+
+    Each pass starts the head job when it fits; the runner's fix-point
+    loop drains as many consecutive head jobs as capacity allows.
+    """
+
+    name = "FCFS"
+
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        head = ctx.batch_queue.head
+        if head is not None and head.num <= ctx.free:
+            return CycleDecision(starts=[head])
+        return CycleDecision.nothing()
+
+
+__all__ = ["FCFS"]

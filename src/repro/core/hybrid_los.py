@@ -1,0 +1,129 @@
+"""Hybrid-LOS — Algorithms 2 and 3 of the paper.
+
+Extends Delayed-LOS to heterogeneous workloads: batch jobs are packed
+for utilization *around* explicit reservations for dedicated
+(interactive) jobs whose start times are rigid.
+
+Per-pass logic (Algorithm 2; the runner loops each event to fix-point):
+
+- no dedicated jobs waiting → plain Delayed-LOS (line 4);
+- the dedicated head is due (``start <= t``) → move it to the head of
+  the batch queue with ``scount = C_s`` so it starts as soon as
+  capacity permits (Algorithm 3, lines 6–7 / 39–42);
+- the dedicated head starts in the future → compute the dedicated
+  freeze (lines 8–26, including the insufficient-capacity re-anchor)
+  and pack batch jobs with ``Reservation_DP`` so none overruns the
+  reserved capacity (lines 18–33); skipping the batch head increments
+  its ``scount``;
+- the batch head has exhausted its skips (``scount >= C_s``) → start
+  it right away (lines 35–37).  The paper's pseudo-code omits the
+  capacity check here; we guard it (a head larger than the free
+  capacity physically cannot start) and fall back to dedicated-aware
+  reservation packing until capacity frees up.
+
+``C_s = 0`` yields LOS-D — the paper's "LOS appended with the
+dedicated job queue" baseline (see :mod:`repro.core.dedicated`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import CycleDecision, SchedulerContext
+from repro.core.delayed_los import DelayedLOS
+from repro.core.dp import DEFAULT_LOOKAHEAD, reservation_dp
+from repro.core.freeze import dedicated_freeze
+
+
+class HybridLOS(DelayedLOS):
+    """Algorithm 2: Hybrid_LOS_Scheduler for heterogeneous workloads."""
+
+    name = "Hybrid-LOS"
+    handles_dedicated = True
+
+    def __init__(
+        self,
+        max_skip_count: int = 7,
+        lookahead: Optional[int] = DEFAULT_LOOKAHEAD,
+        elastic: bool = False,
+    ) -> None:
+        super().__init__(
+            max_skip_count=max_skip_count, lookahead=lookahead, elastic=elastic
+        )
+
+    # ------------------------------------------------------------------
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        """One pass of Algorithm 2."""
+        m = ctx.free
+        batch = ctx.batch_queue
+        dedicated = ctx.dedicated_queue
+
+        if m > 0 and batch:
+            if not dedicated:
+                # Line 4: homogeneous situation — defer to Algorithm 1.
+                return super().cycle(ctx)
+
+            head = batch.head
+            assert head is not None
+            if head.scount >= self.max_skip_count:
+                # Lines 35-37 (capacity-guarded, see module docstring).
+                if head.num <= m:
+                    return CycleDecision(starts=[head])
+                promotion = self._promotion(ctx)
+                if promotion is not None:
+                    return promotion
+                return self._pack_around_dedicated(ctx, bump_scount=False)
+
+            # Lines 5-34: scount < C_s with dedicated jobs waiting.
+            promotion = self._promotion(ctx)
+            if promotion is not None:
+                # Lines 6-7: the dedicated head is due.
+                return promotion
+            return self._pack_around_dedicated(ctx, bump_scount=True)
+
+        # Lines 39-42: no batch work possible; still honour due
+        # dedicated start times.
+        if dedicated:
+            promotion = self._promotion(ctx)
+            if promotion is not None:
+                return promotion
+        return CycleDecision.nothing()
+
+    # ------------------------------------------------------------------
+    def _promotion(self, ctx: SchedulerContext) -> Optional[CycleDecision]:
+        """Algorithm 3: due dedicated head moves to the batch head with
+        ``scount = C_s`` so it activates as soon as capacity permits."""
+        promotion = self.due_dedicated_promotion(ctx)
+        if promotion is not None:
+            for job in promotion.promotions:
+                job.scount = self.max_skip_count
+        return promotion
+
+    # ------------------------------------------------------------------
+    def _pack_around_dedicated(
+        self, ctx: SchedulerContext, bump_scount: bool
+    ) -> CycleDecision:
+        """Lines 8-33: Reservation_DP around the dedicated freeze."""
+        head = ctx.batch_queue.head
+        assert head is not None
+        freeze = dedicated_freeze(ctx)
+        selected = reservation_dp(
+            ctx.batch_queue.jobs(),
+            ctx.free,
+            freeze_capacity=freeze.frec,
+            freeze_time=freeze.fret,
+            now=ctx.now,
+            granularity=ctx.machine.granularity,
+            lookahead=self.lookahead,
+        )
+        if (
+            bump_scount
+            and ctx.allow_scount_increment
+            and all(job.job_id != head.job_id for job in selected)
+        ):
+            # Lines 22 / 30: skipping the batch head counts.
+            head.scount += 1
+        return CycleDecision(starts=selected)
+
+
+__all__ = ["HybridLOS"]

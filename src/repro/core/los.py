@@ -1,0 +1,38 @@
+"""LOS — the Lookahead Optimizing Scheduler of Shmueli & Feitelson [7].
+
+The baseline the paper improves on.  LOS-with-reservations (Algorithm
+3 in [7]) starts the head job *right away* whenever enough capacity is
+available (bounding its wait), and when it does not fit makes a
+reservation at the shadow time and runs the two-dimensional DP to fill
+the holes without delaying the reservation.
+
+That is precisely Algorithm 1 of the paper with ``C_s = 0``: the
+``scount >= C_s`` branch always fires when the head fits, so
+``Basic_DP`` is never consulted and the reservation branch is
+untouched.  We therefore implement LOS as :class:`DelayedLOS` pinned
+to a zero skip threshold — one audited code path for the whole family
+(DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.delayed_los import DelayedLOS
+from repro.core.dp import DEFAULT_LOOKAHEAD
+
+
+class LOS(DelayedLOS):
+    """LOS [7]: head-first activation + reservation DP backfilling."""
+
+    name = "LOS"
+
+    def __init__(
+        self,
+        lookahead: Optional[int] = DEFAULT_LOOKAHEAD,
+        elastic: bool = False,
+    ) -> None:
+        super().__init__(max_skip_count=0, lookahead=lookahead, elastic=elastic)
+
+
+__all__ = ["LOS"]

@@ -1,0 +1,34 @@
+"""Experiment harness: runner, sweeps, calibration, figures, tables.
+
+- :mod:`repro.experiments.runner` — event-driven simulation of one
+  (workload, scheduler) pair, producing :class:`RunMetrics`,
+- :mod:`repro.experiments.calibrate` — finds the ``β_arr`` that hits a
+  target offered load (the paper's load knob),
+- :mod:`repro.experiments.sweep` — seeded parameter sweeps across
+  algorithms,
+- :mod:`repro.experiments.figures` — one entry point per paper figure,
+- :mod:`repro.experiments.tables` — Tables IV–VII max-% improvements,
+- :mod:`repro.experiments.ascii_plot` — terminal line plots for the
+  benchmark harness output.
+"""
+
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fidelity import FidelityScore, score_fidelity
+from repro.experiments.grid import GridResult, GridSpec, run_grid
+from repro.experiments.runner import SimulationRunner, simulate
+from repro.experiments.sweep import SweepResult, run_algorithms
+
+__all__ = [
+    "ExperimentConfig",
+    "FidelityScore",
+    "GridResult",
+    "GridSpec",
+    "SimulationRunner",
+    "SweepResult",
+    "calibrate_beta_arr",
+    "run_algorithms",
+    "run_grid",
+    "score_fidelity",
+    "simulate",
+]

@@ -1,0 +1,75 @@
+"""Tiny terminal line plots for the benchmark harness.
+
+The benches print each figure's series as a table *and* a quick ASCII
+plot so the shape (who wins, where crossovers fall) is visible in CI
+logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple series as an ASCII scatter/line chart.
+
+    Args:
+        x_values: Shared x coordinates.
+        series: name -> y values (aligned with ``x_values``).
+        width / height: Plot canvas size in characters.
+        title: Optional heading.
+        y_label: Optional y-axis caption.
+
+    Returns:
+        The plot as a multi-line string (legend included).
+    """
+    if not x_values or not series:
+        return f"{title}\n(no data)" if title else "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(x_values), max(x_values)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"  {y_label}")
+    lines.append(f"  {y_max:>12.4g} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 15 + "│" + "".join(row))
+    lines.append(f"  {y_min:>12.4g} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 15 + "└" + "─" * width)
+    lines.append(" " * 16 + f"{x_min:<12.4g}" + " " * max(0, width - 24) + f"{x_max:>12.4g}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_plot"]

@@ -1,0 +1,104 @@
+"""Reproduction-fidelity scoring.
+
+Quantifies how well measured improvement tables agree with the paper's
+(Tables IV–VII), operationalizing the reproduction criterion stated in
+DESIGN.md: *shape over absolute numbers*.
+
+Two scores per comparison:
+
+- **sign agreement** — fraction of (metric, baseline) cells where the
+  measured improvement has the same sign as the paper's (did the same
+  algorithm win?);
+- **magnitude ratio** — geometric mean of measured/paper improvement
+  ratios over sign-agreeing positive cells (how big was the win,
+  relative to the paper's?).  1.0 = identical magnitudes; 0.5 = our
+  wins are half the paper's; ratios are clamped into [0.01, 100] so a
+  single near-zero cell cannot dominate the geometric mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+#: Clamp bounds for per-cell magnitude ratios.
+RATIO_CLAMP = (0.01, 100.0)
+
+
+@dataclass(frozen=True)
+class FidelityScore:
+    """Agreement between a measured and a paper-reported table."""
+
+    cells: int
+    sign_matches: int
+    magnitude_ratio: float  # geometric mean over agreeing positive cells
+    disagreements: Tuple[str, ...]  # "metric vs baseline" labels
+
+    @property
+    def sign_agreement(self) -> float:
+        """Fraction of cells whose improvement sign matches the paper."""
+        return self.sign_matches / self.cells if self.cells else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        text = (
+            f"fidelity: {self.sign_matches}/{self.cells} cells agree in sign "
+            f"({self.sign_agreement:.0%}); magnitude ratio "
+            f"{self.magnitude_ratio:.2f}x the paper's"
+        )
+        if self.disagreements:
+            text += f"; disagreements: {', '.join(self.disagreements)}"
+        return text
+
+
+def score_fidelity(
+    measured: Mapping[str, Mapping[str, float]],
+    paper: Mapping[str, Mapping[str, float]],
+) -> FidelityScore:
+    """Score a measured improvement table against the paper's.
+
+    Both tables map metric label -> {baseline -> max % improvement};
+    cells present in only one table are ignored.
+
+    Raises:
+        ValueError: when the tables share no cells at all.
+    """
+    cells = 0
+    matches = 0
+    log_ratios: List[float] = []
+    disagreements: List[str] = []
+    for metric, paper_row in paper.items():
+        measured_row = measured.get(metric)
+        if measured_row is None:
+            continue
+        for baseline, paper_value in paper_row.items():
+            if baseline not in measured_row:
+                continue
+            measured_value = measured_row[baseline]
+            cells += 1
+            same_sign = (
+                (measured_value > 0 and paper_value > 0)
+                or (measured_value < 0 and paper_value < 0)
+                or (measured_value == paper_value == 0)
+            )
+            if same_sign:
+                matches += 1
+                if measured_value > 0 and paper_value > 0:
+                    ratio = measured_value / paper_value
+                    ratio = min(RATIO_CLAMP[1], max(RATIO_CLAMP[0], ratio))
+                    log_ratios.append(math.log(ratio))
+            else:
+                disagreements.append(f"{metric} vs {baseline}")
+    if cells == 0:
+        raise ValueError("tables share no comparable cells")
+    magnitude = math.exp(sum(log_ratios) / len(log_ratios)) if log_ratios else 0.0
+    return FidelityScore(
+        cells=cells,
+        sign_matches=matches,
+        magnitude_ratio=magnitude,
+        disagreements=tuple(disagreements),
+    )
+
+
+__all__ = ["FidelityScore", "RATIO_CLAMP", "score_fidelity"]

@@ -1,0 +1,398 @@
+"""Event-driven simulation of one (workload, scheduler) pair.
+
+The runner owns the clock, machine, queues and event wiring; the
+policy only decides.  Event semantics (see
+:class:`repro.sim.events.EventPriority` for same-instant ordering):
+
+- *arrival*: the job joins ``W^b`` (batch) or ``W^d`` (dedicated, plus
+  a timer at its rigid requested start),
+- *finish*: processors release, the job's record is frozen,
+- *ECC*: the elastic control queue hands the command to the ECC
+  processor (elastic policies only); a changed kill-by time
+  reschedules the finish event — the core of runtime elasticity,
+- *cycle*: the policy runs to fix-point — every pass's decision is
+  applied (promotions, then starts) and the policy re-invoked until it
+  makes none, with ``allow_scount_increment`` true only on the first
+  pass so a skipped head counts once per scheduling cycle.
+
+Every state transition is recorded in a :class:`~repro.sim.TraceLog`
+when tracing is on; tests assert event-level invariants on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.accounting import UtilizationTracker
+from repro.cluster.machine import Machine
+from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.elastic import ECCOutcome, ECCProcessor
+from repro.metrics.queue_stats import QueueTracker
+from repro.metrics.records import CancellationRecord, JobRecord, RunMetrics
+from repro.queues.active_list import ActiveList
+from repro.queues.batch_queue import BatchQueue
+from repro.queues.dedicated_queue import DedicatedQueue
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event, EventPriority
+from repro.sim.trace import TraceLog
+from repro.workload.ecc import ECC
+from repro.workload.generator import Workload
+from repro.workload.job import Job, JobState
+
+#: Hard cap on fix-point passes within one scheduling cycle; real
+#: cycles converge in a handful of passes, so hitting this means a
+#: policy is oscillating.
+MAX_CYCLE_PASSES = 10_000
+
+
+class SimulationRunner:
+    """Simulates ``workload`` under ``scheduler`` on its machine.
+
+    Args:
+        workload: The input workload (jobs are copied; the workload
+            object is reusable across runs and algorithms).
+        scheduler: The policy to drive.
+        trace: Record a full :class:`TraceLog` (tests/debugging).
+        max_eccs_per_job: Optional per-job ECC budget (§III-C).
+        allow_resource_eccs: Opt-in for the EP/RP prototype.
+
+    Raises:
+        ValueError: when the workload contains dedicated jobs but the
+            policy does not handle a dedicated queue, or when any job
+            violates the machine's size/granularity constraints.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        scheduler: Scheduler,
+        *,
+        trace: bool = False,
+        max_eccs_per_job: Optional[int] = None,
+        allow_resource_eccs: bool = False,
+    ) -> None:
+        self.workload = workload
+        self.scheduler = scheduler
+        self.jobs: List[Job] = workload.fresh_jobs()
+        self._jobs_by_id: Dict[int, Job] = {job.job_id: job for job in self.jobs}
+        if len(self._jobs_by_id) != len(self.jobs):
+            raise ValueError("duplicate job ids in workload")
+
+        dedicated = [job for job in self.jobs if job.is_dedicated]
+        if dedicated and not scheduler.handles_dedicated:
+            raise ValueError(
+                f"workload has {len(dedicated)} dedicated jobs but "
+                f"{scheduler.name} handles batch jobs only (use a -D variant)"
+            )
+
+        for ecc in workload.eccs:
+            target = self._jobs_by_id.get(ecc.job_id)
+            if target is None:
+                raise ValueError(f"ECC references unknown job {ecc.job_id}")
+            if ecc.issue_time < target.submit:
+                # ECCs modify "a previously submitted job" (§III-C):
+                # a command cannot precede its job's submission.
+                raise ValueError(
+                    f"ECC for job {ecc.job_id} issued at t={ecc.issue_time} "
+                    f"before the job's submission at t={target.submit}"
+                )
+
+        start = min((job.submit for job in self.jobs), default=0.0)
+        self.tracker = UtilizationTracker(start_time=start)
+        self.queue_tracker = QueueTracker(start_time=start)
+        self.machine = Machine(
+            total=workload.machine_size,
+            granularity=workload.granularity,
+            tracker=self.tracker,
+        )
+        for job in self.jobs:
+            self.machine.validate_request(job.num)
+
+        self.sim = Simulator(start_time=start)
+        self.trace = TraceLog(enabled=trace)
+        self.batch_queue = BatchQueue()
+        self.dedicated_queue = DedicatedQueue()
+        self.active = ActiveList()
+        self.records: List[JobRecord] = []
+        self.cancelled_records: List[CancellationRecord] = []
+        self.ecc_processor = ECCProcessor(
+            max_eccs_per_job=max_eccs_per_job,
+            allow_resource_eccs=allow_resource_eccs,
+            machine_granularity=self.machine.granularity,
+            machine_size=self.machine.total,
+        )
+        self._dropped_eccs = 0
+        self._cancelled_while_running: set[int] = set()
+        self._finish_events: Dict[int, Event] = {}
+        self._pending_cycle_time: Optional[float] = None
+        self._wire_events()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _wire_events(self) -> None:
+        for job in self.jobs:
+            self.sim.schedule_at(
+                job.submit,
+                lambda j=job: self._on_arrival(j),
+                priority=EventPriority.ARRIVAL,
+                name=f"arrive#{job.job_id}",
+            )
+        for ecc in self.workload.eccs:
+            self.sim.schedule_at(
+                ecc.issue_time,
+                lambda e=ecc: self._on_ecc(e),
+                priority=EventPriority.ECC,
+                name=f"ecc#{ecc.job_id}",
+            )
+        for job in self.jobs:
+            if job.cancel_at is not None:
+                # User cancellations are commands like ECCs and share
+                # their same-instant slot (after finishes, before
+                # arrivals of the next batch of work).
+                self.sim.schedule_at(
+                    job.cancel_at,
+                    lambda j=job: self._on_cancel(j),
+                    priority=EventPriority.ECC,
+                    name=f"cancel#{job.job_id}",
+                )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, job: Job) -> None:
+        now = self.sim.now
+        self.trace.record(now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value)
+        self.queue_tracker.on_enqueue(now, job.num * job.estimate)
+        if job.is_dedicated:
+            self.dedicated_queue.push(job)
+            assert job.requested_start is not None
+            if job.requested_start > now:
+                self.sim.schedule_at(
+                    job.requested_start,
+                    self._request_cycle_now,
+                    priority=EventPriority.TIMER,
+                    name=f"ded-start#{job.job_id}",
+                )
+        else:
+            self.batch_queue.push(job)
+        self._request_cycle()
+
+    def _on_finish(self, job: Job) -> None:
+        now = self.sim.now
+        self.active.remove(job)
+        self.machine.release(job.job_id, time=now)
+        job.finish_time = now
+        job.state = JobState.FINISHED
+        self._finish_events.pop(job.job_id, None)
+        record = JobRecord.from_job(job)
+        if job.job_id in self._cancelled_while_running:
+            import dataclasses
+
+            record = dataclasses.replace(record, cancelled=True)
+        self.records.append(record)
+        self.trace.record(now, "finish", job=job.job_id, num=job.num)
+        self._request_cycle()
+
+    def _on_cancel(self, job: Job) -> None:
+        """SWF status-5 semantics: withdraw a queued job; terminate a
+        running one at the cancellation instant."""
+        now = self.sim.now
+        if job.state is JobState.QUEUED:
+            if job.is_dedicated and any(
+                j.job_id == job.job_id for j in self.dedicated_queue
+            ):
+                self.dedicated_queue.remove(job)
+            else:
+                self.batch_queue.remove(job)
+            job.state = JobState.CANCELLED
+            self.queue_tracker.on_dequeue(now, job.num * job.estimate)
+            self.cancelled_records.append(
+                CancellationRecord(
+                    job_id=job.job_id,
+                    kind=job.kind,
+                    num=job.num,
+                    submit=job.submit,
+                    cancelled_at=now,
+                )
+            )
+            self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="queued")
+            self._request_cycle()
+        elif job.state is JobState.RUNNING:
+            self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="running")
+            job.killed = True
+            self._cancelled_while_running.add(job.job_id)
+            self._reschedule_finish(job, now)
+        # PENDING cannot happen (cancel_at >= submit is validated) and
+        # FINISHED cancellations are no-ops.
+
+    def _on_ecc(self, ecc: ECC) -> None:
+        now = self.sim.now
+        if not self.scheduler.elastic:
+            # Non-elastic policies have no ECC processor appended; the
+            # command is silently dropped (recorded for diagnostics).
+            self._dropped_eccs += 1
+            self.trace.record(now, "ecc-dropped", job=ecc.job_id, ecc_kind=ecc.kind.value)
+            return
+        job = self._jobs_by_id.get(ecc.job_id)
+        if job is None:
+            raise SimulationError(f"ECC references unknown job {ecc.job_id}")
+        estimate_before = job.estimate
+        result = self.ecc_processor.apply(ecc, job, now)
+        if result.outcome.applied and job.state is not JobState.RUNNING and job.state is not JobState.FINISHED:
+            # Queued/pending work changed: keep the backlog integral exact.
+            self.queue_tracker.on_work_changed(
+                now, job.num * (job.estimate - estimate_before)
+            )
+        self.trace.record(
+            now,
+            "ecc",
+            job=ecc.job_id,
+            ecc_kind=ecc.kind.value,
+            amount=ecc.amount,
+            outcome=result.outcome.value,
+        )
+        if result.outcome is ECCOutcome.APPLIED_RUNNING:
+            assert result.new_kill_by is not None
+            self._reschedule_finish(job, result.new_kill_by)
+        elif result.outcome is ECCOutcome.TERMINATED_JOB:
+            self._reschedule_finish(job, now)
+        if result.outcome.applied:
+            if job.state is JobState.RUNNING:
+                self.active.resort()
+            self._request_cycle()
+
+    def _reschedule_finish(self, job: Job, when: float) -> None:
+        old = self._finish_events.pop(job.job_id, None)
+        if old is not None:
+            old.cancel()
+        self._finish_events[job.job_id] = self.sim.schedule_at(
+            when,
+            lambda j=job: self._on_finish(j),
+            priority=EventPriority.FINISH,
+            name=f"finish#{job.job_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling cycle
+    # ------------------------------------------------------------------
+    def _request_cycle_now(self) -> None:
+        """Timer handler: a rigid dedicated start time was reached."""
+        self._run_cycle()
+
+    def _request_cycle(self) -> None:
+        """Schedule one cycle at ``now`` (deduplicated per instant)."""
+        now = self.sim.now
+        if self._pending_cycle_time == now:
+            return
+        self._pending_cycle_time = now
+        self.sim.schedule_at(
+            now,
+            self._run_cycle,
+            priority=EventPriority.SCHEDULE,
+            name="cycle",
+        )
+
+    def _run_cycle(self) -> None:
+        now = self.sim.now
+        if self._pending_cycle_time == now:
+            self._pending_cycle_time = None
+        for pass_index in range(MAX_CYCLE_PASSES):
+            ctx = SchedulerContext(
+                now=now,
+                machine=self.machine,
+                batch_queue=self.batch_queue,
+                dedicated_queue=self.dedicated_queue,
+                active=self.active,
+                allow_scount_increment=(pass_index == 0),
+            )
+            decision = self.scheduler.cycle(ctx)
+            if decision.is_empty():
+                return
+            self._apply(decision)
+        raise SimulationError(
+            f"scheduler {self.scheduler.name} did not reach a fix-point "
+            f"within {MAX_CYCLE_PASSES} passes at t={now}"
+        )
+
+    def _apply(self, decision: CycleDecision) -> None:
+        now = self.sim.now
+        for job in decision.promotions:
+            # Algorithm 3: the due dedicated head becomes the head of
+            # the batch queue (scount was set by the policy).
+            self.dedicated_queue.remove(job)
+            self.batch_queue.push_head(job)
+            self.trace.record(now, "promote", job=job.job_id, scount=job.scount)
+        for job in decision.starts:
+            self.batch_queue.remove(job)
+            self.queue_tracker.on_dequeue(now, job.num * job.estimate)
+            self.machine.allocate(job.job_id, job.num, time=now)
+            job.start_time = now
+            job.killed = job.actual is not None and job.actual > job.estimate
+            self.active.add(job)
+            self._reschedule_finish(job, now + job.effective_runtime())
+            self.trace.record(now, "start", job=job.job_id, num=job.num)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> RunMetrics:
+        """Run to completion and return the aggregate metrics.
+
+        Raises:
+            SimulationError: when events drain with jobs still waiting
+                (a policy starved them — always a bug).
+        """
+        self.sim.run(until=until)
+        unfinished = [
+            job
+            for job in self.jobs
+            if job.state not in (JobState.FINISHED, JobState.CANCELLED)
+        ]
+        if unfinished and until is None:
+            ids = [job.job_id for job in unfinished[:10]]
+            raise SimulationError(
+                f"{self.scheduler.name} left {len(unfinished)} jobs unfinished "
+                f"(first ids: {ids}); starvation or wiring bug"
+            )
+        return self._metrics()
+
+    def _metrics(self) -> RunMetrics:
+        last_finish = max((r.finish for r in self.records), default=self.tracker.start_time)
+        ecc_stats = {
+            outcome.value: count
+            for outcome, count in self.ecc_processor.stats.items()
+            if count
+        }
+        if self._dropped_eccs:
+            ecc_stats["dropped-not-elastic"] = self._dropped_eccs
+        return RunMetrics(
+            algorithm=self.scheduler.name,
+            machine_size=self.machine.total,
+            records=list(self.records),
+            utilization=self.tracker.mean_utilization(self.machine.total, until=last_finish),
+            makespan=last_finish - self.tracker.start_time,
+            offered_load=self.workload.offered_load(),
+            ecc_stats=ecc_stats,
+            queue=self.queue_tracker.summary(until=last_finish),
+            cancelled_records=list(self.cancelled_records),
+        )
+
+
+def simulate(
+    workload: Workload,
+    scheduler: Scheduler,
+    *,
+    trace: bool = False,
+    max_eccs_per_job: Optional[int] = None,
+) -> RunMetrics:
+    """One-shot convenience wrapper around :class:`SimulationRunner`."""
+    return SimulationRunner(
+        workload,
+        scheduler,
+        trace=trace,
+        max_eccs_per_job=max_eccs_per_job,
+    ).run()
+
+
+__all__ = ["MAX_CYCLE_PASSES", "SimulationRunner", "simulate"]

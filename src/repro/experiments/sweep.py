@@ -1,0 +1,142 @@
+"""Parameter sweeps: run several algorithms over calibrated workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.registry import make_scheduler
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SimulationRunner
+from repro.metrics.records import RunMetrics
+from repro.workload.generator import Workload
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, aligned by sweep point.
+
+    Attributes:
+        sweep_label: Name of the swept variable.
+        sweep_values: Realized x-axis values (e.g. achieved loads).
+        series: algorithm -> per-point :class:`RunMetrics`.
+    """
+
+    sweep_label: str
+    sweep_values: List[float]
+    series: Dict[str, List[RunMetrics]] = field(default_factory=dict)
+
+    def metric_series(self, algorithm: str, metric: str) -> List[float]:
+        """One algorithm's values of ``metric`` across the sweep."""
+        return [getattr(run, metric) for run in self.series[algorithm]]
+
+    def rows(self) -> Dict[str, List[Dict[str, float]]]:
+        """algorithm -> list of flat metric dicts (report formatting)."""
+        return {
+            name: [run.as_row() for run in runs] for name, runs in self.series.items()
+        }
+
+
+def run_algorithms(
+    workload: Workload,
+    algorithms: Sequence[str],
+    *,
+    max_skip_count: int = 7,
+    lookahead: Optional[int] = 50,
+    max_eccs_per_job: Optional[int] = None,
+) -> Dict[str, RunMetrics]:
+    """Run every algorithm on the *same* workload instance.
+
+    Each run gets fresh job copies (the workload is immutable input),
+    so the comparison is paired — identical arrivals, sizes, runtimes
+    and ECCs for every policy, as in the paper's methodology.
+    """
+    results: Dict[str, RunMetrics] = {}
+    for name in algorithms:
+        scheduler = make_scheduler(
+            name, max_skip_count=max_skip_count, lookahead=lookahead
+        )
+        runner = SimulationRunner(
+            workload, scheduler, max_eccs_per_job=max_eccs_per_job
+        )
+        results[name] = runner.run()
+    return results
+
+
+def load_sweep(config: ExperimentConfig) -> SweepResult:
+    """Figures 7–10 style sweep: metrics vs offered load.
+
+    For each target load, calibrates ``β_arr`` (per-point seed), then
+    runs every algorithm on the calibrated workload.
+    """
+    result = SweepResult(sweep_label="Load", sweep_values=[])
+    for index, target in enumerate(config.loads):
+        calibration = calibrate_beta_arr(
+            config.generator, target, seed=config.seed + index
+        )
+        result.sweep_values.append(round(calibration.achieved_load, 4))
+        point = run_algorithms(
+            calibration.workload,
+            config.algorithms,
+            max_skip_count=config.max_skip_count,
+            lookahead=config.lookahead,
+            max_eccs_per_job=config.max_eccs_per_job,
+        )
+        for name, metrics in point.items():
+            result.series.setdefault(name, []).append(metrics)
+    return result
+
+
+def cs_sweep(config: ExperimentConfig, cs_values: Sequence[int], target_load: float) -> SweepResult:
+    """Figures 5–6 style sweep: metrics vs the ``C_s`` threshold.
+
+    One workload is calibrated to ``target_load`` and *reused* across
+    all ``C_s`` values (only Delayed-LOS reacts to ``C_s``; EASY/LOS
+    provide flat reference lines, as in the figures).
+    """
+    calibration = calibrate_beta_arr(config.generator, target_load, seed=config.seed)
+    result = SweepResult(sweep_label="C_s", sweep_values=[float(v) for v in cs_values])
+    for cs in cs_values:
+        point = run_algorithms(
+            calibration.workload,
+            config.algorithms,
+            max_skip_count=cs,
+            lookahead=config.lookahead,
+            max_eccs_per_job=config.max_eccs_per_job,
+        )
+        for name, metrics in point.items():
+            result.series.setdefault(name, []).append(metrics)
+    return result
+
+
+def arrival_scale_sweep(
+    base_workload: Workload,
+    algorithms: Sequence[str],
+    scale_factors: Sequence[float],
+    *,
+    max_skip_count: int = 7,
+    lookahead: Optional[int] = 50,
+) -> SweepResult:
+    """Figure 1 style sweep: load varied by scaling arrival times.
+
+    This is the methodology of [7] §4.1 that the paper replicates for
+    validation: multiply every arrival time by a constant factor
+    (> 1 lowers load) and re-run.
+    """
+    result = SweepResult(sweep_label="Load", sweep_values=[])
+    for factor in scale_factors:
+        workload = base_workload.scale_arrivals(factor)
+        result.sweep_values.append(round(workload.offered_load(), 4))
+        point = run_algorithms(
+            workload,
+            algorithms,
+            max_skip_count=max_skip_count,
+            lookahead=lookahead,
+        )
+        for name, metrics in point.items():
+            result.series.setdefault(name, []).append(metrics)
+    return result
+
+
+__all__ = ["SweepResult", "arrival_scale_sweep", "cs_sweep", "load_sweep", "run_algorithms"]

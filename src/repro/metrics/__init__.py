@@ -1,0 +1,33 @@
+"""Performance metrics (§V).
+
+The paper reports *mean values* of system utilization, job waiting
+time and slowdown, with slowdown defined as the ratio of means
+``(mean_wait + mean_runtime) / mean_runtime``.  We compute those
+exactly (:mod:`repro.metrics.stats`), collect per-job records during
+simulation (:mod:`repro.metrics.records`), and format comparison
+tables (:mod:`repro.metrics.report`).
+"""
+
+from repro.metrics.records import JobRecord, RunMetrics
+from repro.metrics.stats import (
+    bounded_slowdown,
+    improvement_percent,
+    max_improvement,
+    mean,
+    paper_slowdown,
+    per_job_slowdowns,
+)
+from repro.metrics.report import format_comparison_table, format_metrics_table
+
+__all__ = [
+    "JobRecord",
+    "RunMetrics",
+    "bounded_slowdown",
+    "format_comparison_table",
+    "format_metrics_table",
+    "improvement_percent",
+    "max_improvement",
+    "mean",
+    "paper_slowdown",
+    "per_job_slowdowns",
+]

@@ -1,0 +1,121 @@
+"""Per-class metric breakdowns.
+
+The paper's explanations constantly reason about job *classes* —
+"when there are a lot of large sized jobs ... the large sized jobs
+will not be tightly packed and very few small jobs will be available
+to fill in the holes" (§V-A) — but reports only whole-run means.
+This module computes the per-class statistics those explanations
+predict, so the mechanism behind a result can be inspected:
+
+- by size class (small ≤ 96 processors vs large, the paper's BG/P
+  boundary — configurable),
+- by kind (batch vs dedicated),
+- by outcome (killed at kill-by vs completed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.records import JobRecord
+from repro.metrics.stats import mean, paper_slowdown
+from repro.workload.job import JobKind
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Aggregates for one class of jobs."""
+
+    label: str
+    n_jobs: int
+    mean_wait: float
+    mean_runtime: float
+    slowdown: float
+    max_wait: float
+    total_work: float  # processor-seconds executed
+
+    @classmethod
+    def from_records(cls, label: str, records: Sequence[JobRecord]) -> "ClassStats":
+        """Aggregate a record subset (empty subsets allowed)."""
+        waits = [r.wait for r in records]
+        runtimes = [r.runtime for r in records]
+        mean_wait = mean(waits)
+        mean_runtime = mean(runtimes)
+        return cls(
+            label=label,
+            n_jobs=len(records),
+            mean_wait=mean_wait,
+            mean_runtime=mean_runtime,
+            slowdown=paper_slowdown(mean_wait, mean_runtime),
+            max_wait=max(waits, default=0.0),
+            total_work=sum(r.num * r.runtime for r in records),
+        )
+
+
+def breakdown(
+    records: Sequence[JobRecord],
+    classifier: Callable[[JobRecord], str],
+) -> Dict[str, ClassStats]:
+    """Group records by ``classifier`` and aggregate each group."""
+    groups: Dict[str, List[JobRecord]] = {}
+    for record in records:
+        groups.setdefault(classifier(record), []).append(record)
+    return {
+        label: ClassStats.from_records(label, group)
+        for label, group in sorted(groups.items())
+    }
+
+
+def by_size_class(
+    records: Sequence[JobRecord], small_threshold: int = 96
+) -> Dict[str, ClassStats]:
+    """Small vs large jobs (the paper's P_S boundary by default)."""
+    return breakdown(
+        records,
+        lambda r: "small" if r.num <= small_threshold else "large",
+    )
+
+
+def by_kind(records: Sequence[JobRecord]) -> Dict[str, ClassStats]:
+    """Batch vs dedicated jobs."""
+    return breakdown(
+        records,
+        lambda r: "dedicated" if r.kind is JobKind.DEDICATED else "batch",
+    )
+
+
+def by_outcome(records: Sequence[JobRecord]) -> Dict[str, ClassStats]:
+    """Killed-at-estimate vs naturally completed jobs."""
+    return breakdown(records, lambda r: "killed" if r.killed else "completed")
+
+
+def format_breakdown(groups: Dict[str, ClassStats], title: str = "") -> str:
+    """Monospace table of a breakdown."""
+    from repro.metrics.report import format_table
+
+    rows = [
+        [
+            stats.label,
+            stats.n_jobs,
+            round(stats.mean_wait, 1),
+            round(stats.mean_runtime, 1),
+            round(stats.slowdown, 3),
+            round(stats.max_wait, 1),
+        ]
+        for stats in groups.values()
+    ]
+    table = format_table(
+        ["class", "jobs", "mean wait", "mean runtime", "slowdown", "max wait"], rows
+    )
+    return f"{title}\n{table}" if title else table
+
+
+__all__ = [
+    "ClassStats",
+    "breakdown",
+    "by_kind",
+    "by_outcome",
+    "by_size_class",
+    "format_breakdown",
+]

@@ -1,0 +1,163 @@
+"""Exporting results: CSV and JSON for records, runs and sweeps.
+
+Downstream analysis (pandas, R, gnuplot) wants flat files, not Python
+objects.  Everything here is stdlib-only (``csv``/``json``) and
+streams through writers, so exports scale to large sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO, Union
+
+from repro.metrics.records import JobRecord, RunMetrics
+
+PathOrFile = Union[str, Path, TextIO]
+
+#: Column order of the per-job CSV schema.
+JOB_RECORD_FIELDS = (
+    "job_id",
+    "kind",
+    "num",
+    "submit",
+    "start",
+    "finish",
+    "wait",
+    "runtime",
+    "requested_start",
+    "dedicated_delay",
+    "eccs_applied",
+    "killed",
+)
+
+#: Column order of the per-run CSV schema.
+RUN_FIELDS = (
+    "algorithm",
+    "machine_size",
+    "n_jobs",
+    "offered_load",
+    "utilization",
+    "mean_wait",
+    "mean_runtime",
+    "slowdown",
+    "makespan",
+)
+
+
+def _open(target: PathOrFile, write_fn) -> None:
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8", newline="") as fh:
+            write_fn(fh)
+    else:
+        write_fn(target)
+
+
+def _record_row(record: JobRecord) -> dict:
+    return {
+        "job_id": record.job_id,
+        "kind": record.kind.value,
+        "num": record.num,
+        "submit": record.submit,
+        "start": record.start,
+        "finish": record.finish,
+        "wait": record.wait,
+        "runtime": record.runtime,
+        "requested_start": (
+            "" if record.requested_start is None else record.requested_start
+        ),
+        "dedicated_delay": (
+            "" if record.dedicated_delay is None else record.dedicated_delay
+        ),
+        "eccs_applied": record.eccs_applied,
+        "killed": record.killed,
+    }
+
+
+def records_to_csv(records: Iterable[JobRecord], target: PathOrFile) -> None:
+    """Write per-job completion records as CSV."""
+
+    def write(fh: TextIO) -> None:
+        writer = csv.DictWriter(fh, fieldnames=JOB_RECORD_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(_record_row(record))
+
+    _open(target, write)
+
+
+def _run_row(metrics: RunMetrics) -> dict:
+    return {
+        "algorithm": metrics.algorithm,
+        "machine_size": metrics.machine_size,
+        "n_jobs": metrics.n_jobs,
+        "offered_load": metrics.offered_load,
+        "utilization": metrics.utilization,
+        "mean_wait": metrics.mean_wait,
+        "mean_runtime": metrics.mean_runtime,
+        "slowdown": metrics.slowdown,
+        "makespan": metrics.makespan,
+    }
+
+
+def runs_to_csv(runs: Iterable[RunMetrics], target: PathOrFile) -> None:
+    """Write run aggregates (one row per run) as CSV."""
+
+    def write(fh: TextIO) -> None:
+        writer = csv.DictWriter(fh, fieldnames=RUN_FIELDS)
+        writer.writeheader()
+        for run in runs:
+            writer.writerow(_run_row(run))
+
+    _open(target, write)
+
+
+def sweep_to_csv(sweep, target: PathOrFile) -> None:
+    """Write a :class:`~repro.experiments.sweep.SweepResult` as long-form CSV.
+
+    Columns: sweep label, sweep value, algorithm, then the run fields —
+    one row per (sweep point, algorithm).
+    """
+
+    def write(fh: TextIO) -> None:
+        fieldnames = (sweep.sweep_label, *RUN_FIELDS)
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for algorithm, runs in sweep.series.items():
+            for value, run in zip(sweep.sweep_values, runs):
+                row = _run_row(run)
+                row[sweep.sweep_label] = value
+                writer.writerow(row)
+
+    _open(target, write)
+
+
+def run_to_json(metrics: RunMetrics, target: PathOrFile, indent: int = 2) -> None:
+    """Write one run (aggregates + every job record) as JSON."""
+    payload = {
+        **_run_row(metrics),
+        "ecc_stats": metrics.ecc_stats,
+        "dedicated_on_time_rate": metrics.dedicated_on_time_rate,
+        "mean_dedicated_delay": metrics.mean_dedicated_delay,
+        "records": [
+            {k: (None if v == "" else v) for k, v in _record_row(r).items()}
+            for r in metrics.records
+        ],
+    }
+
+    def write(fh: TextIO) -> None:
+        json.dump(payload, fh, indent=indent)
+        fh.write("\n")
+
+    _open(target, write)
+
+
+__all__ = [
+    "JOB_RECORD_FIELDS",
+    "RUN_FIELDS",
+    "records_to_csv",
+    "run_to_json",
+    "runs_to_csv",
+    "sweep_to_csv",
+]

@@ -1,0 +1,188 @@
+"""Per-job records and per-run aggregate metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.queue_stats import QueueSummary
+from repro.metrics.stats import mean, paper_slowdown, per_job_slowdowns
+from repro.workload.job import Job, JobKind, JobState
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable completion record of one job.
+
+    Extracted from the mutable :class:`~repro.workload.job.Job` when
+    it finishes, so metrics never depend on later mutation.
+    """
+
+    job_id: int
+    kind: JobKind
+    num: int
+    submit: float
+    start: float
+    finish: float
+    requested_start: Optional[float] = None
+    eccs_applied: int = 0
+    killed: bool = False
+    #: True when the user cancelled the job while it was running.
+    cancelled: bool = False
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay in seconds."""
+        return self.start - self.submit
+
+    @property
+    def runtime(self) -> float:
+        """Realized runtime in seconds."""
+        return self.finish - self.start
+
+    @property
+    def dedicated_delay(self) -> Optional[float]:
+        """Start lateness vs. the rigid requested start (dedicated only)."""
+        if self.requested_start is None:
+            return None
+        return max(0.0, self.start - self.requested_start)
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobRecord":
+        """Snapshot a finished job."""
+        if job.start_time is None or job.finish_time is None:
+            raise ValueError(f"job {job.job_id} has not completed")
+        return cls(
+            job_id=job.job_id,
+            kind=job.kind,
+            num=job.num,
+            submit=job.submit,
+            start=job.start_time,
+            finish=job.finish_time,
+            requested_start=job.requested_start,
+            eccs_applied=job.ecc_count,
+            killed=job.killed,
+            cancelled=job.state is JobState.CANCELLED,
+        )
+
+
+@dataclass(frozen=True)
+class CancellationRecord:
+    """A job withdrawn from the queue before it ever started.
+
+    SWF logs mark these with status 5; they consume queue capacity but
+    no processors, so they are excluded from wait/runtime statistics
+    (standard practice in backfilling studies) and reported separately.
+    """
+
+    job_id: int
+    kind: JobKind
+    num: int
+    submit: float
+    cancelled_at: float
+
+    @property
+    def queued_for(self) -> float:
+        """How long the job sat in the queue before withdrawal."""
+        return self.cancelled_at - self.submit
+
+
+@dataclass
+class RunMetrics:
+    """Aggregates of one simulation run (one plotted point in §V).
+
+    Attributes:
+        algorithm: Registry name of the policy.
+        machine_size: ``M``.
+        records: Completion records of every finished job.
+        utilization: Mean utilization over the run window (exact
+            integral; see :class:`repro.cluster.UtilizationTracker`).
+        makespan: First submission to last completion.
+        offered_load: The paper's Load of the input workload.
+        ecc_stats: Outcome counts from the ECC processor (empty for
+            non-elastic runs).
+    """
+
+    algorithm: str
+    machine_size: int
+    records: List[JobRecord]
+    utilization: float
+    makespan: float
+    offered_load: float = 0.0
+    ecc_stats: Dict[str, int] = field(default_factory=dict)
+    #: Time-averaged queue dynamics (None for hand-built metrics).
+    queue: Optional[QueueSummary] = None
+    #: Jobs withdrawn from the queue before starting (SWF status 5).
+    cancelled_records: List["CancellationRecord"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        """Number of completed jobs."""
+        return len(self.records)
+
+    @property
+    def n_cancelled(self) -> int:
+        """Jobs withdrawn from the queue before starting."""
+        return len(self.cancelled_records)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean job waiting time (seconds)."""
+        return mean([r.wait for r in self.records])
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean realized runtime (seconds)."""
+        return mean([r.runtime for r in self.records])
+
+    @property
+    def slowdown(self) -> float:
+        """The paper's slowdown: ``(mean wait + mean runtime) / mean runtime``."""
+        return paper_slowdown(self.mean_wait, self.mean_runtime)
+
+    @property
+    def mean_per_job_slowdown(self) -> float:
+        """Mean of per-job slowdowns ``(wait + run) / run`` (extra metric)."""
+        return mean(
+            per_job_slowdowns(
+                [(r.wait, r.runtime) for r in self.records]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Heterogeneous extras
+    # ------------------------------------------------------------------
+    def dedicated_records(self) -> List[JobRecord]:
+        """Records of dedicated jobs only."""
+        return [r for r in self.records if r.kind is JobKind.DEDICATED]
+
+    @property
+    def dedicated_on_time_rate(self) -> float:
+        """Fraction of dedicated jobs started at their requested time."""
+        dedicated = self.dedicated_records()
+        if not dedicated:
+            return 1.0
+        on_time = sum(1 for r in dedicated if (r.dedicated_delay or 0.0) == 0.0)
+        return on_time / len(dedicated)
+
+    @property
+    def mean_dedicated_delay(self) -> float:
+        """Mean start lateness of dedicated jobs (0 when none)."""
+        dedicated = self.dedicated_records()
+        return mean([r.dedicated_delay or 0.0 for r in dedicated])
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict for tabular reports."""
+        return {
+            "utilization": self.utilization,
+            "mean_wait": self.mean_wait,
+            "slowdown": self.slowdown,
+            "mean_runtime": self.mean_runtime,
+            "makespan": self.makespan,
+            "offered_load": self.offered_load,
+            "n_jobs": float(self.n_jobs),
+        }
+
+
+__all__ = ["CancellationRecord", "JobRecord", "RunMetrics"]

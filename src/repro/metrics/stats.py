@@ -1,0 +1,114 @@
+"""Statistical helpers for the paper's metrics.
+
+Pinned definitions:
+
+- *slowdown* (§V): the ratio of means
+  ``(mean wait + mean runtime) / mean runtime``, **not** the mean of
+  per-job ratios.  Both are provided; the paper's tables use the
+  former.
+- *maximum % improvement* (Tables IV–VII): improvements are computed
+  per load point and the maximum over the sweep is reported, because
+  "the improvements are not uniform over the entire variation in
+  load" (§V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (empty run)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def paper_slowdown(mean_wait: float, mean_runtime: float) -> float:
+    """The paper's slowdown fraction (ratio of means).
+
+    Returns 1.0 (no slowdown) for a degenerate zero-runtime run.
+
+    >>> paper_slowdown(100.0, 50.0)
+    3.0
+    >>> paper_slowdown(0.0, 400.0)
+    1.0
+    """
+    if mean_runtime <= 0:
+        return 1.0
+    return (mean_wait + mean_runtime) / mean_runtime
+
+
+def per_job_slowdowns(pairs: Iterable[Tuple[float, float]]) -> List[float]:
+    """Per-job slowdowns ``(wait + run) / run`` for (wait, run) pairs.
+
+    Zero-runtime jobs are guarded with a 1-second floor, the usual
+    convention in the backfilling literature.
+    """
+    out = []
+    for wait, runtime in pairs:
+        denom = max(1.0, runtime)
+        out.append((wait + runtime) / denom)
+    return out
+
+
+def bounded_slowdown(
+    pairs: Iterable[Tuple[float, float]], threshold: float = 10.0
+) -> List[float]:
+    """Bounded slowdown (Feitelson): short jobs do not dominate.
+
+    ``max(1, (wait + run) / max(run, threshold))`` per job.
+    """
+    out = []
+    for wait, runtime in pairs:
+        out.append(max(1.0, (wait + runtime) / max(runtime, threshold)))
+    return out
+
+
+def improvement_percent(ours: float, baseline: float, higher_is_better: bool) -> float:
+    """Percentage improvement of ``ours`` over ``baseline``.
+
+    For higher-is-better metrics (utilization): ``(ours - base)/base``.
+    For lower-is-better metrics (wait, slowdown): ``(base - ours)/base``.
+    Positive = we improved.  Returns 0.0 for a zero baseline.
+
+    >>> round(improvement_percent(0.82, 0.80, higher_is_better=True), 3)
+    2.5
+    >>> improvement_percent(80.0, 100.0, higher_is_better=False)
+    20.0
+    """
+    if baseline == 0:
+        return 0.0
+    if higher_is_better:
+        return 100.0 * (ours - baseline) / baseline
+    return 100.0 * (baseline - ours) / baseline
+
+
+def max_improvement(
+    ours: Sequence[float], baseline: Sequence[float], higher_is_better: bool
+) -> float:
+    """Maximum per-point % improvement across a sweep (Tables IV–VII).
+
+    Raises:
+        ValueError: on mismatched sweep lengths.
+    """
+    if len(ours) != len(baseline):
+        raise ValueError(
+            f"sweeps have different lengths: {len(ours)} vs {len(baseline)}"
+        )
+    if not ours:
+        return 0.0
+    return max(
+        improvement_percent(a, b, higher_is_better) for a, b in zip(ours, baseline)
+    )
+
+
+__all__ = [
+    "bounded_slowdown",
+    "improvement_percent",
+    "max_improvement",
+    "mean",
+    "paper_slowdown",
+    "per_job_slowdowns",
+]

@@ -1,0 +1,19 @@
+"""The paper's three scheduler-visible collections (Notations box).
+
+- :class:`~repro.queues.batch_queue.BatchQueue` — ``W^b``, a FIFO
+  queue of waiting batch jobs ordered by arrival,
+- :class:`~repro.queues.dedicated_queue.DedicatedQueue` — ``W^d``, a
+  list of waiting dedicated jobs sorted by requested start time,
+- :class:`~repro.queues.active_list.ActiveList` — ``A``, running jobs
+  sorted by increasing residual execution time.
+
+Each class enforces its ordering invariant on every mutation so the
+schedulers can rely on the sortedness the paper's algorithms index
+into (``a_s.res``, ``w_1^d.start`` etc.).
+"""
+
+from repro.queues.active_list import ActiveList
+from repro.queues.batch_queue import BatchQueue
+from repro.queues.dedicated_queue import DedicatedQueue
+
+__all__ = ["ActiveList", "BatchQueue", "DedicatedQueue"]

@@ -1,0 +1,99 @@
+"""``A`` — the sorted list of active (running) jobs.
+
+Invariant (Notations box): sorted by increasing residual execution
+time ``a_1.res <= ... <= a_A.res``.  Residuals of running jobs all
+shrink at the same rate, so ordering by the absolute *kill-by* time
+(``start + estimate``) is equivalent and stable between events — until
+an ECC changes a kill-by time, which is why :meth:`resort` exists and
+is called by the ECC processor after every applied command.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from repro.workload.job import Job, JobState
+
+
+class ActiveList:
+    """Running jobs ordered by kill-by time (equivalently, residual)."""
+
+    def __init__(self) -> None:
+        self._jobs: List[Job] = []
+
+    # ------------------------------------------------------------------
+    def _key(self, job: Job) -> tuple:
+        return (job.kill_by(), job.job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    def jobs(self) -> List[Job]:
+        """Snapshot in increasing-residual order."""
+        return list(self._jobs)
+
+    @property
+    def total_used(self) -> int:
+        """Processors held by running jobs (``Σ a_i.num``)."""
+        return sum(job.num for job in self._jobs)
+
+    def residuals(self, now: float) -> List[float]:
+        """Residual runtimes at ``now``, in list order (non-decreasing)."""
+        return [job.residual(now) for job in self._jobs]
+
+    def last(self) -> Optional[Job]:
+        """``a_A`` — the longest-residual job (None when idle)."""
+        return self._jobs[-1] if self._jobs else None
+
+    # ------------------------------------------------------------------
+    def add(self, job: Job) -> None:
+        """Insert a newly started job at its sorted position.
+
+        Requires the job to be started (``start_time`` set) so the
+        kill-by key exists; flips state to RUNNING.
+        """
+        if job.start_time is None:
+            raise ValueError(f"job {job.job_id} has no start time")
+        job.state = JobState.RUNNING
+        keys = [self._key(j) for j in self._jobs]
+        index = bisect.bisect_right(keys, self._key(job))
+        self._jobs.insert(index, job)
+
+    def remove(self, job: Job) -> None:
+        """Remove a finishing job.
+
+        Raises:
+            ValueError: when the job is not active.
+        """
+        for index, active in enumerate(self._jobs):
+            if active.job_id == job.job_id:
+                del self._jobs[index]
+                return
+        raise ValueError(f"job {job.job_id} is not active")
+
+    def resort(self) -> None:
+        """Re-establish ordering after kill-by times changed (ECCs)."""
+        self._jobs.sort(key=self._key)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self, now: Optional[float] = None) -> None:
+        """Assert ordering and state invariants (property tests)."""
+        keys = [self._key(j) for j in self._jobs]
+        assert keys == sorted(keys), "active list out of residual order"
+        for job in self._jobs:
+            assert job.state is JobState.RUNNING, (job.job_id, job.state)
+            if now is not None:
+                assert job.start_time is not None and job.start_time <= now
+
+
+__all__ = ["ActiveList"]

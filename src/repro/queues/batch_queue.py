@@ -1,0 +1,127 @@
+"""``W^b`` — the FIFO queue of waiting batch jobs.
+
+Invariant (Notations box): ``w_1.arr <= w_2.arr <= ... <= w_B.arr``.
+One exception is built into the paper itself: Algorithm 3 moves a due
+dedicated job *to the head* of the batch queue regardless of arrival
+order, so the queue supports an explicit :meth:`push_head` alongside
+the arrival-ordered :meth:`push`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.workload.job import Job, JobState
+
+
+class BatchQueue:
+    """FIFO waiting queue of batch jobs with arrival-order checking."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Job] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __contains__(self, job: Job) -> bool:
+        return any(j.job_id == job.job_id for j in self._queue)
+
+    @property
+    def head(self) -> Optional[Job]:
+        """The paper's ``w_1^b`` (None when empty)."""
+        return self._queue[0] if self._queue else None
+
+    def jobs(self) -> List[Job]:
+        """Snapshot of the queue in FIFO order."""
+        return list(self._queue)
+
+    def tail(self) -> List[Job]:
+        """All jobs behind the head."""
+        return list(self._queue)[1:]
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Append an arriving batch job (FIFO position).
+
+        Resets ``scount`` — a job starts with zero skips — and flips
+        the job to ``QUEUED``.
+
+        Raises:
+            ValueError: if the job would violate arrival ordering by
+                more than head-promotion allows (i.e. arrivals must be
+                fed in submission order).
+        """
+        if self._queue and job.submit < self._queue[-1].submit:
+            raise ValueError(
+                f"job {job.job_id} (arr={job.submit}) arrives before queue tail "
+                f"(arr={self._queue[-1].submit}); feed arrivals in order"
+            )
+        job.scount = 0
+        job.state = JobState.QUEUED
+        self._queue.append(job)
+
+    def push_head(self, job: Job) -> None:
+        """Prepend a job (Algorithm 3's dedicated-job promotion)."""
+        job.state = JobState.QUEUED
+        self._queue.appendleft(job)
+
+    def pop_head(self) -> Job:
+        """Remove and return ``w_1^b``.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        return self._queue.popleft()
+
+    def remove(self, job: Job) -> None:
+        """Remove a specific job (selected mid-queue by the DP).
+
+        Raises:
+            ValueError: when the job is not queued.
+        """
+        for index, queued in enumerate(self._queue):
+            if queued.job_id == job.job_id:
+                del self._queue[index]
+                return
+        raise ValueError(f"job {job.job_id} is not in the batch queue")
+
+    def remove_all(self, jobs: List[Job]) -> None:
+        """Remove a selected set ``S`` (order-independent)."""
+        for job in jobs:
+            self.remove(job)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self, allow_promoted_head: bool = True) -> None:
+        """Assert FIFO ordering (property tests).
+
+        ``allow_promoted_head`` tolerates a *prefix* of promoted
+        dedicated jobs: Algorithm 3 pushes each due dedicated job to
+        the head, and since ordinary arrivals append at the tail, all
+        still-waiting promoted jobs always occupy a contiguous prefix
+        (in reverse promotion order).  The batch suffix behind them
+        must be FIFO by arrival.
+        """
+        jobs = list(self._queue)
+        start = 0
+        if allow_promoted_head:
+            while start < len(jobs) and jobs[start].is_dedicated:
+                start += 1
+        for earlier, later in zip(jobs[start:], jobs[start + 1 :]):
+            assert not later.is_dedicated or not allow_promoted_head, (
+                f"promoted dedicated job {later.job_id} outside the queue prefix"
+            )
+            assert earlier.submit <= later.submit, (
+                f"FIFO violation: {earlier.job_id} (arr={earlier.submit}) before "
+                f"{later.job_id} (arr={later.submit})"
+            )
+
+
+__all__ = ["BatchQueue"]

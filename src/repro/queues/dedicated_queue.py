@@ -1,0 +1,107 @@
+"""``W^d`` — waiting dedicated (interactive) jobs.
+
+Invariant (Notations box): sorted by increasing requested start time,
+``w_1.start <= w_2.start <= ... <= w_D.start``.  Ties broken by
+submission then id so the order is total and deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from repro.workload.job import Job, JobState
+
+
+def _key(job: Job) -> tuple:
+    assert job.requested_start is not None
+    return (job.requested_start, job.submit, job.job_id)
+
+
+class DedicatedQueue:
+    """Sorted list of waiting dedicated jobs."""
+
+    def __init__(self) -> None:
+        self._jobs: List[Job] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    @property
+    def head(self) -> Optional[Job]:
+        """``w_1^d`` — the earliest requested start (None when empty)."""
+        return self._jobs[0] if self._jobs else None
+
+    def jobs(self) -> List[Job]:
+        """Snapshot in start-time order."""
+        return list(self._jobs)
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Insert a dedicated job at its sorted position.
+
+        Raises:
+            ValueError: for non-dedicated jobs.
+        """
+        if not job.is_dedicated:
+            raise ValueError(f"job {job.job_id} is not dedicated")
+        job.state = JobState.QUEUED
+        keys = [_key(j) for j in self._jobs]
+        index = bisect.bisect_right(keys, _key(job))
+        self._jobs.insert(index, job)
+
+    def pop_head(self) -> Job:
+        """Remove and return ``w_1^d``.
+
+        Raises:
+            IndexError: when empty.
+        """
+        return self._jobs.pop(0)
+
+    def remove(self, job: Job) -> None:
+        """Remove a specific dedicated job.
+
+        Raises:
+            ValueError: when absent.
+        """
+        for index, queued in enumerate(self._jobs):
+            if queued.job_id == job.job_id:
+                del self._jobs[index]
+                return
+        raise ValueError(f"job {job.job_id} is not in the dedicated queue")
+
+    # ------------------------------------------------------------------
+    def due(self, now: float) -> List[Job]:
+        """Jobs whose requested start time has been reached."""
+        return [j for j in self._jobs if j.requested_start is not None and j.requested_start <= now]
+
+    def cohead_group(self) -> List[Job]:
+        """All queued dedicated jobs sharing the head's start time.
+
+        This is the set Algorithm 2 sums as ``tot_start_num``
+        (lines 16–17): dedicated jobs with *identical* start times must
+        be reserved together.
+        """
+        if not self._jobs:
+            return []
+        head_start = self._jobs[0].requested_start
+        return [j for j in self._jobs if j.requested_start == head_start]
+
+    def check_invariants(self) -> None:
+        """Assert start-time ordering (property tests)."""
+        for earlier, later in zip(self._jobs, self._jobs[1:]):
+            assert _key(earlier) <= _key(later), (
+                f"dedicated ordering violation: {earlier.job_id} before {later.job_id}"
+            )
+        for job in self._jobs:
+            assert job.is_dedicated, f"batch job {job.job_id} in dedicated queue"
+
+
+__all__ = ["DedicatedQueue"]

@@ -1,0 +1,179 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` is a classic event-heap loop: callers schedule
+:class:`~repro.sim.events.Event` objects at absolute times (or relative
+delays) and :meth:`Simulator.run` pops them in ``(time, priority, seq)``
+order, advancing the clock monotonically.  It is the substrate on which
+the whole reproduction runs, standing in for GridSim + ALEA 2.
+
+Design notes (kept deliberately simple per the HPC-Python guides: make
+it work, make it testable, only then optimize):
+
+- The heap stores events directly; cancellation is a lazily-honoured
+  flag so rescheduling a job's finish event (runtime elasticity!) is
+  O(log n) to add and O(1) to cancel.
+- Time never goes backwards.  Scheduling an event in the past raises
+  :class:`SimulationError` immediately rather than corrupting the run.
+- ``run(until=...)`` stops *after* processing all events at ``until``;
+  ``step()`` processes exactly one event and is what the unit tests
+  exercise for fine-grained assertions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.events import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        start_time: Initial value of the simulation clock.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        1
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._processed
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def pending(self) -> Iterator[Event]:
+        """Iterate live queued events in an unspecified order."""
+        return (ev for ev in self._heap if not ev.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when drained."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = EventPriority.LOW,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation ``time``.
+
+        Returns the :class:`Event`, which the caller may later
+        :meth:`~repro.sim.events.Event.cancel`.
+
+        Raises:
+            SimulationError: if ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {name or action!r} at t={time}; clock is at t={self._now}"
+            )
+        event = Event(time=float(time), priority=int(priority), action=action, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = EventPriority.LOW,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a non-negative relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {name or action!r}")
+        return self.schedule_at(self._now + delay, action, priority=priority, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Fire the next live event, advancing the clock.
+
+        Returns the event fired, or ``None`` if the heap is empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        event.action()
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` passes, or ``max_events``.
+
+        Args:
+            until: Inclusive horizon; events at exactly ``until`` are
+                processed, later ones are left queued and the clock is
+                advanced to ``until``.
+            max_events: Safety valve for runaway simulations.
+
+        Returns:
+            Number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+__all__ = ["SimulationError", "Simulator"]

@@ -1,0 +1,89 @@
+"""Event records for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a
+monotonically increasing tie-breaker assigned by the simulator so that
+two events scheduled for the same instant with the same priority fire
+in scheduling order.  This makes every simulation fully deterministic,
+which the test-suite and the reproduction experiments rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable
+
+
+class EventPriority(IntEnum):
+    """Relative ordering of events that fire at the same instant.
+
+    Lower values fire first.  The ordering encodes the semantics the
+    paper's simulation framework (GridSim/ALEA) exhibits:
+
+    - job terminations release capacity before anything else at the
+      same timestamp (``FINISH``),
+    - elastic control commands are applied next (``ECC``) so a
+      reduction arriving exactly at a scheduling instant is visible to
+      the scheduler,
+    - job arrivals enter the queues (``ARRIVAL``),
+    - dedicated-job start-time timers fire (``TIMER``),
+    - the scheduler cycle runs last (``SCHEDULE``), observing a
+      consistent post-update state.
+    """
+
+    FINISH = 0
+    ECC = 1
+    ARRIVAL = 2
+    TIMER = 3
+    SCHEDULE = 4
+    LOW = 9
+
+
+_seq_counter = itertools.count()
+
+
+@dataclass
+class Event:
+    """A single scheduled occurrence inside a :class:`Simulator`.
+
+    Attributes:
+        time: Simulation instant at which the event fires.
+        priority: Same-instant ordering (see :class:`EventPriority`).
+        action: Zero-argument callable invoked when the event fires.
+        name: Human-readable label used in traces and error messages.
+        seq: Tie-breaker assigned at scheduling time.
+        cancelled: Lazily honoured cancellation flag; cancelled events
+            stay in the heap but are skipped by the engine.
+    """
+
+    time: float
+    priority: int
+    action: Callable[[], Any]
+    name: str = ""
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.
+
+        Cancellation is O(1): the engine discards cancelled events when
+        they reach the top of the heap.  Cancelling an event that
+        already fired is a no-op.
+        """
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Ordering key used by the event heap."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        label = self.name or getattr(self.action, "__name__", "<action>")
+        return f"Event(t={self.time!r}, p={int(self.priority)}, {label}{flag})"
+
+
+__all__ = ["Event", "EventPriority"]

@@ -1,0 +1,52 @@
+"""Workload model: jobs, elastic control commands, formats, generators.
+
+This subpackage reproduces everything on the workload side of the
+paper's Figure 3:
+
+- :mod:`repro.workload.job` / :mod:`repro.workload.ecc` — the job and
+  Elastic Control Command records (the paper's Notations box),
+- :mod:`repro.workload.swf` / :mod:`repro.workload.cwf` — the Standard
+  Workload Format and the paper's Cloud Workload Format extension
+  (fields 19–21 of Figure 4),
+- :mod:`repro.workload.distributions` — the statistical building
+  blocks (two-stage uniform, Gamma, hyper-Gamma) of Lublin–Feitelson,
+- :mod:`repro.workload.lublin` — the full Lublin–Feitelson analytical
+  model [17] used for the SDSC-like validation trace,
+- :mod:`repro.workload.twostage` — the paper's §IV-D two-stage-uniform
+  job-size model for BlueGene/P,
+- :mod:`repro.workload.generator` — the CWF workload generator
+  (sizes × runtimes × arrivals × P_D dedicated marking × ECC
+  injection),
+- :mod:`repro.workload.load` — the paper's offered-load formula and
+  the β_arr calibration used to sweep Load in §V.
+"""
+
+from repro.workload.archive import LoadReport, load_swf_workload
+from repro.workload.downey import DowneyConfig, DowneyModel, calibrate_downey
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
+from repro.workload.job import Job, JobKind, JobState
+from repro.workload.load import offered_load
+from repro.workload.lublin import LublinConfig, LublinModel
+from repro.workload.twostage import TwoStageSizeConfig, TwoStageSizeModel
+
+__all__ = [
+    "CWFWorkloadGenerator",
+    "DowneyConfig",
+    "DowneyModel",
+    "ECC",
+    "ECCKind",
+    "GeneratorConfig",
+    "Job",
+    "JobKind",
+    "JobState",
+    "LoadReport",
+    "LublinConfig",
+    "LublinModel",
+    "TwoStageSizeConfig",
+    "TwoStageSizeModel",
+    "Workload",
+    "calibrate_downey",
+    "load_swf_workload",
+    "offered_load",
+]

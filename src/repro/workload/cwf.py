@@ -1,0 +1,239 @@
+"""Cloud Workload Format (CWF) — the paper's SWF extension (Figure 4).
+
+CWF appends three fields to the 18 SWF fields:
+
+====  ==========================  =======================================
+ #    Name                        Notes
+====  ==========================  =======================================
+ 19   requested start time        dedicated/interactive jobs; −1 batch
+ 20   request type                S / ET / RT / EP / RP
+ 21   extension/reduction amount  seconds (ET/RT) or processors (EP/RP)
+====  ==========================  =======================================
+
+A CWF file interleaves submissions (type ``S``) with Elastic Control
+Commands referencing earlier job ids: an ECC line reuses the job id and
+carries the command in fields 20–21 with the *issue time* in field 2.
+``parse_cwf_workload`` splits a file into jobs and ECC lists ready for
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Tuple, Union
+
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.job import Job, JobKind
+from repro.workload.swf import SWFParseError, SWFRecord, UNKNOWN, _open_text
+
+
+class CWFParseError(SWFParseError):
+    """Raised when a line cannot be parsed as a CWF record."""
+
+
+@dataclass
+class CWFRecord(SWFRecord):
+    """One CWF line: SWF fields plus the elasticity extension."""
+
+    requested_start: float = UNKNOWN
+    request_type: ECCKind = ECCKind.SUBMIT
+    amount: float = UNKNOWN
+
+    EXTENDED_FIELD_COUNT = 21
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, line: str) -> "CWFRecord":
+        """Parse a CWF line (21 fields; shorter lines padded like SWF)."""
+        tokens = line.split()
+        if not tokens:
+            raise CWFParseError("empty line")
+        if len(tokens) > cls.EXTENDED_FIELD_COUNT:
+            raise CWFParseError(
+                f"expected at most {cls.EXTENDED_FIELD_COUNT} fields, got {len(tokens)}"
+            )
+        base_tokens = tokens[: len(SWFRecord.FIELD_NAMES)]
+        extension = tokens[len(SWFRecord.FIELD_NAMES) :]
+        base = SWFRecord.parse(" ".join(base_tokens))
+        record = cls(**{name: getattr(base, name) for name in SWFRecord.FIELD_NAMES})
+        if len(extension) >= 1:
+            try:
+                record.requested_start = float(extension[0])
+            except ValueError as exc:
+                raise CWFParseError(
+                    f"field requested_start: non-numeric {extension[0]!r}"
+                ) from exc
+        if len(extension) >= 2:
+            try:
+                record.request_type = ECCKind(extension[1].upper())
+            except ValueError as exc:
+                raise CWFParseError(
+                    f"field request_type: unknown code {extension[1]!r}"
+                ) from exc
+        if len(extension) >= 3:
+            try:
+                record.amount = float(extension[2])
+            except ValueError as exc:
+                raise CWFParseError(f"field amount: non-numeric {extension[2]!r}") from exc
+        return record
+
+    def to_line(self) -> str:
+        """Serialize to one canonical CWF line."""
+        start = (
+            str(int(self.requested_start))
+            if float(self.requested_start).is_integer()
+            else f"{self.requested_start:.2f}"
+        )
+        amount = (
+            str(int(self.amount))
+            if float(self.amount).is_integer()
+            else f"{self.amount:.2f}"
+        )
+        return f"{super().to_line()} {start} {self.request_type.value} {amount}"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_submission(self) -> bool:
+        """Whether this line introduces a new job."""
+        return self.request_type is ECCKind.SUBMIT
+
+    def to_job(self) -> Job:
+        """Convert a submission record to a :class:`Job`.
+
+        Raises:
+            CWFParseError: when called on an ECC record.
+        """
+        if not self.is_submission:
+            raise CWFParseError(
+                f"record for job {self.job_id} is an ECC ({self.request_type.value}), "
+                "not a submission"
+            )
+        base = super().to_job()
+        if self.requested_start is not None and self.requested_start >= 0:
+            return Job(
+                job_id=base.job_id,
+                submit=base.submit,
+                num=base.num,
+                estimate=base.estimate,
+                actual=base.actual,
+                kind=JobKind.DEDICATED,
+                requested_start=float(self.requested_start),
+            )
+        return base
+
+    def to_ecc(self) -> ECC:
+        """Convert an ECC record to an :class:`ECC`.
+
+        Raises:
+            CWFParseError: when called on a submission record or when
+                the amount is missing/invalid.
+        """
+        if self.is_submission:
+            raise CWFParseError(f"record for job {self.job_id} is a submission, not an ECC")
+        if self.amount <= 0:
+            raise CWFParseError(
+                f"ECC for job {self.job_id}: missing or non-positive amount {self.amount}"
+            )
+        return ECC(
+            job_id=self.job_id,
+            issue_time=self.submit,
+            kind=self.request_type,
+            amount=self.amount,
+        )
+
+    @classmethod
+    def from_job(cls, job: Job) -> "CWFRecord":
+        """Build a submission record from a job."""
+        base = SWFRecord.from_job(job)
+        record = cls(**{name: getattr(base, name) for name in SWFRecord.FIELD_NAMES})
+        record.requested_start = (
+            job.requested_start if job.requested_start is not None else UNKNOWN
+        )
+        record.request_type = ECCKind.SUBMIT
+        record.amount = UNKNOWN
+        return record
+
+    @classmethod
+    def from_ecc(cls, ecc: ECC) -> "CWFRecord":
+        """Build an ECC record referencing a previously submitted job."""
+        record = cls(job_id=ecc.job_id, submit=ecc.issue_time)
+        record.request_type = ecc.kind
+        record.amount = ecc.amount
+        return record
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def iter_cwf(source: Union[str, Path, TextIO]) -> Iterator[CWFRecord]:
+    """Yield CWF records from a file or open text stream."""
+    if isinstance(source, (str, Path)):
+        with _open_text(source, "r") as fh:
+            yield from iter_cwf(fh)
+        return
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        yield CWFRecord.parse(line)
+
+
+def read_cwf(source: Union[str, Path, TextIO]) -> List[CWFRecord]:
+    """Read an entire CWF file into a list of records."""
+    return list(iter_cwf(source))
+
+
+def write_cwf(
+    records: Iterable[CWFRecord],
+    target: Union[str, Path, TextIO],
+    header: Iterable[str] = (),
+) -> None:
+    """Write records as CWF with optional ``;``-prefixed header lines."""
+    if isinstance(target, (str, Path)):
+        with _open_text(target, "w") as fh:
+            write_cwf(records, fh, header=header)
+        return
+    for line in header:
+        target.write(f"; {line}\n")
+    for record in records:
+        target.write(record.to_line() + "\n")
+
+
+def parse_cwf_workload(
+    source: Union[str, Path, TextIO],
+) -> Tuple[List[Job], List[ECC]]:
+    """Split a CWF file into submissions and elastic control commands.
+
+    ECC lines must reference a previously seen job id; dangling
+    references raise :class:`CWFParseError` because they can never be
+    applied.
+    """
+    jobs: List[Job] = []
+    eccs: List[ECC] = []
+    seen: set[int] = set()
+    for record in iter_cwf(source):
+        if record.is_submission:
+            job = record.to_job()
+            if job.job_id in seen:
+                raise CWFParseError(f"duplicate submission for job {job.job_id}")
+            seen.add(job.job_id)
+            jobs.append(job)
+        else:
+            if record.job_id not in seen:
+                raise CWFParseError(
+                    f"ECC references unknown job {record.job_id} "
+                    "(submissions must precede their ECCs)"
+                )
+            eccs.append(record.to_ecc())
+    return jobs, eccs
+
+
+__all__ = [
+    "CWFParseError",
+    "CWFRecord",
+    "iter_cwf",
+    "parse_cwf_workload",
+    "read_cwf",
+    "write_cwf",
+]

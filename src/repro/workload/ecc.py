@@ -1,0 +1,84 @@
+"""Elastic Control Commands (ECCs).
+
+ECCs are the paper's runtime-elasticity primitive (§III-C): explicit,
+user-issued requests to extend or reduce a previously submitted job's
+execution-time requirement on-the-fly.  They are carried in CWF fields
+20–21 (Figure 4) and processed FCFS by the elastic control queue.
+
+Kinds (Figure 4):
+    ``S``  — plain job submission (not an ECC; kept for CWF parsing),
+    ``ET`` — execution-time extension,
+    ``RT`` — execution-time reduction,
+    ``EP`` — processor-count extension (paper's future work),
+    ``RP`` — processor-count reduction (paper's future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ECCKind(Enum):
+    """CWF field-20 request types."""
+
+    SUBMIT = "S"
+    EXTEND_TIME = "ET"
+    REDUCE_TIME = "RT"
+    EXTEND_PROCS = "EP"
+    REDUCE_PROCS = "RP"
+
+    @property
+    def is_time(self) -> bool:
+        """Whether the command targets the time dimension."""
+        return self in (ECCKind.EXTEND_TIME, ECCKind.REDUCE_TIME)
+
+    @property
+    def is_procs(self) -> bool:
+        """Whether the command targets the resource dimension."""
+        return self in (ECCKind.EXTEND_PROCS, ECCKind.REDUCE_PROCS)
+
+    @property
+    def is_extension(self) -> bool:
+        """Whether the command grows the requirement."""
+        return self in (ECCKind.EXTEND_TIME, ECCKind.EXTEND_PROCS)
+
+
+@dataclass(frozen=True)
+class ECC:
+    """One elastic control command.
+
+    Attributes:
+        job_id: The previously submitted job this ECC targets (same ID,
+            per Figure 4).
+        issue_time: When the user issues the command; it enters the
+            elastic control queue at this instant.
+        kind: ET/RT/EP/RP.
+        amount: Extension/reduction amount (CWF field 21), in seconds
+            for ET/RT and processors for EP/RP.  Always positive; the
+            direction is encoded in ``kind``.
+    """
+
+    job_id: int
+    issue_time: float
+    kind: ECCKind
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.kind is ECCKind.SUBMIT:
+            raise ValueError("ECC records cannot have kind S (submission)")
+        if self.amount <= 0:
+            raise ValueError(
+                f"ECC for job {self.job_id}: amount must be positive, got {self.amount}"
+            )
+        if self.issue_time < 0:
+            raise ValueError(
+                f"ECC for job {self.job_id}: negative issue time {self.issue_time}"
+            )
+
+    def signed_amount(self) -> float:
+        """Amount with reductions negated (ET:+x, RT:-x)."""
+        return self.amount if self.kind.is_extension else -self.amount
+
+
+__all__ = ["ECC", "ECCKind"]

@@ -1,0 +1,322 @@
+"""The CWF workload generator (paper §IV-C/§IV-D, Figure 3).
+
+Composes the statistical pieces into a complete heterogeneous, elastic
+workload:
+
+- arrival times from the Lublin arrival process (``β_arr`` is the load
+  knob),
+- sizes from the two-stage uniform BlueGene/P model (``P_S`` knob),
+- runtimes from the size-correlated hyper-Gamma (Table I),
+- a job is dedicated with probability ``P_D``; its rigid requested
+  start time is ``submit + Exp(mean)``,
+- ET commands injected with probability ``P_E`` and RT with ``P_R``
+  per job; amounts are exponential (§IV-D, last paragraph).
+
+The output :class:`Workload` is a value object: experiments copy jobs
+per run so one generated workload can be scheduled by all algorithms
+under identical conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.workload.cwf import CWFRecord, write_cwf
+from repro.workload.distributions import exponential
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.job import Job, JobKind
+from repro.workload.load import offered_load
+from repro.workload.lublin import LublinConfig, LublinModel
+from repro.workload.twostage import TwoStageSizeConfig, TwoStageSizeModel
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the CWF workload generator.
+
+    Attributes:
+        n_jobs: Jobs per experiment (the paper's ``N_J = 500``).
+        machine_size: Simulated machine size ``M`` (320).
+        size: Two-stage uniform size model parameters (``P_S`` inside).
+        lublin: Runtime + arrival parameters (Tables I–II); the size
+            part of the Lublin config is unused here because sizes come
+            from the two-stage model.
+        p_dedicated: The paper's ``P_D``.
+        dedicated_start_mean: Mean of the exponential offset between a
+            dedicated job's submission and its rigid requested start.
+        p_extend / p_reduce: The paper's ``P_E`` / ``P_R`` ECC
+            injection probabilities (0.2 / 0.1 in §IV-D when elastic).
+        ecc_amount_mean: Mean of the exponential ET/RT amount, as a
+            fraction of the job's estimated runtime.  Relative amounts
+            keep commands meaningful across the wide runtime range.
+        ecc_issue_mean_fraction: Mean (fraction of estimate) of the
+            exponential delay after submission at which an ECC is
+            issued.
+        estimate_factor: User over-estimation factor; estimates are
+            ``actual * estimate_factor`` (1.0 = perfect estimates, the
+            paper's model; 2.0 reproduces Mu'alem's observation).
+        integral_times: Round arrivals/runtimes to whole seconds, as
+            SWF logs are integral.
+    """
+
+    n_jobs: int = 500
+    machine_size: int = 320
+    size: TwoStageSizeConfig = field(default_factory=TwoStageSizeConfig)
+    lublin: LublinConfig = field(default_factory=LublinConfig)
+    p_dedicated: float = 0.0
+    dedicated_start_mean: float = 3600.0
+    p_extend: float = 0.0
+    p_reduce: float = 0.0
+    #: Probability a job is user-cancelled (SWF status-5 behaviour);
+    #: the cancellation instant is submit + Exp(cancel_mean_fraction
+    #: x estimate), so short-queued jobs usually run before it fires.
+    p_cancel: float = 0.0
+    cancel_mean_fraction: float = 2.0
+    ecc_amount_mean: float = 0.5
+    ecc_issue_mean_fraction: float = 0.5
+    estimate_factor: float = 1.0
+    integral_times: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 0:
+            raise ValueError(f"n_jobs must be non-negative, got {self.n_jobs}")
+        if self.machine_size < self.size.max_size():
+            raise ValueError(
+                f"machine size {self.machine_size} cannot fit the largest "
+                f"generated job ({self.size.max_size()})"
+            )
+        for name in ("p_dedicated", "p_extend", "p_reduce", "p_cancel"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.estimate_factor < 1.0:
+            raise ValueError(
+                f"estimate_factor must be >= 1 (estimates bound runtimes), "
+                f"got {self.estimate_factor}"
+            )
+        for name in (
+            "dedicated_start_mean",
+            "ecc_amount_mean",
+            "ecc_issue_mean_fraction",
+            "cancel_mean_fraction",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def with_beta_arr(self, beta_arr: float) -> "GeneratorConfig":
+        """Copy with a different arrival-rate (load) knob."""
+        return replace(self, lublin=self.lublin.with_beta_arr(beta_arr))
+
+    def with_p_small(self, p_small: float) -> "GeneratorConfig":
+        """Copy with a different ``P_S`` (packing-properties knob)."""
+        return replace(self, size=replace(self.size, p_small=p_small))
+
+
+@dataclass
+class Workload:
+    """A generated (or loaded) workload ready for simulation."""
+
+    jobs: List[Job]
+    eccs: List[ECC] = field(default_factory=list)
+    machine_size: int = 320
+    granularity: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.jobs.sort(key=lambda j: (j.submit, j.job_id))
+        self.eccs.sort(key=lambda e: (e.issue_time, e.job_id))
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def batch_jobs(self) -> List[Job]:
+        """Jobs scheduled flexibly by the scheduler."""
+        return [j for j in self.jobs if not j.is_dedicated]
+
+    @property
+    def dedicated_jobs(self) -> List[Job]:
+        """Jobs with rigid requested start times."""
+        return [j for j in self.jobs if j.is_dedicated]
+
+    def offered_load(self) -> float:
+        """The paper's Load formula over this workload."""
+        return offered_load(self.jobs, self.machine_size)
+
+    def fresh_jobs(self) -> List[Job]:
+        """Pristine job copies for one simulation run."""
+        return [job.copy_for_run() for job in self.jobs]
+
+    def scale_arrivals(self, factor: float) -> "Workload":
+        """New workload with arrival times multiplied by ``factor``.
+
+        This is how [7] (and the paper's Figure 1) varies load on a
+        fixed log: stretching inter-arrival gaps lowers load, while
+        sizes and runtimes — the packing properties — stay untouched.
+        Dedicated start offsets are preserved relative to submission.
+        """
+        if factor <= 0:
+            raise ValueError(f"arrival scale factor must be positive, got {factor}")
+        scaled = []
+        for job in self.jobs:
+            start = None
+            if job.requested_start is not None:
+                start = job.submit * factor + (job.requested_start - job.submit)
+            cancel = None
+            if job.cancel_at is not None:
+                # Preserve the queue-side patience relative to submission.
+                cancel = job.submit * factor + (job.cancel_at - job.submit)
+            scaled.append(
+                Job(
+                    job_id=job.job_id,
+                    submit=job.submit * factor,
+                    num=job.num,
+                    estimate=job.original_estimate,
+                    actual=job.actual,
+                    kind=job.kind,
+                    requested_start=start,
+                    cancel_at=cancel,
+                )
+            )
+        ratio = {job.job_id: job.submit for job in self.jobs}
+        eccs = [
+            ECC(
+                job_id=e.job_id,
+                issue_time=e.issue_time + ratio[e.job_id] * (factor - 1.0),
+                kind=e.kind,
+                amount=e.amount,
+            )
+            for e in self.eccs
+        ]
+        return Workload(
+            jobs=scaled,
+            eccs=eccs,
+            machine_size=self.machine_size,
+            granularity=self.granularity,
+            description=f"{self.description} (arrivals x{factor:g})".strip(),
+        )
+
+    def to_cwf(self, target: Union[str, Path]) -> None:
+        """Write the workload (submissions + ECCs) as a CWF file."""
+        records: List[tuple[float, int, CWFRecord]] = []
+        for job in self.jobs:
+            records.append((job.submit, 0, CWFRecord.from_job(job)))
+        for ecc in self.eccs:
+            records.append((ecc.issue_time, 1, CWFRecord.from_ecc(ecc)))
+        records.sort(key=lambda item: (item[0], item[1], item[2].job_id))
+        write_cwf(
+            (record for _, _, record in records),
+            target,
+            header=[
+                f"Cloud Workload Format; {len(self.jobs)} jobs, {len(self.eccs)} ECCs",
+                f"MaxProcs: {self.machine_size}",
+                self.description or "generated by repro.workload.generator",
+            ],
+        )
+
+
+class CWFWorkloadGenerator:
+    """Synthesizes :class:`Workload` objects from a :class:`GeneratorConfig`."""
+
+    def __init__(self, config: GeneratorConfig = GeneratorConfig()) -> None:
+        self.config = config
+        self._sizes = TwoStageSizeModel(config.size)
+        self._lublin = LublinModel(config.lublin)
+
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Workload:
+        """Draw one complete workload."""
+        cfg = self.config
+        # Independent substreams: job attributes and ECCs are identical
+        # across load-knob (beta_arr) probes, so calibration sweeps one
+        # smooth dimension (see LublinModel.sample_gap).
+        arrival_rng, attr_rng, ecc_rng = rng.spawn(3)
+        arrivals = self._lublin.sample_arrivals(cfg.n_jobs, arrival_rng)
+        jobs: List[Job] = []
+        eccs: List[ECC] = []
+        for index, arrival in enumerate(arrivals, start=1):
+            job = self._generate_job(index, arrival, attr_rng)
+            jobs.append(job)
+            eccs.extend(self._generate_eccs(job, ecc_rng))
+        return Workload(
+            jobs=jobs,
+            eccs=eccs,
+            machine_size=cfg.machine_size,
+            granularity=cfg.size.granularity,
+            description=(
+                f"CWF synthetic: N={cfg.n_jobs} P_S={cfg.size.p_small:g} "
+                f"P_D={cfg.p_dedicated:g} P_E={cfg.p_extend:g} P_R={cfg.p_reduce:g} "
+                f"beta_arr={cfg.lublin.beta_arr:g}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _round_time(self, value: float) -> float:
+        if self.config.integral_times:
+            return float(max(1, round(value)))
+        return float(value)
+
+    def _generate_job(self, job_id: int, arrival: float, rng: np.random.Generator) -> Job:
+        cfg = self.config
+        size = self._sizes.sample(rng)
+        actual = self._round_time(self._lublin.sample_runtime(size, rng))
+        estimate = self._round_time(actual * cfg.estimate_factor)
+        submit = float(round(arrival)) if cfg.integral_times else arrival
+        cancel_at = None
+        if cfg.p_cancel > 0.0 and rng.random() < cfg.p_cancel:
+            cancel_at = submit + self._round_time(
+                exponential(cfg.cancel_mean_fraction * actual, rng)
+            )
+        if rng.random() < cfg.p_dedicated:
+            offset = self._round_time(exponential(cfg.dedicated_start_mean, rng))
+            return Job(
+                job_id=job_id,
+                submit=submit,
+                num=size,
+                estimate=estimate,
+                actual=actual,
+                kind=JobKind.DEDICATED,
+                requested_start=submit + offset,
+                cancel_at=cancel_at,
+            )
+        return Job(
+            job_id=job_id,
+            submit=submit,
+            num=size,
+            estimate=estimate,
+            actual=actual,
+            kind=JobKind.BATCH,
+            cancel_at=cancel_at,
+        )
+
+    def _generate_eccs(self, job: Job, rng: np.random.Generator) -> List[ECC]:
+        cfg = self.config
+        commands: List[ECC] = []
+        for kind, probability in (
+            (ECCKind.EXTEND_TIME, cfg.p_extend),
+            (ECCKind.REDUCE_TIME, cfg.p_reduce),
+        ):
+            if probability <= 0.0 or rng.random() >= probability:
+                continue
+            amount = self._round_time(
+                exponential(cfg.ecc_amount_mean * job.estimate, rng)
+            )
+            issue_offset = exponential(
+                cfg.ecc_issue_mean_fraction * job.estimate, rng
+            )
+            commands.append(
+                ECC(
+                    job_id=job.job_id,
+                    issue_time=self._round_time(job.submit + issue_offset),
+                    kind=kind,
+                    amount=amount,
+                )
+            )
+        return commands
+
+
+__all__ = ["CWFWorkloadGenerator", "GeneratorConfig", "Workload"]

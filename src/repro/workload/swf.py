@@ -1,0 +1,258 @@
+"""Standard Workload Format (SWF) support.
+
+SWF is the Parallel Workloads Archive format [21]: one job per line,
+18 whitespace-separated numeric fields, ``;`` comment lines carrying
+header metadata.  We implement the subset of semantics the scheduling
+literature relies on (submit time, requested processors, requested
+time, run time, status) and preserve all 18 fields for round-tripping.
+
+Field reference (1-indexed, as in the archive spec):
+
+====  =======================  ==========================================
+ #    Name                     Notes
+====  =======================  ==========================================
+ 1    job number               unique, usually 1..N
+ 2    submit time              seconds from the log start
+ 3    wait time                seconds (−1 when unknown)
+ 4    run time                 actual runtime, seconds
+ 5    allocated processors
+ 6    average CPU time used
+ 7    used memory
+ 8    requested processors
+ 9    requested time           user runtime estimate (kill-by basis)
+ 10   requested memory
+ 11   status                   1 = completed, 0 = failed, 5 = cancelled
+ 12   user id
+ 13   group id
+ 14   executable id
+ 15   queue id
+ 16   partition id
+ 17   preceding job
+ 18   think time
+====  =======================  ==========================================
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.workload.job import Job, JobKind
+
+UNKNOWN = -1
+
+
+class SWFParseError(ValueError):
+    """Raised when a line cannot be parsed as an SWF record."""
+
+
+@dataclass
+class SWFRecord:
+    """One SWF line with all 18 standard fields."""
+
+    job_id: int
+    submit: float
+    wait: float = UNKNOWN
+    run_time: float = UNKNOWN
+    allocated_procs: int = UNKNOWN
+    avg_cpu_time: float = UNKNOWN
+    used_memory: float = UNKNOWN
+    requested_procs: int = UNKNOWN
+    requested_time: float = UNKNOWN
+    requested_memory: float = UNKNOWN
+    status: int = UNKNOWN
+    user_id: int = UNKNOWN
+    group_id: int = UNKNOWN
+    executable: int = UNKNOWN
+    queue: int = UNKNOWN
+    partition: int = UNKNOWN
+    preceding_job: int = UNKNOWN
+    think_time: float = UNKNOWN
+
+    FIELD_NAMES = (
+        "job_id",
+        "submit",
+        "wait",
+        "run_time",
+        "allocated_procs",
+        "avg_cpu_time",
+        "used_memory",
+        "requested_procs",
+        "requested_time",
+        "requested_memory",
+        "status",
+        "user_id",
+        "group_id",
+        "executable",
+        "queue",
+        "partition",
+        "preceding_job",
+        "think_time",
+    )
+
+    _INT_FIELDS = frozenset(
+        {
+            "job_id",
+            "allocated_procs",
+            "requested_procs",
+            "status",
+            "user_id",
+            "group_id",
+            "executable",
+            "queue",
+            "partition",
+            "preceding_job",
+        }
+    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, line: str) -> "SWFRecord":
+        """Parse one non-comment SWF line.
+
+        Lines shorter than 18 fields are padded with ``-1`` (several
+        archive logs truncate trailing unknowns); longer lines raise.
+        """
+        tokens = line.split()
+        if not tokens:
+            raise SWFParseError("empty line")
+        if len(tokens) > len(cls.FIELD_NAMES):
+            raise SWFParseError(
+                f"expected at most {len(cls.FIELD_NAMES)} fields, got {len(tokens)}"
+            )
+        values = {}
+        for name, token in zip(cls.FIELD_NAMES, tokens):
+            try:
+                number = float(token)
+            except ValueError as exc:
+                raise SWFParseError(f"field {name}: non-numeric token {token!r}") from exc
+            values[name] = int(number) if name in cls._INT_FIELDS else number
+        return cls(**values)
+
+    def to_line(self) -> str:
+        """Serialize to one canonical SWF line."""
+        parts = []
+        for name in self.FIELD_NAMES:
+            value = getattr(self, name)
+            if name in self._INT_FIELDS:
+                parts.append(str(int(value)))
+            else:
+                # Keep integral floats compact, as archive logs do.
+                parts.append(str(int(value)) if float(value).is_integer() else f"{value:.2f}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    CANCELLED_STATUS = 5
+
+    def to_job(self) -> Job:
+        """Convert to a simulation :class:`Job` (batch).
+
+        Requested time falls back to run time when absent (common in
+        archive logs that lack estimates), mirroring standard practice
+        in backfill studies.  Status-5 (cancelled) jobs that never ran
+        carry a ``cancel_at`` of ``submit + wait`` — the instant the
+        log shows them leaving the queue.
+        """
+        estimate = self.requested_time if self.requested_time > 0 else self.run_time
+        cancelled_in_queue = self.status == self.CANCELLED_STATUS and self.run_time <= 0
+        if estimate <= 0:
+            if not cancelled_in_queue:
+                raise SWFParseError(f"job {self.job_id}: no usable runtime/estimate")
+            estimate = 1.0  # never ran; any positive placeholder works
+        procs = self.requested_procs if self.requested_procs > 0 else self.allocated_procs
+        if procs <= 0:
+            raise SWFParseError(f"job {self.job_id}: no usable processor request")
+        actual = self.run_time if self.run_time > 0 else estimate
+        cancel_at = None
+        if cancelled_in_queue:
+            cancel_at = self.submit + max(0.0, self.wait)
+        return Job(
+            job_id=self.job_id,
+            submit=self.submit,
+            num=int(procs),
+            estimate=float(estimate),
+            actual=float(actual),
+            kind=JobKind.BATCH,
+            cancel_at=cancel_at,
+        )
+
+    @classmethod
+    def from_job(cls, job: Job) -> "SWFRecord":
+        """Build a record from a job (post-run fields when available)."""
+        wait = job.wait_time() if job.start_time is not None else UNKNOWN
+        run = (
+            job.finish_time - job.start_time
+            if job.start_time is not None and job.finish_time is not None
+            else job.actual if job.actual is not None else UNKNOWN
+        )
+        return cls(
+            job_id=job.job_id,
+            submit=job.submit,
+            wait=wait,
+            run_time=run,
+            allocated_procs=job.num,
+            requested_procs=job.num,
+            requested_time=job.original_estimate,
+            status=1,
+        )
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def _open_text(path: Union[str, Path], mode: str):
+    """Open a trace file, transparently handling ``.gz`` archives.
+
+    Parallel Workloads Archive logs ship gzip-compressed; both readers
+    and writers accept ``*.gz`` paths directly.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_swf(source: Union[str, Path, TextIO]) -> Iterator[SWFRecord]:
+    """Yield records from an SWF file (``.gz`` ok) or open text stream."""
+    if isinstance(source, (str, Path)):
+        with _open_text(source, "r") as fh:
+            yield from iter_swf(fh)
+        return
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        yield SWFRecord.parse(line)
+
+
+def read_swf(source: Union[str, Path, TextIO]) -> List[SWFRecord]:
+    """Read an entire SWF file into a list of records."""
+    return list(iter_swf(source))
+
+
+def write_swf(
+    records: Iterable[SWFRecord],
+    target: Union[str, Path, TextIO],
+    header: Iterable[str] = (),
+) -> None:
+    """Write records as SWF, with optional ``;``-prefixed header lines."""
+    if isinstance(target, (str, Path)):
+        with _open_text(target, "w") as fh:
+            write_swf(records, fh, header=header)
+        return
+    for line in header:
+        target.write(f"; {line}\n")
+    for record in records:
+        target.write(record.to_line() + "\n")
+
+
+__all__ = [
+    "SWFParseError",
+    "SWFRecord",
+    "UNKNOWN",
+    "iter_swf",
+    "read_swf",
+    "write_swf",
+    "_open_text",
+]

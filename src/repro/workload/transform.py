@@ -1,0 +1,162 @@
+"""Workload transformations: slicing, merging, filtering.
+
+Standard trace-handling operations when working with archive logs or
+composing scenarios:
+
+- :func:`time_slice` — extract a submission window (re-based to t=0),
+- :func:`merge` — combine workloads (e.g. a batch background plus a
+  hand-built dedicated schedule) with job-id collision handling,
+- :func:`filter_jobs` — keep a predicate-selected subset with its ECCs,
+- :func:`head` — the first N jobs by submission.
+
+All functions return new :class:`Workload` objects; inputs are never
+mutated (jobs are copied via :meth:`Job.copy_for_run`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.workload.ecc import ECC
+from repro.workload.generator import Workload
+from repro.workload.job import Job
+
+
+def _copy_shift(job: Job, delta: float) -> Job:
+    return Job(
+        job_id=job.job_id,
+        submit=job.submit + delta,
+        num=job.num,
+        estimate=job.original_estimate,
+        actual=job.actual,
+        kind=job.kind,
+        requested_start=(
+            None if job.requested_start is None else job.requested_start + delta
+        ),
+        cancel_at=None if job.cancel_at is None else job.cancel_at + delta,
+    )
+
+
+def time_slice(
+    workload: Workload,
+    start: float,
+    end: float,
+    rebase: bool = True,
+) -> Workload:
+    """Jobs submitted in ``[start, end)``, with their ECCs.
+
+    Args:
+        workload: Source workload.
+        start / end: Submission-time window.
+        rebase: Shift the slice so its first kept submission is the
+            window start relative to zero (standard when excerpting
+            archive logs).
+
+    Raises:
+        ValueError: when ``start >= end``.
+    """
+    if start >= end:
+        raise ValueError(f"empty window [{start}, {end})")
+    kept = [job for job in workload.jobs if start <= job.submit < end]
+    delta = -start if rebase else 0.0
+    kept_ids = {job.job_id for job in kept}
+    jobs = [_copy_shift(job, delta) for job in kept]
+    eccs = [
+        ECC(
+            job_id=e.job_id,
+            issue_time=max(0.0, e.issue_time + delta),
+            kind=e.kind,
+            amount=e.amount,
+        )
+        for e in workload.eccs
+        if e.job_id in kept_ids
+    ]
+    return Workload(
+        jobs=jobs,
+        eccs=eccs,
+        machine_size=workload.machine_size,
+        granularity=workload.granularity,
+        description=f"{workload.description} [slice {start:g}..{end:g})".strip(),
+    )
+
+
+def filter_jobs(
+    workload: Workload, predicate: Callable[[Job], bool]
+) -> Workload:
+    """Keep jobs satisfying ``predicate`` (and their ECCs)."""
+    kept = [job.copy_for_run() for job in workload.jobs if predicate(job)]
+    kept_ids = {job.job_id for job in kept}
+    return Workload(
+        jobs=kept,
+        eccs=[e for e in workload.eccs if e.job_id in kept_ids],
+        machine_size=workload.machine_size,
+        granularity=workload.granularity,
+        description=f"{workload.description} [filtered]".strip(),
+    )
+
+
+def head(workload: Workload, n: int) -> Workload:
+    """The first ``n`` jobs by submission order (with their ECCs)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    kept_ids = {job.job_id for job in workload.jobs[:n]}
+    return filter_jobs(workload, lambda job: job.job_id in kept_ids)
+
+
+def merge(
+    workloads: Sequence[Workload],
+    machine_size: Optional[int] = None,
+    granularity: Optional[int] = None,
+) -> Workload:
+    """Combine workloads into one, remapping colliding job ids.
+
+    Ids from the first workload are preserved; later workloads keep
+    their ids where unique and otherwise get fresh ids above the
+    current maximum (their ECCs are remapped consistently).
+
+    Args:
+        workloads: At least one source.
+        machine_size / granularity: Target geometry; defaults to the
+            maxima across sources (so every job still fits).
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    target_machine = machine_size or max(w.machine_size for w in workloads)
+    target_gran = granularity or max(w.granularity for w in workloads)
+
+    jobs: List[Job] = []
+    eccs: List[ECC] = []
+    used_ids: set[int] = set()
+    next_id = 1
+    for source in workloads:
+        remap: dict[int, int] = {}
+        for job in source.jobs:
+            new_id = job.job_id
+            if new_id in used_ids:
+                while next_id in used_ids:
+                    next_id += 1
+                new_id = next_id
+            remap[job.job_id] = new_id
+            used_ids.add(new_id)
+            clone = job.copy_for_run()
+            clone.job_id = new_id
+            jobs.append(clone)
+        for ecc in source.eccs:
+            eccs.append(
+                ECC(
+                    job_id=remap[ecc.job_id],
+                    issue_time=ecc.issue_time,
+                    kind=ecc.kind,
+                    amount=ecc.amount,
+                )
+            )
+    return Workload(
+        jobs=jobs,
+        eccs=eccs,
+        machine_size=target_machine,
+        granularity=target_gran,
+        description=f"merge of {len(workloads)} workloads",
+    )
+
+
+__all__ = ["filter_jobs", "head", "merge", "time_slice"]

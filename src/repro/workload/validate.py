@@ -1,0 +1,152 @@
+"""Workload validation.
+
+External SWF/CWF traces are messy; this module checks a workload for
+everything the simulation runner would reject (hard errors) plus
+conditions that usually signal a broken trace (warnings), returning a
+structured issue list instead of failing on the first problem.  Used
+by ``repro-sim --validate`` before simulating user-supplied files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.workload.generator import Workload
+
+
+class Severity(Enum):
+    """Issue severities."""
+
+    ERROR = "error"  # the runner would reject or mis-simulate this
+    WARNING = "warning"  # suspicious but simulatable
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def validate_workload(workload: Workload) -> List[Issue]:
+    """Check a workload; returns all issues found (empty = clean)."""
+    issues: List[Issue] = []
+    seen_ids: Dict[int, int] = {}
+
+    for job in workload.jobs:
+        seen_ids[job.job_id] = seen_ids.get(job.job_id, 0) + 1
+        if job.num > workload.machine_size:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "job-too-large",
+                    f"job {job.job_id} requests {job.num} > machine "
+                    f"{workload.machine_size}",
+                )
+            )
+        if workload.granularity > 1 and job.num % workload.granularity != 0:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "granularity",
+                    f"job {job.job_id} size {job.num} not a multiple of "
+                    f"{workload.granularity}",
+                )
+            )
+        if job.actual is not None and job.actual > job.estimate:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "under-estimate",
+                    f"job {job.job_id} actual {job.actual:g}s exceeds estimate "
+                    f"{job.estimate:g}s (will be killed at kill-by)",
+                )
+            )
+        if job.estimate > 7 * 86400:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "huge-runtime",
+                    f"job {job.job_id} estimate {job.estimate:g}s exceeds a week",
+                )
+            )
+
+    for job_id, count in seen_ids.items():
+        if count > 1:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "duplicate-id",
+                    f"job id {job_id} appears {count} times",
+                )
+            )
+
+    by_id = {job.job_id: job for job in workload.jobs}
+    for ecc in workload.eccs:
+        target = by_id.get(ecc.job_id)
+        if target is None:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "dangling-ecc",
+                    f"ECC targets unknown job {ecc.job_id}",
+                )
+            )
+            continue
+        if ecc.issue_time < target.submit:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "ecc-before-submit",
+                    f"ECC for job {ecc.job_id} issued at {ecc.issue_time:g}s "
+                    f"before submission at {target.submit:g}s",
+                )
+            )
+        if ecc.kind.is_time and ecc.amount > 100 * target.estimate:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "ecc-huge-amount",
+                    f"ECC for job {ecc.job_id} amount {ecc.amount:g}s is "
+                    f">100x the job's estimate",
+                )
+            )
+
+    if workload.jobs and workload.offered_load() > 3.0:
+        issues.append(
+            Issue(
+                Severity.WARNING,
+                "extreme-load",
+                f"offered load {workload.offered_load():.2f} > 3: queues will "
+                "grow without bound for most of the run",
+            )
+        )
+    return issues
+
+
+def has_errors(issues: List[Issue]) -> bool:
+    """Whether any issue is a hard error."""
+    return any(issue.severity is Severity.ERROR for issue in issues)
+
+
+def format_issues(issues: List[Issue]) -> str:
+    """Human-readable report (a clean message when empty)."""
+    if not issues:
+        return "workload OK: no issues found"
+    lines = [f"{len(issues)} issue(s) found:"]
+    for issue in issues:
+        lines.append(f"  [{issue.severity.value:7s}] {issue.code}: {issue.message}")
+    return "\n".join(lines)
+
+
+__all__ = ["Issue", "Severity", "format_issues", "has_errors", "validate_workload"]

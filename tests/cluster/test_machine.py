@@ -1,0 +1,133 @@
+"""Unit and property tests for the machine model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.accounting import UtilizationTracker
+from repro.cluster.machine import AllocationError, Machine
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        machine = Machine(total=320, granularity=32)
+        assert machine.total == 320
+        assert machine.free == 320
+        assert machine.used == 0
+        assert machine.units == 10
+        assert machine.free_units() == 10
+
+    @pytest.mark.parametrize("total", [0, -1])
+    def test_nonpositive_size_rejected(self, total):
+        with pytest.raises(ValueError, match="positive"):
+            Machine(total=total)
+
+    def test_nonpositive_granularity_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            Machine(total=320, granularity=0)
+
+    def test_size_must_be_multiple_of_granularity(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            Machine(total=100, granularity=32)
+
+
+class TestAllocation:
+    def test_allocate_and_release_roundtrip(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("job1", 64)
+        assert machine.used == 64
+        assert machine.free == 256
+        assert machine.holds("job1")
+        assert machine.allocation_of("job1") == 64
+        released = machine.release("job1")
+        assert released == 64
+        assert machine.free == 320
+        assert not machine.holds("job1")
+
+    def test_overallocation_rejected(self):
+        machine = Machine(total=64, granularity=32)
+        machine.allocate("a", 64)
+        with pytest.raises(AllocationError, match="only 0 free"):
+            machine.allocate("b", 32)
+
+    def test_duplicate_id_rejected(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 32)
+        with pytest.raises(AllocationError, match="already live"):
+            machine.allocate("a", 32)
+
+    def test_release_unknown_id_rejected(self):
+        machine = Machine(total=320)
+        with pytest.raises(AllocationError, match="not live"):
+            machine.release("ghost")
+
+    @pytest.mark.parametrize("num", [0, -32])
+    def test_nonpositive_request_rejected(self, num):
+        machine = Machine(total=320, granularity=32)
+        with pytest.raises(AllocationError, match="positive"):
+            machine.allocate("a", num)
+
+    def test_granularity_violation_rejected(self):
+        machine = Machine(total=320, granularity=32)
+        with pytest.raises(AllocationError, match="granularity"):
+            machine.allocate("a", 33)
+
+    def test_oversized_request_rejected(self):
+        machine = Machine(total=320, granularity=32)
+        with pytest.raises(AllocationError, match="exceeds machine size"):
+            machine.allocate("a", 352)
+
+    def test_fits_and_validate(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 288)
+        assert machine.fits(32)
+        assert not machine.fits(64)
+        assert not machine.fits(0)
+        machine.validate_request(64)  # well-formed even if not free now
+
+    def test_live_allocations_snapshot(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 32)
+        machine.allocate("b", 64)
+        snapshot = machine.live_allocations()
+        assert snapshot == {"a": 32, "b": 64}
+        snapshot["c"] = 1  # mutating the snapshot must not leak
+        assert not machine.holds("c")
+
+
+class TestTrackerIntegration:
+    def test_allocations_feed_the_tracker(self):
+        tracker = UtilizationTracker(start_time=0.0)
+        machine = Machine(total=100, granularity=1, tracker=tracker)
+        machine.allocate("a", 50, time=0.0)
+        machine.release("a", time=10.0)
+        # 50 procs busy for 10s on a 100-proc machine over [0, 20].
+        assert tracker.mean_utilization(100, until=20.0) == pytest.approx(0.25)
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 10)),
+        max_size=60,
+    )
+)
+def test_invariants_hold_under_random_operations(operations):
+    """Property: no operation sequence can corrupt the books."""
+    machine = Machine(total=320, granularity=32)
+    live: dict[int, int] = {}
+    next_id = 0
+    for op, units in operations:
+        if op == "alloc":
+            num = units * 32
+            if num <= machine.free and num <= machine.total:
+                machine.allocate(next_id, num)
+                live[next_id] = num
+                next_id += 1
+        elif live:
+            victim = next(iter(live))
+            released = machine.release(victim)
+            assert released == live.pop(victim)
+        machine.check_invariants()
+        assert machine.used == sum(live.values())
+        assert machine.free == 320 - sum(live.values())

@@ -1,0 +1,145 @@
+"""Tests for the contiguous partition allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.machine import AllocationError
+from repro.cluster.partition import FragmentationError, PartitionedMachine
+
+
+def machine(units=10, granularity=32):
+    return PartitionedMachine(total=units * granularity, granularity=granularity)
+
+
+class TestAllocation:
+    def test_first_fit_placement(self):
+        m = machine()
+        assert m.allocate("a", 96) == 0  # 3 units at the left edge
+        assert m.allocate("b", 64) == 3
+        assert m.span_of("a") == (0, 3)
+        assert m.span_of("b") == (3, 2)
+        assert m.used == 160
+
+    def test_release_reopens_run(self):
+        m = machine()
+        m.allocate("a", 96)
+        m.allocate("b", 64)
+        assert m.release("a") == 96
+        assert m.allocate("c", 96) == 0  # reuses the hole
+        m.check_invariants()
+
+    def test_fragmentation_error_distinct_from_capacity(self):
+        m = machine(units=4)
+        m.allocate("a", 32)  # unit 0
+        m.allocate("b", 32)  # unit 1
+        m.allocate("c", 32)  # unit 2
+        m.release("b")  # free: units 1 and 3, not adjacent
+        assert m.free == 64
+        assert not m.fits_contiguously(64)
+        with pytest.raises(FragmentationError, match="contiguous"):
+            m.allocate("d", 64)
+        with pytest.raises(AllocationError, match="free"):
+            m.allocate("e", 128)  # beyond total free -> plain capacity error
+
+    def test_invalid_requests(self):
+        m = machine()
+        with pytest.raises(AllocationError):
+            m.allocate("a", 0)
+        with pytest.raises(AllocationError):
+            m.allocate("a", 33)  # granularity violation
+        with pytest.raises(AllocationError):
+            m.allocate("a", 10 * 32 + 32)  # oversized
+        m.allocate("a", 32)
+        with pytest.raises(AllocationError, match="already live"):
+            m.allocate("a", 32)
+        with pytest.raises(AllocationError, match="not live"):
+            m.release("ghost")
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PartitionedMachine(total=100, granularity=32)
+
+
+class TestFragmentationMetrics:
+    def test_no_fragmentation_when_contiguous(self):
+        m = machine()
+        m.allocate("a", 96)
+        assert m.fragmentation() == 0.0
+        assert m.largest_free_run() == 7
+
+    def test_checkerboard_fragmentation(self):
+        m = machine(units=6)
+        for index in range(6):
+            m.allocate(index, 32)
+        for index in (1, 3, 5):
+            m.release(index)
+        # 3 free units in runs of 1 -> fragmentation 1 - 1/3.
+        assert m.fragmentation() == pytest.approx(2 / 3)
+        assert m.free_runs() == [(1, 1), (3, 1), (5, 1)]
+
+    def test_full_and_empty_machines(self):
+        m = machine(units=2)
+        assert m.fragmentation() == 0.0  # empty: one big run
+        m.allocate("a", 64)
+        assert m.fragmentation() == 0.0  # full: defined as 0
+
+
+class TestCompaction:
+    def test_compact_coalesces_free_space(self):
+        m = machine(units=6)
+        for index in range(6):
+            m.allocate(index, 32)
+        for index in (0, 2, 4):
+            m.release(index)
+        assert not m.fits_contiguously(96)
+        moved = m.compact()
+        assert moved > 0
+        assert m.fits_contiguously(96)
+        assert m.fragmentation() == 0.0
+        m.check_invariants()
+
+    def test_compact_preserves_relative_order(self):
+        m = machine(units=6)
+        m.allocate("a", 32)
+        m.allocate("b", 32)
+        m.allocate("c", 32)
+        m.release("b")
+        m.compact()
+        a_start, _ = m.span_of("a")
+        c_start, _ = m.span_of("c")
+        assert a_start < c_start
+
+    def test_compact_noop_when_already_packed(self):
+        m = machine()
+        m.allocate("a", 96)
+        assert m.compact() == 0
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free", "compact"]), st.integers(1, 5)),
+        max_size=50,
+    )
+)
+def test_invariants_under_random_operations(operations):
+    m = machine(units=12)
+    live = []
+    next_id = 0
+    for op, units in operations:
+        if op == "alloc":
+            num = units * 32
+            try:
+                m.allocate(next_id, num)
+                live.append(next_id)
+                next_id += 1
+            except AllocationError:
+                pass  # fragmentation or capacity: legal outcomes
+        elif op == "free" and live:
+            m.release(live.pop(0))
+        elif op == "compact":
+            m.compact()
+        m.check_invariants()
+        assert 0 <= m.free <= m.total
+        assert m.used + m.free == m.total

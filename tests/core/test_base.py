@@ -1,0 +1,76 @@
+"""Unit tests for the scheduler base interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from tests.conftest import batch_job, dedicated_job
+from tests.core.policy_harness import PolicyHarness
+
+
+class TestCycleDecision:
+    def test_nothing_is_empty(self):
+        assert CycleDecision.nothing().is_empty()
+
+    def test_starts_make_it_non_empty(self):
+        assert not CycleDecision(starts=[batch_job(1)]).is_empty()
+
+    def test_promotions_make_it_non_empty(self):
+        job = dedicated_job(1, requested_start=10.0)
+        assert not CycleDecision(promotions=[job]).is_empty()
+
+
+class TestSchedulerContext:
+    def test_free_matches_machine_and_active(self):
+        harness = PolicyHarness(total=10)
+        harness.run_job(batch_job(100, num=4, estimate=10.0))
+        ctx = harness.context()
+        assert ctx.free == 6
+
+    def test_free_asserts_consistency(self):
+        harness = PolicyHarness(total=10)
+        harness.run_job(batch_job(100, num=4, estimate=10.0))
+        ctx = harness.context()
+        # Simulate bookkeeping divergence: machine thinks less is used.
+        ctx.machine.release(100)
+        with pytest.raises(AssertionError):
+            _ = ctx.free
+
+    def test_allow_scount_increment_flag(self):
+        harness = PolicyHarness(total=10)
+        assert harness.context(allow_scount_increment=True).allow_scount_increment
+        assert not harness.context(allow_scount_increment=False).allow_scount_increment
+
+
+class TestSchedulerBase:
+    def test_elastic_rename(self):
+        class Dummy(Scheduler):
+            name = "DUMMY"
+
+            def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+                return CycleDecision.nothing()
+
+        assert Dummy().name == "DUMMY"
+        assert Dummy(elastic=True).name == "DUMMY-E"
+        assert Dummy(elastic=True).elastic
+
+    def test_abstract_cycle_required(self):
+        with pytest.raises(TypeError):
+            Scheduler()  # type: ignore[abstract]
+
+    def test_due_dedicated_promotion_helper(self):
+        harness = PolicyHarness(total=10, now=100.0)
+        harness.enqueue(dedicated_job(1, submit=0.0, requested_start=100.0))
+        decision = Scheduler.due_dedicated_promotion(harness.context())
+        assert decision is not None
+        assert [j.job_id for j in decision.promotions] == [1]
+
+    def test_due_dedicated_promotion_future_start(self):
+        harness = PolicyHarness(total=10, now=50.0)
+        harness.enqueue(dedicated_job(1, submit=0.0, requested_start=100.0))
+        assert Scheduler.due_dedicated_promotion(harness.context()) is None
+
+    def test_due_dedicated_promotion_empty_queue(self):
+        harness = PolicyHarness(total=10)
+        assert Scheduler.due_dedicated_promotion(harness.context()) is None

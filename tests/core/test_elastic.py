@@ -1,0 +1,146 @@
+"""Tests for the ECC processor (runtime elasticity core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elastic import MIN_RUNTIME, ECCOutcome, ECCProcessor
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.job import JobState
+from tests.conftest import batch_job
+
+
+def et(job_id=1, t=10.0, amount=60.0):
+    return ECC(job_id=job_id, issue_time=t, kind=ECCKind.EXTEND_TIME, amount=amount)
+
+
+def rt(job_id=1, t=10.0, amount=60.0):
+    return ECC(job_id=job_id, issue_time=t, kind=ECCKind.REDUCE_TIME, amount=amount)
+
+
+class TestQueuedJobs:
+    def test_extension_grows_estimate_and_actual(self):
+        job = batch_job(1, estimate=100.0)
+        job.state = JobState.QUEUED
+        result = ECCProcessor().apply(et(amount=50.0), job, now=10.0)
+        assert result.outcome is ECCOutcome.APPLIED_QUEUED
+        assert result.new_kill_by is None
+        assert job.estimate == 150.0 and job.actual == 150.0
+        assert job.ecc_count == 1
+
+    def test_reduction_shrinks_with_floor(self):
+        job = batch_job(1, estimate=100.0)
+        job.state = JobState.QUEUED
+        ECCProcessor().apply(rt(amount=99.5), job, now=10.0)
+        assert job.estimate == MIN_RUNTIME  # clamped, never zero
+
+    def test_pending_job_treated_as_queued(self):
+        job = batch_job(1, estimate=100.0)  # state PENDING
+        result = ECCProcessor().apply(et(amount=10.0), job, now=0.0)
+        assert result.outcome is ECCOutcome.APPLIED_QUEUED
+        assert job.estimate == 110.0
+
+
+class TestRunningJobs:
+    def _running(self, estimate=100.0, start=0.0):
+        job = batch_job(1, estimate=estimate)
+        job.start_time = start
+        job.state = JobState.RUNNING
+        return job
+
+    def test_extension_moves_kill_by_later(self):
+        job = self._running(estimate=100.0)
+        result = ECCProcessor().apply(et(amount=50.0), job, now=40.0)
+        assert result.outcome is ECCOutcome.APPLIED_RUNNING
+        assert result.new_kill_by == 150.0
+        assert job.kill_by() == 150.0
+
+    def test_reduction_moves_kill_by_earlier(self):
+        job = self._running(estimate=100.0)
+        result = ECCProcessor().apply(rt(amount=30.0), job, now=40.0)
+        assert result.outcome is ECCOutcome.APPLIED_RUNNING
+        assert result.new_kill_by == 70.0
+
+    def test_reduction_below_elapsed_terminates_now(self):
+        job = self._running(estimate=100.0)
+        result = ECCProcessor().apply(rt(amount=95.0), job, now=40.0)
+        assert result.outcome is ECCOutcome.TERMINATED_JOB
+        assert result.new_kill_by == 40.0
+        assert job.estimate == 40.0  # clamped at the elapsed time
+
+    def test_reduction_exactly_to_now_terminates(self):
+        job = self._running(estimate=100.0)
+        result = ECCProcessor().apply(rt(amount=60.0), job, now=40.0)
+        assert result.outcome is ECCOutcome.TERMINATED_JOB
+
+
+class TestGuards:
+    def test_finished_job_drops_command(self):
+        job = batch_job(1)
+        job.state = JobState.FINISHED
+        result = ECCProcessor().apply(et(), job, now=500.0)
+        assert result.outcome is ECCOutcome.DROPPED_FINISHED
+        assert job.ecc_count == 0
+
+    def test_per_job_cap_enforced(self):
+        processor = ECCProcessor(max_eccs_per_job=1)
+        job = batch_job(1, estimate=100.0)
+        job.state = JobState.QUEUED
+        assert processor.apply(et(), job, 0.0).outcome is ECCOutcome.APPLIED_QUEUED
+        assert processor.apply(et(), job, 1.0).outcome is ECCOutcome.REJECTED_CAP
+        assert job.estimate == 160.0  # only the first applied
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ECCProcessor(max_eccs_per_job=-1)
+
+    def test_stats_accumulate(self):
+        processor = ECCProcessor()
+        job = batch_job(1, estimate=100.0)
+        job.state = JobState.QUEUED
+        processor.apply(et(), job, 0.0)
+        processor.apply(rt(), job, 1.0)
+        assert processor.stats[ECCOutcome.APPLIED_QUEUED] == 2
+
+
+class TestResourceECCs:
+    def ep(self, amount=32.0):
+        return ECC(job_id=1, issue_time=0.0, kind=ECCKind.EXTEND_PROCS, amount=amount)
+
+    def rp(self, amount=32.0):
+        return ECC(job_id=1, issue_time=0.0, kind=ECCKind.REDUCE_PROCS, amount=amount)
+
+    def test_rejected_without_opt_in(self):
+        job = batch_job(1, num=64)
+        result = ECCProcessor().apply(self.ep(), job, 0.0)
+        assert result.outcome is ECCOutcome.REJECTED_RESOURCE
+        assert job.num == 64
+
+    def test_rejected_on_running_jobs(self):
+        processor = ECCProcessor(allow_resource_eccs=True, machine_granularity=32)
+        job = batch_job(1, num=64)
+        job.start_time = 0.0
+        job.state = JobState.RUNNING
+        assert processor.apply(self.ep(), job, 1.0).outcome is ECCOutcome.REJECTED_RESOURCE
+
+    def test_queued_job_resized_with_granularity(self):
+        processor = ECCProcessor(
+            allow_resource_eccs=True, machine_granularity=32, machine_size=320
+        )
+        job = batch_job(1, num=64)
+        job.state = JobState.QUEUED
+        processor.apply(self.ep(amount=40.0), job, 0.0)
+        assert job.num == 96  # 104 snapped to the 32-proc grid
+
+    def test_resize_clamped_to_machine_bounds(self):
+        processor = ECCProcessor(
+            allow_resource_eccs=True, machine_granularity=32, machine_size=320
+        )
+        grow = batch_job(1, num=320)
+        grow.state = JobState.QUEUED
+        processor.apply(self.ep(amount=64.0), grow, 0.0)
+        assert grow.num == 320
+        shrink = batch_job(2, num=32)
+        shrink.state = JobState.QUEUED
+        processor.apply(self.rp(amount=320.0), shrink, 0.0)
+        assert shrink.num == 32

@@ -1,0 +1,33 @@
+"""Tests for the FCFS baseline."""
+
+from __future__ import annotations
+
+from repro.core.fcfs import FCFS
+from tests.conftest import batch_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+
+class TestFCFS:
+    def test_starts_consecutive_heads(self):
+        harness = PolicyHarness(total=10).enqueue(
+            batch_job(1, num=4), batch_job(2, submit=1.0, num=4), batch_job(3, submit=2.0, num=4)
+        )
+        started = harness.cycle_to_fixpoint(FCFS())
+        assert started_ids(started) == [1, 2]  # third doesn't fit
+        assert harness.batch_queue.head.job_id == 3
+
+    def test_never_jumps_the_queue(self):
+        # Head needs 8, only 5 free; the small job behind must wait.
+        harness = PolicyHarness(total=10)
+        blocker = batch_job(100, num=5, estimate=50.0)
+        harness.run_job(blocker)
+        harness.enqueue(batch_job(1, num=8), batch_job(2, submit=1.0, num=2))
+        assert harness.cycle_to_fixpoint(FCFS()) == []
+
+    def test_empty_queue(self):
+        harness = PolicyHarness(total=10)
+        assert harness.cycle_to_fixpoint(FCFS()) == []
+
+    def test_elastic_variant_renames(self):
+        assert FCFS(elastic=True).name == "FCFS-E"
+        assert FCFS().name == "FCFS"

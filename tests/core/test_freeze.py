@@ -1,0 +1,158 @@
+"""Tests for the freeze/shadow computations (Algorithm 1 lines 13-15,
+Algorithm 2 lines 8-26)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.base import SchedulerContext
+from repro.core.freeze import batch_head_freeze, dedicated_freeze
+from repro.queues.active_list import ActiveList
+from repro.queues.batch_queue import BatchQueue
+from repro.queues.dedicated_queue import DedicatedQueue
+from tests.conftest import batch_job, dedicated_job
+
+
+def make_ctx(now=0.0, total=10, granularity=1, active_specs=(), dedicated=()):
+    """Build a context with running jobs (num, start, estimate) and a
+    dedicated queue."""
+    machine = Machine(total=total, granularity=granularity)
+    active = ActiveList()
+    for index, (num, start, estimate) in enumerate(active_specs, start=1000):
+        job = batch_job(index, submit=0.0, num=num, estimate=estimate)
+        job.start_time = start
+        machine.allocate(index, num)
+        active.add(job)
+    ded_queue = DedicatedQueue()
+    for job in dedicated:
+        ded_queue.push(job)
+    return SchedulerContext(
+        now=now,
+        machine=machine,
+        batch_queue=BatchQueue(),
+        dedicated_queue=ded_queue,
+        active=active,
+    )
+
+
+class TestBatchHeadFreeze:
+    def test_single_blocker(self):
+        # 10 procs; 8 running until t=100; head needs 5.
+        ctx = make_ctx(now=0.0, active_specs=[(8, 0.0, 100.0)])
+        head = batch_job(1, num=5)
+        spec = batch_head_freeze(ctx, head)
+        assert spec.fret == 100.0
+        assert spec.frec == (2 + 8) - 5  # m + a_1.num - head.num
+
+    def test_partial_terminations_suffice(self):
+        # Jobs release in residual order; the head fits after the
+        # second termination (smallest s with m + cumulative >= num).
+        ctx = make_ctx(
+            now=0.0,
+            active_specs=[(3, 0.0, 50.0), (3, 0.0, 80.0), (4, 0.0, 200.0)],
+        )
+        head = batch_job(1, num=6)
+        spec = batch_head_freeze(ctx, head)
+        assert spec.fret == 80.0  # after the 2nd shortest residual
+        assert spec.frec == (0 + 3 + 3) - 6
+
+    def test_residuals_measured_from_now(self):
+        ctx = make_ctx(now=40.0, active_specs=[(10, 0.0, 100.0)])
+        head = batch_job(1, num=4)
+        spec = batch_head_freeze(ctx, head)
+        assert spec.fret == 100.0  # kill-by, not now + estimate
+
+    def test_head_that_fits_is_rejected(self):
+        ctx = make_ctx(active_specs=[(2, 0.0, 50.0)])
+        with pytest.raises(ValueError, match="fits free capacity"):
+            batch_head_freeze(ctx, batch_job(1, num=8))
+
+
+class TestDedicatedFreeze:
+    def test_sufficient_capacity_on_time(self):
+        """Algorithm 2 lines 16-22: group fits at its requested start."""
+        ctx = make_ctx(
+            now=0.0,
+            active_specs=[(6, 0.0, 50.0)],
+            dedicated=[dedicated_job(1, num=3, requested_start=100.0)],
+        )
+        spec = dedicated_freeze(ctx)
+        assert spec.sufficient
+        assert spec.fret == 100.0
+        # At t=100 the active job has terminated: frec = M - 0 - 3.
+        assert spec.frec == 7
+
+    def test_still_running_jobs_reduce_capacity(self):
+        ctx = make_ctx(
+            now=0.0,
+            active_specs=[(6, 0.0, 200.0)],  # runs past the start
+            dedicated=[dedicated_job(1, num=3, requested_start=100.0)],
+        )
+        spec = dedicated_freeze(ctx)
+        assert spec.sufficient
+        assert spec.fret == 100.0
+        assert spec.frec == 10 - 6 - 3
+
+    def test_cohead_group_reserved_together(self):
+        """Lines 16-17: identical start times reserve as one block."""
+        ctx = make_ctx(
+            now=0.0,
+            dedicated=[
+                dedicated_job(1, num=4, requested_start=100.0),
+                dedicated_job(2, num=5, requested_start=100.0),
+                dedicated_job(3, num=5, requested_start=300.0),  # different start
+            ],
+        )
+        spec = dedicated_freeze(ctx)
+        assert spec.sufficient
+        assert spec.frec == 10 - (4 + 5)
+
+    def test_insufficient_capacity_reanchors(self):
+        """Lines 24-26: the group exceeds capacity at its start; the
+        freeze re-anchors at the earliest feasible termination."""
+        ctx = make_ctx(
+            now=0.0,
+            active_specs=[(4, 0.0, 150.0), (4, 0.0, 400.0)],
+            dedicated=[dedicated_job(1, num=8, requested_start=100.0)],
+        )
+        spec = dedicated_freeze(ctx)
+        assert not spec.sufficient
+        # At t=100 both active jobs still run: frec_d = 10-8 = 2 < 8.
+        # Re-anchor: m=2, after first termination m+4 >= 8? 6 < 8; after
+        # second, 10 >= 8 -> fret = 400, frec = 10 - 8.
+        assert spec.fret == 400.0
+        assert spec.frec == 2
+
+    def test_group_larger_than_machine_falls_back(self):
+        ctx = make_ctx(
+            now=0.0,
+            active_specs=[(4, 0.0, 100.0)],
+            dedicated=[
+                dedicated_job(1, num=7, requested_start=50.0),
+                dedicated_job(2, num=7, requested_start=50.0),
+            ],
+        )
+        spec = dedicated_freeze(ctx)
+        assert not spec.sufficient
+        assert spec.frec == 0
+        assert spec.fret == 100.0  # after everything drains
+
+    def test_idle_machine_has_full_capacity(self):
+        ctx = make_ctx(
+            now=0.0, dedicated=[dedicated_job(1, num=4, requested_start=60.0)]
+        )
+        spec = dedicated_freeze(ctx)
+        assert spec.sufficient and spec.frec == 6 and spec.fret == 60.0
+
+    def test_due_head_rejected(self):
+        ctx = make_ctx(
+            now=100.0,
+            dedicated=[dedicated_job(1, num=4, requested_start=100.0)],
+        )
+        with pytest.raises(ValueError, match="promote"):
+            dedicated_freeze(ctx)
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            dedicated_freeze(make_ctx())

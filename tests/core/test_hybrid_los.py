@@ -1,0 +1,125 @@
+"""Tests for Hybrid-LOS (Algorithms 2 and 3)."""
+
+from __future__ import annotations
+
+from repro.core.hybrid_los import HybridLOS
+from tests.conftest import batch_job, dedicated_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+
+class TestDelegation:
+    def test_empty_dedicated_queue_delegates_to_delayed_los(self):
+        """Line 4: behaves exactly like Delayed-LOS (Figure 2 pick)."""
+        harness = PolicyHarness(total=10).enqueue(
+            batch_job(1, num=7),
+            batch_job(2, submit=1.0, num=4),
+            batch_job(3, submit=2.0, num=6),
+        )
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=5))
+        assert sorted(started_ids(started)) == [2, 3]
+
+
+class TestPromotion:
+    def test_due_dedicated_head_promoted_with_cs(self):
+        """Algorithm 3: due dedicated head moves to the batch head with
+        scount = C_s and starts as soon as capacity permits."""
+        harness = PolicyHarness(total=10, now=100.0)
+        harness.enqueue(batch_job(1, submit=0.0, num=4))
+        dedicated = dedicated_job(2, submit=0.0, num=6, requested_start=100.0)
+        harness.enqueue(dedicated)
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        # The dedicated job jumps the queue and starts immediately.
+        assert started_ids(started)[0] == 2
+        assert dedicated.scount == 7
+        assert not harness.dedicated_queue
+
+    def test_due_dedicated_promoted_even_with_empty_batch_queue(self):
+        """Lines 39-42."""
+        harness = PolicyHarness(total=10, now=50.0)
+        harness.enqueue(dedicated_job(1, submit=0.0, num=4, requested_start=50.0))
+        started = harness.cycle_to_fixpoint(HybridLOS())
+        assert started_ids(started) == [1]
+
+    def test_future_dedicated_not_promoted(self):
+        harness = PolicyHarness(total=10, now=10.0)
+        harness.enqueue(dedicated_job(1, submit=0.0, num=4, requested_start=100.0))
+        assert harness.cycle_to_fixpoint(HybridLOS()) == []
+        assert len(harness.dedicated_queue) == 1
+
+    def test_promoted_dedicated_waits_for_capacity(self):
+        """Insufficient capacity: the dedicated job is delayed —
+        'unavoidable due to insufficient capacity' (§III-B)."""
+        harness = PolicyHarness(total=10, now=100.0)
+        harness.run_job(batch_job(100, num=8, estimate=200.0), started_at=90.0)
+        harness.enqueue(dedicated_job(1, submit=0.0, num=6, requested_start=100.0))
+        started = harness.cycle_to_fixpoint(HybridLOS())
+        assert started == []  # promoted to batch head, but cannot start
+        assert harness.batch_queue.head.job_id == 1
+
+
+class TestPackingAroundDedicated:
+    def test_batch_jobs_pack_around_future_reservation(self):
+        """Lines 18-22: batch jobs that end before the dedicated start
+        (or fit the leftover freeze capacity) start now."""
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.enqueue(dedicated_job(50, submit=0.0, num=8, requested_start=100.0))
+        harness.enqueue(
+            batch_job(1, num=4, estimate=50.0),  # ends before the start
+            batch_job(2, submit=1.0, num=4, estimate=500.0),  # overruns, 4 > frec 2
+        )
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert started_ids(started) == [1]
+
+    def test_long_batch_job_fits_leftover_freeze_capacity(self):
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.enqueue(dedicated_job(50, submit=0.0, num=6, requested_start=100.0))
+        harness.enqueue(batch_job(1, num=4, estimate=500.0))  # frec = 10-6 = 4
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert started_ids(started) == [1]
+
+    def test_batch_head_scount_bumped_when_skipped(self):
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.enqueue(dedicated_job(50, submit=0.0, num=8, requested_start=100.0))
+        head = batch_job(1, num=4, estimate=500.0)  # will be skipped (overruns)
+        harness.enqueue(head, batch_job(2, submit=1.0, num=2, estimate=50.0))
+        harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert head.scount == 1
+
+    def test_batch_head_with_exhausted_cs_starts_immediately(self):
+        """Lines 35-37: scount >= C_s starts the head right away even
+        though a dedicated reservation exists."""
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.enqueue(dedicated_job(50, submit=0.0, num=8, requested_start=100.0))
+        head = batch_job(1, num=4, estimate=500.0)
+        harness.enqueue(head)
+        head.scount = 7
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert started_ids(started) == [1]
+
+    def test_exhausted_cs_head_too_big_falls_back_to_packing(self):
+        """Our capacity guard on lines 35-37: a too-big head cannot
+        start; pack other batch jobs around the dedicated freeze."""
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.run_job(batch_job(100, num=6, estimate=30.0))
+        harness.enqueue(dedicated_job(50, submit=0.0, num=8, requested_start=100.0))
+        head = batch_job(1, num=6, estimate=500.0)
+        filler = batch_job(2, submit=1.0, num=2, estimate=20.0)
+        harness.enqueue(head, filler)
+        head.scount = 7
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert started_ids(started) == [2]
+        assert head.scount == 7  # no further bumps past C_s
+
+
+class TestInsufficientDedicatedCapacity:
+    def test_packing_continues_with_reanchored_freeze(self):
+        """Lines 24-30: the dedicated group exceeds the capacity at its
+        requested start; the freeze re-anchors and batch jobs that end
+        before it still start."""
+        harness = PolicyHarness(total=10, now=0.0)
+        harness.run_job(batch_job(100, num=6, estimate=300.0))
+        # Dedicated group of 8 at t=100: only 4 free then (insufficient).
+        harness.enqueue(dedicated_job(50, submit=0.0, num=8, requested_start=100.0))
+        harness.enqueue(batch_job(1, num=4, estimate=200.0))  # ends before 300
+        started = harness.cycle_to_fixpoint(HybridLOS(max_skip_count=7))
+        assert started_ids(started) == [1]

@@ -1,0 +1,72 @@
+"""Tests for the LOS baseline [7]."""
+
+from __future__ import annotations
+
+from repro.core.delayed_los import DelayedLOS
+from repro.core.los import LOS
+from tests.conftest import batch_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+
+class TestAggressiveHeadStart:
+    def test_head_starts_right_away_when_it_fits(self):
+        """The behaviour Delayed-LOS improves on: LOS takes
+        Alternative-(a) of Figure 2 and wastes 3 processors."""
+        harness = PolicyHarness(total=10).enqueue(
+            batch_job(1, num=7),
+            batch_job(2, submit=1.0, num=4),
+            batch_job(3, submit=2.0, num=6),
+        )
+        started = harness.cycle_to_fixpoint(LOS())
+        assert started_ids(started) == [1]
+        assert harness.machine.used == 7  # not the achievable 10
+
+    def test_consecutive_heads_drain(self):
+        harness = PolicyHarness(total=10).enqueue(
+            batch_job(1, num=4), batch_job(2, submit=1.0, num=4)
+        )
+        assert started_ids(harness.cycle_to_fixpoint(LOS())) == [1, 2]
+
+
+class TestReservation:
+    def test_blocked_head_gets_reservation_and_holes_fill(self):
+        harness = PolicyHarness(total=10)
+        harness.run_job(batch_job(100, num=8, estimate=100.0))
+        harness.enqueue(
+            batch_job(1, num=6, estimate=50.0),
+            batch_job(2, submit=1.0, num=2, estimate=30.0),
+        )
+        started = harness.cycle_to_fixpoint(LOS())
+        assert started_ids(started) == [2]
+
+    def test_fill_never_delays_the_reservation(self):
+        harness = PolicyHarness(total=10)
+        harness.run_job(batch_job(100, num=5, estimate=100.0))
+        harness.enqueue(
+            batch_job(1, num=7, estimate=50.0),  # frec = 3
+            batch_job(2, submit=1.0, num=5, estimate=500.0),  # would overrun
+        )
+        assert harness.cycle_to_fixpoint(LOS()) == []
+
+
+class TestEquivalenceWithDelayedLOS:
+    def test_los_is_delayed_los_with_cs_zero(self):
+        assert isinstance(LOS(), DelayedLOS)
+        assert LOS().max_skip_count == 0
+
+    def test_identical_decisions_on_scenarios(self):
+        """LOS and DelayedLOS(C_s=0) must behave identically."""
+        scenarios = [
+            [batch_job(1, num=7), batch_job(2, submit=1.0, num=4), batch_job(3, submit=2.0, num=6)],
+            [batch_job(1, num=3), batch_job(2, submit=1.0, num=3), batch_job(3, submit=2.0, num=5)],
+        ]
+        for jobs in scenarios:
+            a = PolicyHarness(total=10).enqueue(*[j.copy_for_run() for j in jobs])
+            b = PolicyHarness(total=10).enqueue(*[j.copy_for_run() for j in jobs])
+            started_los = started_ids(a.cycle_to_fixpoint(LOS()))
+            started_dl0 = started_ids(b.cycle_to_fixpoint(DelayedLOS(max_skip_count=0)))
+            assert started_los == started_dl0
+
+    def test_name(self):
+        assert LOS().name == "LOS"
+        assert LOS(elastic=True).name == "LOS-E"

@@ -1,0 +1,136 @@
+"""Golden decision matrix: every batch policy on every scenario.
+
+Pins the *exact* activation decisions of all eight batch policies on a
+curated scenario set (10-processor machine, granularity 1).  Any
+change to these decisions — tie-breaking, DP reconstruction order,
+backfill eligibility — trips this test and must be justified against
+the paper, making silent behavioural drift impossible.
+
+The goldens encode recognizable structure:
+
+- ``fig2``: only the DP-based Delayed-LOS (and, incidentally, the
+  SMALLEST reorderer) achieves the paper's Alternative-(b) pick {2, 3};
+- ``blocked_head_short_fill``: everything except FCFS backfills the
+  short job past the blocked head;
+- ``tight_pack``: SMALLEST trades the FIFO pair {1, 2} for three small
+  jobs at equal utilization — fairness lost, nothing gained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from tests.conftest import batch_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+POLICIES = ["FCFS", "EASY", "CONSERVATIVE", "LOS", "Delayed-LOS", "SJF", "SMALLEST", "LJF"]
+
+
+def build_scenario(name: str) -> PolicyHarness:
+    harness = PolicyHarness(total=10, granularity=1, now=0.0)
+    if name == "fig2":
+        # The paper's Figure 2: 7/4/6 on an idle 10-proc machine.
+        harness.enqueue(
+            batch_job(1, num=7),
+            batch_job(2, submit=1.0, num=4),
+            batch_job(3, submit=2.0, num=6),
+        )
+    elif name == "drain":
+        # Plenty of capacity: everything that fits starts in order.
+        harness.enqueue(
+            *[batch_job(i, submit=float(i), num=3, estimate=50.0 + i) for i in range(1, 5)]
+        )
+    elif name == "blocked_head_short_fill":
+        # 8 procs busy until t=100; 6-proc head blocked; two 2-proc
+        # candidates, one short (fits before shadow), one long.
+        harness.run_job(batch_job(100, num=8, estimate=100.0))
+        harness.enqueue(
+            batch_job(1, num=6, estimate=50.0),
+            batch_job(2, submit=1.0, num=2, estimate=30.0),
+            batch_job(3, submit=2.0, num=2, estimate=400.0),
+        )
+    elif name == "tight_pack":
+        # Several ways to reach utilization 10.
+        harness.enqueue(
+            batch_job(1, num=5),
+            batch_job(2, submit=1.0, num=5),
+            batch_job(3, submit=2.0, num=5),
+            batch_job(4, submit=3.0, num=4),
+            batch_job(5, submit=4.0, num=1),
+        )
+    elif name == "one_big_many_small":
+        # A 9-proc head blocked behind a 4-proc runner; a stream of
+        # 2-proc jobs competes for the 6 free processors.
+        harness.run_job(batch_job(100, num=4, estimate=100.0))
+        harness.enqueue(
+            batch_job(1, num=9, estimate=10.0),
+            *[batch_job(i, submit=float(i), num=2, estimate=20.0) for i in range(2, 6)],
+        )
+    elif name == "mixed_runtimes":
+        # Backfill-window boundary: job 2 ends just inside the shadow,
+        # job 3 just outside.
+        harness.run_job(batch_job(100, num=6, estimate=60.0))
+        harness.enqueue(
+            batch_job(1, num=6, estimate=10.0),
+            batch_job(2, submit=1.0, num=4, estimate=55.0),
+            batch_job(3, submit=2.0, num=3, estimate=65.0),
+        )
+    else:  # pragma: no cover - guard against typos in GOLDEN
+        raise KeyError(name)
+    return harness
+
+
+#: scenario -> policy -> exact activation order at t=0.
+GOLDEN = {
+    "fig2": {
+        "FCFS": [1], "EASY": [1], "CONSERVATIVE": [1], "LOS": [1],
+        "Delayed-LOS": [2, 3], "SJF": [1], "SMALLEST": [2, 3], "LJF": [1],
+    },
+    "drain": {
+        "FCFS": [1, 2, 3], "EASY": [1, 2, 3], "CONSERVATIVE": [1, 2, 3],
+        "LOS": [1, 2, 3], "Delayed-LOS": [1, 2, 3], "SJF": [1, 2, 3],
+        "SMALLEST": [1, 2, 3], "LJF": [1, 2, 3],
+    },
+    "blocked_head_short_fill": {
+        "FCFS": [], "EASY": [2], "CONSERVATIVE": [2], "LOS": [2],
+        "Delayed-LOS": [2], "SJF": [2], "SMALLEST": [2], "LJF": [2],
+    },
+    "tight_pack": {
+        "FCFS": [1, 2], "EASY": [1, 2], "CONSERVATIVE": [1, 2], "LOS": [1, 2],
+        "Delayed-LOS": [1, 2], "SJF": [1, 2], "SMALLEST": [5, 4, 1], "LJF": [1, 2],
+    },
+    "one_big_many_small": {
+        "FCFS": [], "EASY": [2, 3, 4], "CONSERVATIVE": [2, 3, 4],
+        "LOS": [2, 3, 4], "Delayed-LOS": [2, 3, 4], "SJF": [2, 3, 4],
+        "SMALLEST": [2, 3, 4], "LJF": [2, 3, 4],
+    },
+    "mixed_runtimes": {
+        "FCFS": [], "EASY": [2], "CONSERVATIVE": [2], "LOS": [2],
+        "Delayed-LOS": [2], "SJF": [2], "SMALLEST": [3], "LJF": [2],
+    },
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN))
+@pytest.mark.parametrize("policy", POLICIES)
+def test_golden_decision(scenario, policy):
+    harness = build_scenario(scenario)
+    started = harness.cycle_to_fixpoint(make_scheduler(policy, max_skip_count=5))
+    assert started_ids(started) == GOLDEN[scenario][policy], (
+        f"{policy} decision drifted on scenario {scenario!r}"
+    )
+
+
+def test_golden_table_is_complete():
+    for scenario, row in GOLDEN.items():
+        assert sorted(row) == sorted(POLICIES), scenario
+
+
+def test_fig2_separates_dp_from_greedy():
+    """The structural point of the matrix: only packing-aware policies
+    find Alternative-(b) in the Figure 2 scenario."""
+    picks = GOLDEN["fig2"]
+    assert picks["Delayed-LOS"] == [2, 3]
+    assert picks["LOS"] == [1]
+    assert picks["EASY"] == [1]

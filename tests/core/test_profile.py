@@ -1,0 +1,97 @@
+"""Tests for the capacity profile (conservative backfill's planner)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.profile import CapacityProfile
+from repro.queues.active_list import ActiveList
+from tests.conftest import batch_job
+
+
+class TestConstruction:
+    def test_flat_profile(self):
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        assert profile.free_at(0.0) == 10
+        assert profile.free_at(1e9) == 10
+
+    def test_from_active_releases_at_kill_by(self):
+        active = ActiveList()
+        job = batch_job(1, num=6, estimate=100.0)
+        job.start_time = 0.0
+        active.add(job)
+        profile = CapacityProfile.from_active(10, now=20.0, active=active)
+        assert profile.free_at(20.0) == 4
+        assert profile.free_at(99.9) == 4
+        assert profile.free_at(100.0) == 10
+
+    def test_invalid_free_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            CapacityProfile(total=10, now=0.0, free=11)
+
+    def test_query_before_start_rejected(self):
+        profile = CapacityProfile(total=10, now=5.0, free=10)
+        with pytest.raises(ValueError, match="precedes"):
+            profile.free_at(4.0)
+
+
+class TestPlanning:
+    def test_min_free_over_window(self):
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        profile.reserve(5.0, 8, 10.0)
+        assert profile.min_free(0.0, 5.0) == 10  # [0,5) untouched
+        assert profile.min_free(0.0, 6.0) == 2
+        assert profile.min_free(15.0, 100.0) == 10
+
+    def test_earliest_start_now_when_free(self):
+        profile = CapacityProfile(total=10, now=3.0, free=10)
+        assert profile.earliest_start(4, 100.0) == 3.0
+
+    def test_earliest_start_waits_for_release(self):
+        active = ActiveList()
+        job = batch_job(1, num=8, estimate=50.0)
+        job.start_time = 0.0
+        active.add(job)
+        profile = CapacityProfile.from_active(10, now=0.0, active=active)
+        assert profile.earliest_start(4, 10.0) == 50.0
+
+    def test_earliest_start_skips_gaps_too_short(self):
+        # Free window [0, 10) of size 10, then only 2 free until 100.
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        profile.reserve(10.0, 8, 90.0)
+        # A 20s job of size 6 cannot use the [0,10) window.
+        assert profile.earliest_start(6, 20.0) == 100.0
+        # A 10s job can (ends exactly when the reservation begins).
+        assert profile.earliest_start(6, 10.0) == 0.0
+
+    def test_oversized_request_rejected(self):
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        with pytest.raises(ValueError, match="exceeds machine"):
+            profile.earliest_start(11, 1.0)
+
+    def test_overlapping_reservation_rejected(self):
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        profile.reserve(0.0, 8, 10.0)
+        with pytest.raises(ValueError, match="exceeds available"):
+            profile.reserve(5.0, 4, 10.0)
+
+    def test_breakpoints_snapshot(self):
+        profile = CapacityProfile(total=10, now=0.0, free=10)
+        profile.reserve(2.0, 3, 4.0)
+        assert profile.breakpoints() == [(0.0, 10), (2.0, 7), (6.0, 10)]
+
+
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(1, 10), st.integers(1, 50)), min_size=1, max_size=20
+    )
+)
+def test_greedy_planning_never_overcommits(requests):
+    """Property: planning jobs at their earliest starts never drives
+    capacity negative anywhere."""
+    profile = CapacityProfile(total=10, now=0.0, free=10)
+    for num, duration in requests:
+        start = profile.earliest_start(num, float(duration))
+        profile.reserve(start, num, float(duration))
+    assert all(0 <= free <= 10 for _, free in profile.breakpoints())

@@ -1,0 +1,94 @@
+"""Tests for the adaptive algorithm selector (§V-A suggestion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.core.selector import AdaptiveSelector
+from tests.conftest import batch_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+
+class TestMixObservation:
+    def test_share_over_queue_and_active(self):
+        harness = PolicyHarness(total=640, granularity=32)
+        harness.run_job(batch_job(100, num=32, estimate=100.0))  # small, running
+        harness.enqueue(batch_job(1, num=128), batch_job(2, submit=1.0, num=320))
+        selector = AdaptiveSelector()
+        share = selector.small_job_share(harness.context())
+        assert share == pytest.approx(1 / 3)
+
+    def test_empty_system_counts_as_small(self):
+        harness = PolicyHarness(total=320, granularity=32)
+        assert AdaptiveSelector().small_job_share(harness.context()) == 1.0
+
+
+class TestDelegation:
+    def test_large_mix_uses_delayed_los(self):
+        """Figure 2 scenario scaled up: all-large queue -> DP packing."""
+        harness = PolicyHarness(total=320, granularity=32)
+        harness.enqueue(
+            batch_job(1, num=224),
+            batch_job(2, submit=1.0, num=128),
+            batch_job(3, submit=2.0, num=192),
+        )
+        selector = AdaptiveSelector(max_skip_count=5)
+        started = harness.cycle_to_fixpoint(selector)
+        assert selector.current_delegate == "Delayed-LOS"
+        # DP behaviour: skips the 224 head for 128+192 = 320.
+        assert sorted(started_ids(started)) == [2, 3]
+
+    def test_small_mix_uses_easy(self):
+        harness = PolicyHarness(total=320, granularity=32)
+        harness.enqueue(
+            batch_job(1, num=32),
+            batch_job(2, submit=1.0, num=64),
+            batch_job(3, submit=2.0, num=96),
+        )
+        selector = AdaptiveSelector(switch_share=0.7)
+        harness.cycle_to_fixpoint(selector)
+        assert selector.current_delegate == "EASY"
+
+    def test_hysteresis_damps_switching(self):
+        selector = AdaptiveSelector(switch_share=0.5, hysteresis=0.2)
+        # Start in Delayed-LOS (default); a share just above the bare
+        # threshold must NOT switch because of the dead band.
+        harness = PolicyHarness(total=320, granularity=32)
+        harness.enqueue(
+            batch_job(1, num=32),
+            batch_job(2, submit=1.0, num=32),
+            batch_job(3, submit=2.0, num=128),
+            batch_job(4, submit=3.0, num=128),
+        )  # share 0.5 < 0.5 + 0.2
+        harness.cycle_to_fixpoint(selector)
+        assert selector.current_delegate == "Delayed-LOS"
+        assert selector.switches == 0
+
+
+class TestEndToEnd:
+    def test_registry_entry(self):
+        scheduler = make_scheduler("ADAPTIVE", max_skip_count=9)
+        assert isinstance(scheduler, AdaptiveSelector)
+        assert scheduler._delayed.max_skip_count == 9
+        assert make_scheduler("ADAPTIVE-E").elastic
+
+    def test_full_simulation_matches_best_of_both_roughly(self, small_batch_workload):
+        from repro.experiments.sweep import run_algorithms
+
+        results = run_algorithms(
+            small_batch_workload, ("EASY", "Delayed-LOS", "ADAPTIVE")
+        )
+        adaptive = results["ADAPTIVE"].mean_wait
+        best_fixed = min(results["EASY"].mean_wait, results["Delayed-LOS"].mean_wait)
+        worst_fixed = max(results["EASY"].mean_wait, results["Delayed-LOS"].mean_wait)
+        # The selector tracks the envelope: never materially worse than
+        # the worst fixed policy, usually close to the best.
+        assert adaptive <= worst_fixed * 1.15
+        assert results["ADAPTIVE"].n_jobs == len(small_batch_workload)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="switch_share"):
+            AdaptiveSelector(switch_share=1.5)
+        with pytest.raises(ValueError, match="hysteresis"):
+            AdaptiveSelector(hysteresis=-0.1)

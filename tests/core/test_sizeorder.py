@@ -1,0 +1,86 @@
+"""Tests for the §II-B ordered-queue baselines (SJF/SMALLEST/LJF)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.core.sizeorder import LargestJobFirst, ShortestJobFirst, SmallestJobFirst
+from tests.conftest import batch_job
+from tests.core.policy_harness import PolicyHarness, started_ids
+
+
+def mixed_queue(harness: PolicyHarness) -> None:
+    harness.enqueue(
+        batch_job(1, num=6, estimate=500.0),
+        batch_job(2, submit=1.0, num=2, estimate=50.0),
+        batch_job(3, submit=2.0, num=4, estimate=200.0),
+    )
+
+
+class TestShortestJobFirst:
+    def test_picks_shortest_runtime(self):
+        harness = PolicyHarness(total=6)
+        mixed_queue(harness)
+        started = harness.cycle_to_fixpoint(ShortestJobFirst())
+        # 2 (50s) first, then 3 (200s) fits the remaining 4 procs.
+        assert started_ids(started) == [2, 3]
+
+    def test_ties_break_by_arrival(self):
+        harness = PolicyHarness(total=4)
+        harness.enqueue(
+            batch_job(1, num=4, estimate=100.0),
+            batch_job(2, submit=1.0, num=4, estimate=100.0),
+        )
+        assert started_ids(harness.cycle_to_fixpoint(ShortestJobFirst())) == [1]
+
+
+class TestSmallestJobFirst:
+    def test_picks_fewest_processors(self):
+        harness = PolicyHarness(total=6)
+        mixed_queue(harness)
+        started = harness.cycle_to_fixpoint(SmallestJobFirst())
+        assert started_ids(started) == [2, 3]  # 2 procs, then 4
+
+    def test_head_can_be_overtaken(self):
+        """The §II-B fragmentation critique: small jobs flow past."""
+        harness = PolicyHarness(total=10)
+        harness.run_job(batch_job(100, num=5, estimate=1000.0))
+        harness.enqueue(
+            batch_job(1, num=8, estimate=10.0),  # head, cannot fit
+            batch_job(2, submit=1.0, num=2, estimate=900.0),
+        )
+        started = harness.cycle_to_fixpoint(SmallestJobFirst())
+        assert started_ids(started) == [2]  # no head protection at all
+
+
+class TestLargestJobFirst:
+    def test_picks_most_processors(self):
+        harness = PolicyHarness(total=6)
+        mixed_queue(harness)
+        started = harness.cycle_to_fixpoint(LargestJobFirst())
+        assert started_ids(started) == [1]  # the 6-proc job takes all
+
+    def test_first_fit_decreasing_behaviour(self):
+        harness = PolicyHarness(total=10)
+        harness.enqueue(
+            batch_job(1, num=3),
+            batch_job(2, submit=1.0, num=7),
+            batch_job(3, submit=2.0, num=4),
+        )
+        started = harness.cycle_to_fixpoint(LargestJobFirst())
+        assert started_ids(started) == [2, 1]  # 7, then 3 fills to 10
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["SJF", "SMALLEST", "LJF"])
+    def test_complete_simulation(self, name, small_batch_workload):
+        from repro.experiments.runner import simulate
+
+        metrics = simulate(small_batch_workload, make_scheduler(name))
+        assert metrics.n_jobs == len(small_batch_workload)
+        assert metrics.slowdown >= 1.0
+
+    def test_registry_names(self):
+        assert make_scheduler("SJF").name == "SJF"
+        assert isinstance(make_scheduler("LJF"), LargestJobFirst)

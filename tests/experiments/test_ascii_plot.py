@@ -1,0 +1,41 @@
+"""Tests for the ASCII plotter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        text = ascii_plot(
+            [0.5, 0.7, 0.9],
+            {"EASY": [10.0, 20.0, 40.0], "LOS": [12.0, 25.0, 50.0]},
+            title="waiting time vs load",
+        )
+        assert "waiting time vs load" in text
+        assert "o = EASY" in text
+        assert "x = LOS" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels_show_ranges(self):
+        text = ascii_plot([1.0, 2.0], {"s": [5.0, 9.0]})
+        assert "9" in text and "5" in text
+        assert "1" in text and "2" in text
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_plot([], {})
+        assert "(no data)" in ascii_plot([1.0], {})
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot([1.0, 2.0], {"s": [1.0]})
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([1.0, 2.0], {"s": [3.0, 3.0]})
+        assert "s" in text
+
+    def test_single_point(self):
+        text = ascii_plot([1.0], {"s": [2.0]}, y_label="util")
+        assert "util" in text

@@ -1,0 +1,117 @@
+"""Tests for the repro-sim CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.jobs == 500
+        assert args.load == 0.9
+        assert args.algorithms == ["EASY", "LOS", "Delayed-LOS"]
+
+    def test_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["--algorithms", "Hybrid-LOS", "--jobs", "100", "--p-dedicated", "0.5"]
+        )
+        assert args.algorithms == ["Hybrid-LOS"]
+        assert args.jobs == 100
+        assert args.p_dedicated == 0.5
+
+
+class TestMain:
+    def test_list_algorithms(self, capsys):
+        assert main(["--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "Delayed-LOS" in out and "EASY-DE" in out
+
+    def test_small_comparison_run(self, capsys):
+        code = main(
+            ["--jobs", "40", "--load", "0.7", "--seed", "3",
+             "--algorithms", "EASY", "Delayed-LOS"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: 40 jobs" in out
+        assert "EASY" in out and "Delayed-LOS" in out
+        assert "utilization" in out
+
+    def test_save_and_reload_cwf(self, tmp_path, capsys):
+        path = tmp_path / "generated.cwf"
+        assert main(
+            ["--jobs", "30", "--load", "0.6", "--save-cwf", str(path),
+             "--algorithms", "EASY"]
+        ) == 0
+        assert path.exists()
+        # Re-run from the saved file.
+        assert main(["--cwf", str(path), "--algorithms", "EASY"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded from" not in out  # description not printed, just works
+
+    def test_heterogeneous_run(self, capsys):
+        code = main(
+            ["--jobs", "30", "--load", "0.7", "--p-dedicated", "0.5",
+             "--algorithms", "Hybrid-LOS", "EASY-D"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dedicated" in out
+
+
+class TestNewFlags:
+    def test_stats_flag(self, capsys):
+        assert main(["--jobs", "25", "--load", "0.6", "--algorithms", "EASY", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "size histogram:" in out
+
+    def test_timeline_flag(self, capsys):
+        assert main(["--jobs", "20", "--load", "0.6", "--algorithms", "EASY", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "--- timeline: EASY ---" in out
+        assert "busy" in out
+
+    def test_export_csv_and_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "runs.csv"
+        json_path = tmp_path / "run.json"
+        assert main(
+            ["--jobs", "20", "--load", "0.6", "--algorithms", "EASY", "LOS",
+             "--export-csv", str(csv_path), "--export-json", str(json_path)]
+        ) == 0
+        assert csv_path.read_text().startswith("algorithm,")
+        assert csv_path.read_text().count("\n") == 3  # header + 2 runs
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert payload["algorithm"] == "EASY"
+        assert payload["records"]
+
+    def test_figure_flag_small(self, capsys):
+        assert main(["--figure", "7", "--jobs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "figure 7" in out
+        assert "mean_wait vs Load" in out
+
+    def test_adaptive_in_cli(self, capsys):
+        assert main(["--jobs", "25", "--load", "0.7", "--algorithms", "ADAPTIVE"]) == 0
+        assert "ADAPTIVE" in capsys.readouterr().out
+
+    def test_validate_clean_workload(self, capsys):
+        assert main(["--jobs", "20", "--load", "0.6", "--validate"]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_validate_broken_cwf(self, tmp_path, capsys):
+        # Craft a CWF whose job violates the 32-proc granularity.
+        path = tmp_path / "broken.cwf"
+        path.write_text("1 0 -1 100 33 -1 -1 33 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1\n")
+        code = main(["--cwf", str(path), "--machine", "320", "--validate"])
+        # Granularity for loaded CWF defaults to 1, so the 33-proc job
+        # is legal there; instead check oversized detection.
+        assert code == 0
+        big = tmp_path / "big.cwf"
+        big.write_text("1 0 -1 100 640 -1 -1 640 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1\n")
+        assert main(["--cwf", str(big), "--machine", "320", "--validate"]) == 1
+        assert "job-too-large" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Tests for reproduction-fidelity scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fidelity import FidelityScore, score_fidelity
+from repro.experiments.tables import PAPER_TABLE_IV
+
+
+class TestScoreFidelity:
+    def test_perfect_agreement(self):
+        table = {"Utilization": {"LOS": 4.0, "EASY": 2.0}}
+        score = score_fidelity(table, table)
+        assert score.cells == 2
+        assert score.sign_agreement == 1.0
+        assert score.magnitude_ratio == pytest.approx(1.0)
+        assert not score.disagreements
+
+    def test_half_magnitude(self):
+        measured = {"Wait": {"LOS": 10.0, "EASY": 5.0}}
+        paper = {"Wait": {"LOS": 20.0, "EASY": 10.0}}
+        score = score_fidelity(measured, paper)
+        assert score.magnitude_ratio == pytest.approx(0.5)
+
+    def test_sign_disagreement_detected(self):
+        measured = {"Utilization": {"LOS": -1.0, "EASY": 2.0}}
+        paper = {"Utilization": {"LOS": 4.0, "EASY": 2.0}}
+        score = score_fidelity(measured, paper)
+        assert score.sign_matches == 1
+        assert score.sign_agreement == 0.5
+        assert score.disagreements == ("Utilization vs LOS",)
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError, match="no comparable cells"):
+            score_fidelity({"A": {"X": 1.0}}, {"B": {"Y": 1.0}})
+
+    def test_missing_cells_ignored(self):
+        measured = {"Utilization": {"LOS": 4.0}}
+        paper = {"Utilization": {"LOS": 4.0, "EASY": 2.0}, "Wait": {"LOS": 10.0}}
+        score = score_fidelity(measured, paper)
+        assert score.cells == 1
+
+    def test_ratio_clamped(self):
+        measured = {"Wait": {"LOS": 1000.0}}
+        paper = {"Wait": {"LOS": 0.001}}
+        score = score_fidelity(measured, paper)
+        assert score.magnitude_ratio == pytest.approx(100.0)
+
+    def test_geometric_mean_over_cells(self):
+        measured = {"Wait": {"LOS": 40.0, "EASY": 10.0}}
+        paper = {"Wait": {"LOS": 20.0, "EASY": 20.0}}  # ratios 2.0 and 0.5
+        score = score_fidelity(measured, paper)
+        assert score.magnitude_ratio == pytest.approx(1.0)
+
+    def test_summary_text(self):
+        measured = {"Utilization": {"LOS": -1.0, "EASY": 2.0}}
+        paper = {"Utilization": {"LOS": 4.0, "EASY": 2.0}}
+        text = score_fidelity(measured, paper).summary()
+        assert "1/2 cells" in text
+        assert "Utilization vs LOS" in text
+
+    def test_against_real_paper_table(self):
+        """Our recorded Table IV measurement agrees in sign everywhere."""
+        measured = {
+            "Utilization": {"LOS": 0.64, "EASY": 0.94},
+            "Job waiting time": {"LOS": 20.8, "EASY": 24.28},
+            "Slowdown": {"LOS": 18.84, "EASY": 22.39},
+        }
+        score = score_fidelity(measured, PAPER_TABLE_IV)
+        assert score.cells == 6
+        assert score.sign_agreement == 1.0
+        assert 0.1 < score.magnitude_ratio < 10.0

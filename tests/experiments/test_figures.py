@@ -1,0 +1,74 @@
+"""Smoke tests for the figure experiment definitions (reduced scale).
+
+The full paper-scale runs live in ``benchmarks/``; here we verify the
+experiment *wiring* — correct algorithms, workload knobs and result
+shapes — at a scale CI can afford.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestTunedCs:
+    def test_rule_matches_figures_5_and_6(self):
+        assert figures.tuned_cs(0.5) == 7  # Figure 5 knee
+        assert figures.tuned_cs(0.2) == 7
+        assert figures.tuned_cs(0.8) == 3  # Figure 6: insensitive above 3
+
+
+class TestFigure1:
+    def test_compares_easy_and_los_on_sdsc(self):
+        result = figures.figure1(n_jobs=40, scale_factors=(1.5, 1.0), seed=1)
+        assert set(result.series) == {"EASY", "LOS"}
+        assert len(result.sweep_values) == 2
+        # Load varied via arrival scaling: increasing factor order here
+        # gives increasing load.
+        assert result.sweep_values[0] < result.sweep_values[1]
+
+
+class TestCsFigures:
+    def test_figure5_shape(self):
+        result = figures.figure5(n_jobs=40, cs_values=(1, 4), load=0.9, seed=5)
+        assert set(result.series) == set(figures.BATCH_ALGORITHMS)
+        assert result.sweep_values == [1.0, 4.0]
+
+    def test_figure6_uses_small_job_mix(self):
+        result = figures.figure6(n_jobs=40, cs_values=(1,), load=0.9, seed=6)
+        assert set(result.series) == set(figures.BATCH_ALGORITHMS)
+
+
+class TestLoadFigures:
+    def test_figure7_batch_algorithms(self):
+        result = figures.figure7(n_jobs=40, loads=(0.7,), seed=7)
+        assert set(result.series) == {"EASY", "LOS", "Delayed-LOS"}
+
+    def test_figure8_two_mixes(self):
+        results = figures.figure8(n_jobs=40, loads=(0.7,), seed=8)
+        assert set(results) == {"P_S=0.5", "P_S=0.8"}
+
+    def test_figure9_heterogeneous(self):
+        result = figures.figure9(n_jobs=40, loads=(0.7,), seed=9)
+        assert set(result.series) == {"EASY-D", "LOS-D", "Hybrid-LOS"}
+        # Heterogeneous workloads actually contain dedicated jobs.
+        run = result.series["Hybrid-LOS"][0]
+        assert run.dedicated_records()
+
+    def test_figure10_mostly_dedicated(self):
+        result = figures.figure10(n_jobs=40, loads=(0.7,), seed=10)
+        run = result.series["Hybrid-LOS"][0]
+        dedicated_fraction = len(run.dedicated_records()) / run.n_jobs
+        assert dedicated_fraction > 0.6  # P_D = 0.9
+
+    def test_figure11_elastic_variants(self):
+        results = figures.figure11(n_jobs=40, loads=(0.7,), seed=11)
+        assert set(results) == {"batch", "heterogeneous"}
+        assert set(results["batch"].series) == set(figures.ELASTIC_BATCH_ALGORITHMS)
+        assert set(results["heterogeneous"].series) == set(
+            figures.ELASTIC_HETERO_ALGORITHMS
+        )
+        # ECCs were actually processed.
+        run = results["batch"].series["Delayed-LOS-E"][0]
+        assert sum(run.ecc_stats.values()) > 0

@@ -1,0 +1,80 @@
+"""Tests for parameter-grid studies."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.grid import GridResult, GridSpec, run_grid
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    spec = GridSpec(
+        p_small=(0.2, 0.8),
+        p_dedicated=(0.0,),
+        loads=(0.7,),
+        cs_values=(7,),
+        algorithms=("EASY", "Delayed-LOS"),
+        n_jobs=40,
+        seed=77,
+    )
+    return spec, run_grid(spec)
+
+
+class TestGridSpec:
+    def test_cells_cartesian_product(self):
+        spec = GridSpec(p_small=(0.2, 0.5), p_dedicated=(0.0, 0.5), loads=(0.7,), cs_values=(3, 7))
+        assert len(spec.cells()) == 2 * 2 * 1 * 2
+
+
+class TestRunGrid:
+    def test_row_count_and_fields(self, tiny_grid):
+        spec, result = tiny_grid
+        assert len(result.rows) == len(spec.cells()) * len(spec.algorithms)
+        for row in result.rows:
+            assert set(row) == set(GridResult.FIELDS)
+            assert row["n_jobs"] == spec.n_jobs
+            assert 0.0 <= row["utilization"] <= 1.0
+
+    def test_achieved_load_close_to_target(self, tiny_grid):
+        _, result = tiny_grid
+        for row in result.rows:
+            assert row["achieved_load"] == pytest.approx(row["target_load"], abs=0.05)
+
+    def test_best_algorithm_lookup(self, tiny_grid):
+        _, result = tiny_grid
+        best = result.best_algorithm(0.2, 0.0, 0.7)
+        assert best in ("EASY", "Delayed-LOS")
+
+    def test_best_algorithm_missing_cell(self, tiny_grid):
+        _, result = tiny_grid
+        with pytest.raises(KeyError, match="no grid cell"):
+            result.best_algorithm(0.99, 0.0, 0.7)
+
+    def test_determinism(self):
+        spec = GridSpec(
+            p_small=(0.5,), loads=(0.7,), algorithms=("EASY",), n_jobs=30, seed=5
+        )
+        a = run_grid(spec)
+        b = run_grid(spec)
+        assert a.rows == b.rows
+
+
+class TestCSV:
+    def test_csv_roundtrip(self, tiny_grid):
+        _, result = tiny_grid
+        buffer = io.StringIO()
+        result.to_csv(buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert len(rows) == len(result.rows)
+        assert set(rows[0]) == set(GridResult.FIELDS)
+
+    def test_csv_to_file(self, tiny_grid, tmp_path):
+        _, result = tiny_grid
+        path = tmp_path / "grid.csv"
+        result.to_csv(path)
+        assert path.read_text().startswith("p_small,")

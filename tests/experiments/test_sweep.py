@@ -1,0 +1,99 @@
+"""Tests for parameter sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import (
+    arrival_scale_sweep,
+    cs_sweep,
+    load_sweep,
+    run_algorithms,
+)
+from repro.workload.generator import GeneratorConfig
+from repro.workload.sdsc import generate_sdsc_like
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        generator=GeneratorConfig(n_jobs=50),
+        algorithms=("EASY", "LOS", "Delayed-LOS"),
+        loads=(0.6, 0.9),
+        seed=1,
+    )
+
+
+class TestRunAlgorithms:
+    def test_paired_comparison(self, small_batch_workload):
+        results = run_algorithms(small_batch_workload, ("EASY", "LOS"))
+        assert set(results) == {"EASY", "LOS"}
+        for metrics in results.values():
+            assert metrics.n_jobs == len(small_batch_workload)
+            assert metrics.offered_load == pytest.approx(
+                small_batch_workload.offered_load()
+            )
+
+    def test_cs_knob_reaches_delayed_los(self, small_batch_workload):
+        a = run_algorithms(small_batch_workload, ("Delayed-LOS",), max_skip_count=0)
+        b = run_algorithms(small_batch_workload, ("Delayed-LOS",), max_skip_count=50)
+        # C_s=0 is LOS-aggressive; C_s=50 never force-starts the head.
+        # They need not differ on every workload, but the runs must be
+        # independent and valid.
+        assert a["Delayed-LOS"].n_jobs == b["Delayed-LOS"].n_jobs
+
+
+class TestLoadSweep:
+    def test_series_aligned_with_loads(self, tiny_config):
+        result = load_sweep(tiny_config)
+        assert result.sweep_label == "Load"
+        assert len(result.sweep_values) == 2
+        for name in tiny_config.algorithms:
+            assert len(result.series[name]) == 2
+        # Achieved loads approximate the targets.
+        for achieved, target in zip(result.sweep_values, tiny_config.loads):
+            assert achieved == pytest.approx(target, abs=0.04)
+
+    def test_metric_series_extraction(self, tiny_config):
+        result = load_sweep(tiny_config)
+        waits = result.metric_series("EASY", "mean_wait")
+        assert len(waits) == 2 and all(w >= 0 for w in waits)
+        rows = result.rows()
+        assert set(rows) == set(tiny_config.algorithms)
+        assert "utilization" in rows["EASY"][0]
+
+    def test_higher_load_means_more_waiting(self):
+        """Sanity: wait time grows with load (coarse, seeded)."""
+        config = ExperimentConfig(
+            generator=GeneratorConfig(n_jobs=150),
+            algorithms=("EASY",),
+            loads=(0.5, 1.0),
+            seed=42,
+        )
+        result = load_sweep(config)
+        waits = result.metric_series("EASY", "mean_wait")
+        assert waits[1] > waits[0]
+
+
+class TestCsSweep:
+    def test_one_workload_reused(self, tiny_config):
+        result = cs_sweep(tiny_config, cs_values=(1, 5), target_load=0.9)
+        assert result.sweep_label == "C_s"
+        assert result.sweep_values == [1.0, 5.0]
+        # EASY ignores C_s: its two runs must be identical.
+        easy = result.series["EASY"]
+        assert easy[0].mean_wait == easy[1].mean_wait
+        assert easy[0].utilization == easy[1].utilization
+        # LOS ignores C_s as well (pinned to 0 internally).
+        los = result.series["LOS"]
+        assert los[0].mean_wait == los[1].mean_wait
+
+
+class TestArrivalScaleSweep:
+    def test_load_decreases_with_scale(self):
+        base = generate_sdsc_like(60, np.random.default_rng(2))
+        result = arrival_scale_sweep(base, ("EASY",), scale_factors=(1.0, 2.0))
+        assert result.sweep_values[0] > result.sweep_values[1]
+        assert len(result.series["EASY"]) == 2

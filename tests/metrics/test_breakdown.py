@@ -1,0 +1,95 @@
+"""Tests for per-class metric breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.breakdown import (
+    ClassStats,
+    breakdown,
+    by_kind,
+    by_outcome,
+    by_size_class,
+    format_breakdown,
+)
+from repro.metrics.records import JobRecord
+from repro.workload.job import JobKind
+
+
+def record(job_id, num=32, wait=10.0, runtime=100.0, kind=JobKind.BATCH, killed=False):
+    return JobRecord(
+        job_id=job_id,
+        kind=kind,
+        num=num,
+        submit=0.0,
+        start=wait,
+        finish=wait + runtime,
+        requested_start=0.0 if kind is JobKind.DEDICATED else None,
+        killed=killed,
+    )
+
+
+class TestClassStats:
+    def test_aggregates(self):
+        stats = ClassStats.from_records(
+            "x", [record(1, num=32, wait=10.0, runtime=100.0), record(2, num=64, wait=30.0, runtime=50.0)]
+        )
+        assert stats.n_jobs == 2
+        assert stats.mean_wait == 20.0
+        assert stats.mean_runtime == 75.0
+        assert stats.slowdown == pytest.approx((20 + 75) / 75)
+        assert stats.max_wait == 30.0
+        assert stats.total_work == 32 * 100 + 64 * 50
+
+    def test_empty_class(self):
+        stats = ClassStats.from_records("empty", [])
+        assert stats.n_jobs == 0
+        assert stats.mean_wait == 0.0
+        assert stats.slowdown == 1.0
+
+
+class TestClassifiers:
+    def test_by_size_class_uses_paper_boundary(self):
+        groups = by_size_class([record(1, num=96), record(2, num=128), record(3, num=32)])
+        assert groups["small"].n_jobs == 2
+        assert groups["large"].n_jobs == 1
+
+    def test_by_size_class_custom_threshold(self):
+        groups = by_size_class([record(1, num=96)], small_threshold=64)
+        assert "large" in groups and "small" not in groups
+
+    def test_by_kind(self):
+        groups = by_kind([record(1), record(2, kind=JobKind.DEDICATED)])
+        assert groups["batch"].n_jobs == 1
+        assert groups["dedicated"].n_jobs == 1
+
+    def test_by_outcome(self):
+        groups = by_outcome([record(1, killed=True), record(2), record(3)])
+        assert groups["killed"].n_jobs == 1
+        assert groups["completed"].n_jobs == 2
+
+    def test_custom_classifier(self):
+        groups = breakdown([record(i, num=32 * i) for i in (1, 2, 3)], lambda r: str(r.num))
+        assert set(groups) == {"32", "64", "96"}
+
+
+class TestFormatting:
+    def test_table_contents(self):
+        groups = by_size_class([record(1, num=32), record(2, num=256)])
+        text = format_breakdown(groups, title="by size")
+        assert text.startswith("by size")
+        assert "small" in text and "large" in text
+        assert "mean wait" in text
+
+
+class TestEndToEnd:
+    def test_breakdown_of_real_run(self, small_batch_workload):
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+
+        metrics = simulate(small_batch_workload, make_scheduler("Delayed-LOS"))
+        groups = by_size_class(metrics.records)
+        assert sum(g.n_jobs for g in groups.values()) == metrics.n_jobs
+        # Work is partitioned, not duplicated.
+        total = sum(g.total_work for g in groups.values())
+        assert total == pytest.approx(sum(r.num * r.runtime for r in metrics.records))

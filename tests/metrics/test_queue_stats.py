@@ -1,0 +1,97 @@
+"""Tests for queue-dynamics tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.queue_stats import QueueTracker
+
+
+class TestQueueTracker:
+    def test_single_job_rectangle(self):
+        tracker = QueueTracker(start_time=0.0)
+        tracker.on_enqueue(0.0, work=1000.0)
+        tracker.on_dequeue(10.0, work=1000.0)
+        summary = tracker.summary(until=20.0)
+        # One job queued for 10 of 20 seconds.
+        assert summary.mean_queue_length == pytest.approx(0.5)
+        assert summary.max_queue_length == 1
+        # Backlog 1000 proc·s for 10s of 20.
+        assert summary.mean_backlog == pytest.approx(500.0)
+        assert summary.max_backlog == 1000.0
+
+    def test_overlapping_jobs(self):
+        tracker = QueueTracker(start_time=0.0)
+        tracker.on_enqueue(0.0, 100.0)
+        tracker.on_enqueue(5.0, 200.0)
+        tracker.on_dequeue(10.0, 100.0)
+        tracker.on_dequeue(20.0, 200.0)
+        summary = tracker.summary(until=20.0)
+        # Length: 1 over [0,5), 2 over [5,10), 1 over [10,20).
+        assert summary.mean_queue_length == pytest.approx((5 + 10 + 10) / 20)
+        assert summary.max_queue_length == 2
+
+    def test_work_change_adjusts_backlog(self):
+        tracker = QueueTracker(start_time=0.0)
+        tracker.on_enqueue(0.0, 100.0)
+        tracker.on_work_changed(5.0, +100.0)  # ET on the queued job
+        tracker.on_dequeue(10.0, 200.0)
+        summary = tracker.summary(until=10.0)
+        # Backlog 100 over [0,5), 200 over [5,10).
+        assert summary.mean_backlog == pytest.approx((500 + 1000) / 10)
+        assert summary.max_backlog == 200.0
+
+    def test_negative_work_change_clamped(self):
+        tracker = QueueTracker(start_time=0.0)
+        tracker.on_enqueue(0.0, 50.0)
+        tracker.on_work_changed(1.0, -500.0)
+        summary = tracker.summary(until=2.0)
+        assert summary.max_backlog == 50.0
+
+    def test_empty(self):
+        summary = QueueTracker(start_time=0.0).summary(until=10.0)
+        assert summary.mean_queue_length == 0.0
+        assert summary.max_queue_length == 0
+        assert summary.mean_backlog == 0.0
+
+    def test_str_is_informative(self):
+        tracker = QueueTracker()
+        tracker.on_enqueue(0.0, 10.0)
+        text = str(tracker.summary(until=1.0))
+        assert "queue" in text and "backlog" in text
+
+
+class TestRunnerIntegration:
+    def test_summary_attached_to_run_metrics(self, small_batch_workload):
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+
+        metrics = simulate(small_batch_workload, make_scheduler("EASY"))
+        assert metrics.queue is not None
+        assert metrics.queue.mean_queue_length >= 0.0
+        assert metrics.queue.max_queue_length >= 1
+
+    def test_zero_wait_run_has_zero_mean_queue(self):
+        """A lone job that starts instantly spends no measurable time
+        queued (enqueue and dequeue at the same instant)."""
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+        from tests.conftest import batch_job, make_workload
+
+        workload = make_workload([batch_job(1, submit=0.0, num=32, estimate=100.0)])
+        metrics = simulate(workload, make_scheduler("EASY"))
+        assert metrics.queue is not None
+        assert metrics.queue.mean_queue_length == 0.0
+
+    def test_contention_shows_in_queue_stats(self):
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+        from tests.conftest import batch_job, make_workload
+
+        jobs = [batch_job(i, submit=0.0, num=320, estimate=100.0) for i in range(1, 4)]
+        metrics = simulate(make_workload(jobs), make_scheduler("FCFS"))
+        assert metrics.queue is not None
+        assert metrics.queue.max_queue_length == 3  # all queued at t=0
+        # Jobs run back to back over [0,300]: queue holds 3,2,1,0 jobs
+        # for ~100s each (minus the instantaneous first start).
+        assert metrics.queue.mean_queue_length == pytest.approx(1.0, abs=0.05)

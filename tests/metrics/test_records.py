@@ -1,0 +1,91 @@
+"""Tests for job records and run metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.records import JobRecord, RunMetrics
+from repro.workload.job import JobKind
+from tests.conftest import batch_job, dedicated_job
+
+
+def record(job_id=1, submit=0.0, start=10.0, finish=110.0, num=32, **kwargs):
+    return JobRecord(
+        job_id=job_id, kind=kwargs.pop("kind", JobKind.BATCH), num=num,
+        submit=submit, start=start, finish=finish, **kwargs,
+    )
+
+
+class TestJobRecord:
+    def test_derived_quantities(self):
+        r = record(submit=5.0, start=20.0, finish=120.0)
+        assert r.wait == 15.0
+        assert r.runtime == 100.0
+        assert r.dedicated_delay is None
+
+    def test_dedicated_delay(self):
+        r = record(kind=JobKind.DEDICATED, requested_start=15.0, start=20.0)
+        assert r.dedicated_delay == 5.0
+        on_time = record(kind=JobKind.DEDICATED, requested_start=20.0, start=20.0)
+        assert on_time.dedicated_delay == 0.0
+
+    def test_from_job(self):
+        job = batch_job(3, submit=1.0, num=64, estimate=50.0)
+        job.start_time = 11.0
+        job.finish_time = 61.0
+        job.ecc_count = 2
+        r = JobRecord.from_job(job)
+        assert r.job_id == 3 and r.num == 64
+        assert r.wait == 10.0 and r.runtime == 50.0
+        assert r.eccs_applied == 2
+
+    def test_from_incomplete_job_rejected(self):
+        with pytest.raises(ValueError, match="not completed"):
+            JobRecord.from_job(batch_job(1))
+
+
+class TestRunMetrics:
+    def _metrics(self, records):
+        return RunMetrics(
+            algorithm="TEST",
+            machine_size=320,
+            records=records,
+            utilization=0.8,
+            makespan=1000.0,
+        )
+
+    def test_aggregates(self):
+        m = self._metrics(
+            [record(1, submit=0.0, start=10.0, finish=110.0),
+             record(2, submit=0.0, start=30.0, finish=80.0)]
+        )
+        assert m.n_jobs == 2
+        assert m.mean_wait == 20.0
+        assert m.mean_runtime == 75.0
+        assert m.slowdown == pytest.approx((20.0 + 75.0) / 75.0)
+        assert m.mean_per_job_slowdown == pytest.approx(
+            ((10 + 100) / 100 + (30 + 50) / 50) / 2
+        )
+
+    def test_empty_run(self):
+        m = self._metrics([])
+        assert m.mean_wait == 0.0
+        assert m.slowdown == 1.0
+        assert m.dedicated_on_time_rate == 1.0
+        assert m.mean_dedicated_delay == 0.0
+
+    def test_dedicated_extras(self):
+        m = self._metrics(
+            [
+                record(1, kind=JobKind.DEDICATED, requested_start=10.0, start=10.0),
+                record(2, kind=JobKind.DEDICATED, requested_start=10.0, start=40.0),
+                record(3),  # batch, excluded from dedicated stats
+            ]
+        )
+        assert len(m.dedicated_records()) == 2
+        assert m.dedicated_on_time_rate == 0.5
+        assert m.mean_dedicated_delay == 15.0
+
+    def test_as_row_keys(self):
+        row = self._metrics([record()]).as_row()
+        assert {"utilization", "mean_wait", "slowdown", "makespan", "n_jobs"} <= set(row)

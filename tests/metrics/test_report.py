@@ -1,0 +1,59 @@
+"""Tests for plain-text report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import format_comparison_table, format_metrics_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["EASY", 1.5], ["LOS", 10.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "EASY" in lines[2] and "1.5" in lines[2]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text  # 4 significant digits
+
+
+class TestMetricsTable:
+    def test_figure_style_blocks(self):
+        series = {
+            "EASY": [{"utilization": 0.8, "mean_wait": 100.0}],
+            "LOS": [{"utilization": 0.82, "mean_wait": 90.0}],
+        }
+        text = format_metrics_table("Load", [0.9], series)
+        assert "metric: utilization" in text
+        assert "metric: mean_wait" in text
+        assert "EASY" in text and "LOS" in text
+        assert "0.9" in text
+
+
+class TestComparisonTable:
+    def test_tables_iv_vii_layout(self):
+        improvements = {
+            "Utilization": {"LOS": 4.1, "EASY": 1.52},
+            "Job waiting time": {"LOS": 31.88, "EASY": 21.65},
+        }
+        text = format_comparison_table("Table IV", improvements)
+        assert text.startswith("Table IV")
+        assert "LOS (%)" in text and "EASY (%)" in text
+        assert "Utilization" in text and "31.88" in text
+
+    def test_missing_baseline_rendered_as_nan(self):
+        improvements = {"Utilization": {"LOS": 4.1}, "Slowdown": {"EASY": 2.0}}
+        text = format_comparison_table("T", improvements)
+        assert "nan" in text

@@ -1,0 +1,99 @@
+"""Tests for the active (running) list A, sorted by residual."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queues.active_list import ActiveList
+from repro.workload.job import JobState
+from tests.conftest import batch_job
+
+
+def running_job(job_id: int, start: float, estimate: float, num: int = 32):
+    job = batch_job(job_id, submit=0.0, num=num, estimate=estimate)
+    job.start_time = start
+    return job
+
+
+class TestOrdering:
+    def test_sorted_by_kill_by(self):
+        active = ActiveList()
+        long = running_job(1, start=0.0, estimate=500.0)
+        short = running_job(2, start=0.0, estimate=100.0)
+        mid = running_job(3, start=50.0, estimate=200.0)  # kill-by 250
+        for job in (long, short, mid):
+            active.add(job)
+        assert [j.job_id for j in active.jobs()] == [2, 3, 1]
+        assert active.last() is long
+        active.check_invariants(now=60.0)
+
+    def test_residuals_nondecreasing(self):
+        active = ActiveList()
+        for job_id, est in ((1, 300.0), (2, 100.0), (3, 200.0)):
+            active.add(running_job(job_id, start=0.0, estimate=est))
+        residuals = active.residuals(now=50.0)
+        assert residuals == sorted(residuals)
+        assert residuals == [50.0, 150.0, 250.0]
+
+    def test_add_requires_started(self):
+        with pytest.raises(ValueError, match="no start time"):
+            ActiveList().add(batch_job(1))
+
+    def test_add_sets_running_state(self):
+        active = ActiveList()
+        job = running_job(1, 0.0, 100.0)
+        active.add(job)
+        assert job.state is JobState.RUNNING
+
+    def test_indexing_and_iteration(self):
+        active = ActiveList()
+        a = running_job(1, 0.0, 100.0)
+        active.add(a)
+        assert active[0] is a
+        assert list(active) == [a]
+
+    @given(params=st.lists(st.tuples(st.integers(0, 500), st.integers(1, 500)), min_size=1, max_size=25))
+    def test_invariant_under_random_insertion(self, params):
+        active = ActiveList()
+        for index, (start, est) in enumerate(params):
+            active.add(running_job(index, float(start), float(est)))
+        active.check_invariants()
+
+
+class TestMutation:
+    def test_total_used(self):
+        active = ActiveList()
+        active.add(running_job(1, 0.0, 100.0, num=64))
+        active.add(running_job(2, 0.0, 50.0, num=96))
+        assert active.total_used == 160
+
+    def test_remove(self):
+        active = ActiveList()
+        a = running_job(1, 0.0, 100.0)
+        b = running_job(2, 0.0, 200.0)
+        active.add(a)
+        active.add(b)
+        active.remove(a)
+        assert active.jobs() == [b]
+        with pytest.raises(ValueError, match="not active"):
+            active.remove(a)
+
+    def test_resort_after_ecc_changes_kill_by(self):
+        """An ET on the shortest job can reorder the list (the ECC
+        processor calls resort after every applied command)."""
+        active = ActiveList()
+        a = running_job(1, 0.0, 100.0)
+        b = running_job(2, 0.0, 200.0)
+        active.add(a)
+        active.add(b)
+        a.estimate = 500.0  # ET pushed kill-by past b's
+        active.resort()
+        assert [j.job_id for j in active.jobs()] == [2, 1]
+        active.check_invariants()
+
+    def test_empty_list(self):
+        active = ActiveList()
+        assert active.last() is None
+        assert active.total_used == 0
+        assert not active

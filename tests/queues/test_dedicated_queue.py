@@ -1,0 +1,88 @@
+"""Tests for the dedicated queue (W^d, sorted by requested start)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queues.dedicated_queue import DedicatedQueue
+from tests.conftest import batch_job, dedicated_job
+
+
+class TestOrdering:
+    def test_sorted_by_start_time(self):
+        queue = DedicatedQueue()
+        late = dedicated_job(1, requested_start=300.0)
+        early = dedicated_job(2, requested_start=100.0)
+        mid = dedicated_job(3, requested_start=200.0)
+        for job in (late, early, mid):
+            queue.push(job)
+        assert [j.job_id for j in queue.jobs()] == [2, 3, 1]
+        assert queue.head is early
+        queue.check_invariants()
+
+    def test_ties_broken_by_submit_then_id(self):
+        queue = DedicatedQueue()
+        b = dedicated_job(2, submit=10.0, requested_start=100.0)
+        a = dedicated_job(1, submit=5.0, requested_start=100.0)
+        queue.push(b)
+        queue.push(a)
+        assert [j.job_id for j in queue.jobs()] == [1, 2]
+
+    def test_batch_job_rejected(self):
+        with pytest.raises(ValueError, match="not dedicated"):
+            DedicatedQueue().push(batch_job(1))
+
+    @given(starts=st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+    def test_invariant_under_random_insertion(self, starts):
+        queue = DedicatedQueue()
+        for index, start in enumerate(starts):
+            queue.push(dedicated_job(index, submit=0.0, requested_start=float(start)))
+        queue.check_invariants()
+        ordered = [j.requested_start for j in queue.jobs()]
+        assert ordered == sorted(ordered)
+
+
+class TestAccess:
+    def test_pop_head(self):
+        queue = DedicatedQueue()
+        job = dedicated_job(1, requested_start=50.0)
+        queue.push(job)
+        assert queue.pop_head() is job
+        assert not queue and queue.head is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DedicatedQueue().pop_head()
+
+    def test_remove(self):
+        queue = DedicatedQueue()
+        a = dedicated_job(1, requested_start=50.0)
+        b = dedicated_job(2, requested_start=60.0)
+        queue.push(a)
+        queue.push(b)
+        queue.remove(a)
+        assert queue.jobs() == [b]
+        with pytest.raises(ValueError, match="not in the dedicated queue"):
+            queue.remove(a)
+
+    def test_due_jobs(self):
+        queue = DedicatedQueue()
+        queue.push(dedicated_job(1, requested_start=50.0))
+        queue.push(dedicated_job(2, requested_start=150.0))
+        assert [j.job_id for j in queue.due(100.0)] == [1]
+        assert queue.due(10.0) == []
+        assert len(queue.due(200.0)) == 2
+
+    def test_cohead_group_identical_starts(self):
+        """Algorithm 2's tot_start_num sums jobs sharing the head start."""
+        queue = DedicatedQueue()
+        queue.push(dedicated_job(1, requested_start=100.0, num=32))
+        queue.push(dedicated_job(2, requested_start=100.0, num=64))
+        queue.push(dedicated_job(3, requested_start=200.0, num=96))
+        group = queue.cohead_group()
+        assert {j.job_id for j in group} == {1, 2}
+        assert sum(j.num for j in group) == 96
+
+    def test_cohead_group_empty_queue(self):
+        assert DedicatedQueue().cohead_group() == []

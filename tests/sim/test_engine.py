@@ -1,0 +1,164 @@
+"""Unit and property tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventPriority
+
+
+class TestScheduling:
+    def test_schedule_at_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        processed = sim.run()
+        assert processed == 2
+        assert fired == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_in(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [13.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError, match="clock is at"):
+            sim.schedule_at(9.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative delay"):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_same_time_priority_ordering(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("low"), priority=EventPriority.LOW)
+        sim.schedule_at(1.0, lambda: fired.append("finish"), priority=EventPriority.FINISH)
+        sim.schedule_at(1.0, lambda: fired.append("arrival"), priority=EventPriority.ARRIVAL)
+        sim.run()
+        assert fired == ["finish", "arrival", "low"]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_in(1.0, chain)
+
+        sim.schedule_at(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        event.cancel()
+        assert sim.run() == 1
+        assert fired == ["b"]
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule_at(1.0, lambda: None)
+        drop = sim.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert list(sim.pending()) == [keep]
+
+    def test_peek_time_skips_cancelled_head(self):
+        sim = Simulator()
+        head = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        head.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_until_processes_inclusive_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.schedule_at(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+        assert sim.pending_count() == 1
+
+    def test_until_advances_clock_when_no_events(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_stops_early(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending_count() == 2
+
+    def test_step_returns_none_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is None
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError, match="not reentrant"):
+                sim.run()
+
+        sim.schedule_at(1.0, nested)
+        sim.run()
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for t in range(4):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestClockMonotonicity:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=2, max_size=30
+        ),
+        cancel_index=st.integers(min_value=0, max_value=29),
+    )
+    def test_cancellation_never_affects_other_events(self, times, cancel_index):
+        sim = Simulator()
+        events = [sim.schedule_at(float(t), lambda: None) for t in times]
+        victim = events[cancel_index % len(events)]
+        victim.cancel()
+        assert sim.run() == len(times) - 1

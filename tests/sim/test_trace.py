@@ -1,0 +1,63 @@
+"""Unit tests for the trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+class TestTraceLog:
+    def test_record_and_query(self):
+        log = TraceLog()
+        log.record(1.0, "start", job=1)
+        log.record(2.0, "finish", job=1)
+        assert len(log) == 2
+        assert log[0].kind == "start"
+        assert log[1].data == {"job": 1}
+
+    def test_of_kind_filters_in_order(self):
+        log = TraceLog()
+        log.record(1.0, "a")
+        log.record(2.0, "b")
+        log.record(3.0, "a")
+        kinds = [r.time for r in log.of_kind("a")]
+        assert kinds == [1.0, 3.0]
+
+    def test_of_kind_multiple(self):
+        log = TraceLog()
+        log.record(1.0, "a")
+        log.record(2.0, "b")
+        log.record(3.0, "c")
+        assert len(log.of_kind("a", "c")) == 2
+
+    def test_kinds_set(self):
+        log = TraceLog()
+        log.record(1.0, "a")
+        log.record(2.0, "a")
+        log.record(3.0, "b")
+        assert log.kinds() == {"a", "b"}
+
+    def test_between_is_inclusive(self):
+        log = TraceLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.record(t, "x")
+        assert [r.time for r in log.between(2.0, 3.0)] == [2.0, 3.0]
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(1.0, "a")
+        log.extend([TraceRecord(2.0, "b")])
+        assert len(log) == 0
+
+    def test_is_time_ordered(self):
+        log = TraceLog()
+        log.record(1.0, "a")
+        log.record(2.0, "a")
+        assert log.is_time_ordered()
+        log.extend([TraceRecord(0.5, "late")])
+        assert not log.is_time_ordered()
+
+    def test_iteration(self):
+        log = TraceLog()
+        log.record(1.0, "a")
+        log.record(2.0, "b")
+        assert [r.kind for r in log] == ["a", "b"]

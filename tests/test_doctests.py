@@ -1,0 +1,34 @@
+"""Run the executable examples embedded in module docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in the covered
+modules is executed on every test run.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.cluster.partition
+import repro.core.dp
+import repro.metrics.stats
+import repro.metrics.timeline
+import repro.sim.engine
+import repro.workload.load
+
+MODULES = [
+    repro.cluster.partition,
+    repro.core.dp,
+    repro.metrics.stats,
+    repro.metrics.timeline,
+    repro.sim.engine,
+    repro.workload.load,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

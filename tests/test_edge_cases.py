@@ -1,0 +1,143 @@
+"""Degenerate geometries and boundary workloads.
+
+Every scheduler and substrate must behave sensibly at the edges:
+single-processor machines, full-machine jobs only, zero-length
+workloads, 1-second jobs, serial (num=1, granularity=1) mixes, and
+single-job heterogeneous/elastic corner cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.experiments.runner import SimulationRunner, simulate
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.generator import Workload
+from repro.workload.job import Job, JobKind
+from tests.conftest import batch_job, dedicated_job, make_workload
+
+BATCH_NAMES = sorted(
+    name for name in ALGORITHMS if not make_scheduler(name).handles_dedicated
+)
+
+
+class TestEmptyWorkload:
+    @pytest.mark.parametrize("name", ["EASY", "Delayed-LOS", "Hybrid-LOS"])
+    def test_zero_jobs(self, name):
+        workload = make_workload([])
+        metrics = simulate(workload, make_scheduler(name))
+        assert metrics.n_jobs == 0
+        assert metrics.utilization == 0.0
+        assert metrics.makespan == 0.0
+        assert metrics.slowdown == 1.0
+
+
+class TestSingleProcessorMachine:
+    @pytest.mark.parametrize("name", BATCH_NAMES)
+    def test_serial_jobs_on_tiny_machine(self, name):
+        jobs = [
+            Job(job_id=i, submit=float(i), num=1, estimate=10.0) for i in range(1, 6)
+        ]
+        workload = Workload(jobs=jobs, machine_size=1, granularity=1)
+        metrics = simulate(workload, make_scheduler(name))
+        assert metrics.n_jobs == 5
+        # One processor: strictly sequential, any policy.
+        finishes = sorted(r.finish for r in metrics.records)
+        starts = sorted(r.start for r in metrics.records)
+        for finish, next_start in zip(finishes, starts[1:]):
+            assert next_start >= finish - 1e-9
+
+
+class TestFullMachineJobsOnly:
+    @pytest.mark.parametrize("name", BATCH_NAMES)
+    def test_sequential_execution(self, name):
+        jobs = [batch_job(i, submit=0.0, num=320, estimate=50.0) for i in range(1, 4)]
+        metrics = simulate(make_workload(jobs), make_scheduler(name))
+        assert metrics.n_jobs == 3
+        assert metrics.makespan == pytest.approx(150.0)
+        assert metrics.utilization == pytest.approx(1.0)
+
+
+class TestOneSecondJobs:
+    def test_minimal_runtimes(self):
+        jobs = [batch_job(i, submit=0.0, num=32, estimate=1.0) for i in range(1, 21)]
+        metrics = simulate(make_workload(jobs), make_scheduler("Delayed-LOS"))
+        assert metrics.n_jobs == 20
+        # 10 fit at once: two 1-second waves.
+        assert metrics.makespan == pytest.approx(2.0)
+
+
+class TestSingleJobVariants:
+    def test_single_dedicated_job(self):
+        job = dedicated_job(1, submit=0.0, num=320, estimate=10.0, requested_start=100.0)
+        metrics = simulate(make_workload([job]), make_scheduler("Hybrid-LOS"))
+        assert metrics.records[0].start == 100.0
+        # Utilization window covers the idle lead-in.
+        assert metrics.utilization == pytest.approx(10.0 / 110.0)
+
+    def test_single_elastic_job_extended_repeatedly(self):
+        job = batch_job(1, submit=0.0, num=320, estimate=10.0)
+        eccs = [
+            ECC(job_id=1, issue_time=float(t), kind=ECCKind.EXTEND_TIME, amount=10.0)
+            for t in (5, 12, 25)
+        ]
+        workload = make_workload([job], eccs=eccs)
+        metrics = simulate(workload, make_scheduler("EASY-E"))
+        assert metrics.records[0].finish == 40.0  # 10 + 3x10
+
+    def test_job_exactly_machine_sized_with_granularity(self):
+        workload = Workload(
+            jobs=[batch_job(1, num=320, estimate=5.0)], machine_size=320, granularity=320
+        )
+        metrics = simulate(workload, make_scheduler("LOS"))
+        assert metrics.n_jobs == 1
+
+
+class TestPathologicalQueues:
+    def test_thousand_identical_tiny_jobs(self):
+        jobs = [batch_job(i, submit=0.0, num=32, estimate=2.0) for i in range(1, 501)]
+        metrics = simulate(make_workload(jobs), make_scheduler("Delayed-LOS"))
+        assert metrics.n_jobs == 500
+        # 10 at a time, 2s each: 50 waves.
+        assert metrics.makespan == pytest.approx(100.0)
+        assert metrics.utilization == pytest.approx(1.0)
+
+    def test_alternating_giant_and_tiny(self):
+        jobs = []
+        for i in range(1, 21):
+            num = 320 if i % 2 else 32
+            jobs.append(batch_job(i, submit=float(i), num=num, estimate=20.0))
+        for name in ("EASY", "LOS", "Delayed-LOS", "CONSERVATIVE"):
+            metrics = simulate(make_workload(jobs), make_scheduler(name))
+            assert metrics.n_jobs == 20, name
+
+    def test_simultaneous_dedicated_group_fills_machine(self):
+        """Five same-start dedicated jobs exactly filling the machine."""
+        jobs = [
+            dedicated_job(i, submit=0.0, num=64, estimate=30.0, requested_start=50.0)
+            for i in range(1, 6)
+        ]
+        metrics = simulate(make_workload(jobs), make_scheduler("Hybrid-LOS"))
+        starts = {r.job_id: r.start for r in metrics.records}
+        assert all(start == 50.0 for start in starts.values())
+
+    def test_estimates_much_longer_than_actuals(self):
+        """Massive over-estimation: early terminations cascade."""
+        jobs = [
+            batch_job(i, submit=0.0, num=320, estimate=10_000.0, actual=5.0)
+            for i in range(1, 11)
+        ]
+        metrics = simulate(make_workload(jobs), make_scheduler("EASY"))
+        assert metrics.makespan == pytest.approx(50.0)
+
+
+class TestRunnerReuse:
+    def test_runner_instance_not_reusable_but_workload_is(self, small_batch_workload):
+        runner = SimulationRunner(small_batch_workload, make_scheduler("EASY"))
+        first = runner.run()
+        # The workload itself supports unlimited fresh runs.
+        second = SimulationRunner(small_batch_workload, make_scheduler("EASY")).run()
+        assert [(r.job_id, r.start) for r in first.records] == [
+            (r.job_id, r.start) for r in second.records
+        ]

@@ -1,0 +1,96 @@
+"""Deep invariant auditing: every algorithm, every cycle.
+
+Uses the library's :class:`~repro.core.audit.AuditingScheduler` (see
+its docstring) to re-check the paper's Notations-box invariants on
+every scheduling pass of full simulations, across the whole registry —
+plus direct tests that deliberately misbehaving policies are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.audit import AuditingScheduler, AuditViolation
+from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.experiments.runner import SimulationRunner
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+
+def _workload(p_dedicated: float, elastic: bool, seed: int):
+    config = GeneratorConfig(
+        n_jobs=70,
+        size=TwoStageSizeConfig(p_small=0.4),
+        p_dedicated=p_dedicated,
+        p_extend=0.3 if elastic else 0.0,
+        p_reduce=0.2 if elastic else 0.0,
+    )
+    return CWFWorkloadGenerator(config).generate(np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_every_algorithm_passes_full_audit(name):
+    scheduler = make_scheduler(name)
+    workload = _workload(
+        p_dedicated=0.4 if scheduler.handles_dedicated else 0.0,
+        elastic=scheduler.elastic,
+        seed=555,
+    )
+    audited = AuditingScheduler(scheduler)
+    metrics = SimulationRunner(workload, audited).run()
+    assert metrics.n_jobs == len(workload)
+    assert audited.passes > len(workload), "auditor must have seen real cycles"
+
+
+class OvercommittingPolicy(Scheduler):
+    """Deliberately broken: starts everything, capacity be damned."""
+
+    name = "BROKEN-OVERCOMMIT"
+
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        return CycleDecision(starts=ctx.batch_queue.jobs())
+
+
+class PhantomStartPolicy(Scheduler):
+    """Deliberately broken: starts a job that is not queued."""
+
+    name = "BROKEN-PHANTOM"
+
+    def cycle(self, ctx: SchedulerContext) -> CycleDecision:
+        from tests.conftest import batch_job
+
+        if ctx.batch_queue:
+            return CycleDecision(starts=[batch_job(999_999, num=32)])
+        return CycleDecision.nothing()
+
+
+class TestAuditorCatchesMisbehaviour:
+    def test_overcommit_detected(self):
+        workload = _workload(0.0, False, seed=1)
+        runner = SimulationRunner(workload, AuditingScheduler(OvercommittingPolicy()))
+        with pytest.raises(AuditViolation, match="overcommitted"):
+            runner.run()
+
+    def test_phantom_start_detected(self):
+        workload = _workload(0.0, False, seed=2)
+        runner = SimulationRunner(workload, AuditingScheduler(PhantomStartPolicy()))
+        with pytest.raises(AuditViolation, match="non-queued"):
+            runner.run()
+
+    def test_wrapper_is_transparent(self):
+        """Auditing must not change any scheduling decision."""
+        workload = _workload(0.0, False, seed=3)
+        plain = SimulationRunner(workload, make_scheduler("Delayed-LOS")).run()
+        audited = SimulationRunner(
+            workload, AuditingScheduler(make_scheduler("Delayed-LOS"))
+        ).run()
+        assert [(r.job_id, r.start) for r in plain.records] == [
+            (r.job_id, r.start) for r in audited.records
+        ]
+
+    def test_wrapper_propagates_flags(self):
+        wrapped = AuditingScheduler(make_scheduler("Hybrid-LOS-E"))
+        assert wrapped.handles_dedicated
+        assert wrapped.elastic

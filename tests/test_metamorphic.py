@@ -1,0 +1,177 @@
+"""Metamorphic properties of the schedulers.
+
+Online schedulers that decide from *relative* quantities (capacity
+comparisons, residual orderings, shadow times) must commute with
+certain workload transformations:
+
+- **time translation**: shifting every submission (and requested
+  start, and ECC issue time) by a constant Δ shifts every start and
+  finish by exactly Δ;
+- **time scaling**: multiplying all times (arrivals, runtimes,
+  estimates, amounts) by k > 0 multiplies all starts/finishes by k —
+  nothing in the policies carries an absolute time scale;
+- **machine scaling**: multiplying machine size *and* every job size
+  by the same integer factor leaves start times unchanged.
+
+These catch subtle absolute-time or absolute-size leaks (e.g. a
+hard-coded threshold) that ordinary example-based tests never hit.
+
+Note: the *generator* is deliberately not scale-free (its daily
+rush-hour cycle uses absolute hours), so transformations are applied
+to generated workloads post-hoc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.registry import make_scheduler
+from repro.experiments.runner import simulate
+from repro.workload.ecc import ECC
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
+from repro.workload.job import Job
+from repro.workload.twostage import TwoStageSizeConfig
+
+ALGORITHMS = ["FCFS", "EASY", "CONSERVATIVE", "LOS", "Delayed-LOS", "SJF"]
+
+
+def generate(seed: int, n_jobs: int = 30, elastic: bool = False) -> Workload:
+    config = GeneratorConfig(
+        n_jobs=n_jobs,
+        size=TwoStageSizeConfig(p_small=0.5),
+        p_extend=0.3 if elastic else 0.0,
+        p_reduce=0.2 if elastic else 0.0,
+    )
+    return CWFWorkloadGenerator(config).generate(np.random.default_rng(seed))
+
+
+def translate(workload: Workload, delta: float) -> Workload:
+    jobs = [
+        Job(
+            job_id=j.job_id,
+            submit=j.submit + delta,
+            num=j.num,
+            estimate=j.original_estimate,
+            actual=j.actual,
+            kind=j.kind,
+            requested_start=None if j.requested_start is None else j.requested_start + delta,
+        )
+        for j in workload.jobs
+    ]
+    eccs = [
+        ECC(job_id=e.job_id, issue_time=e.issue_time + delta, kind=e.kind, amount=e.amount)
+        for e in workload.eccs
+    ]
+    return Workload(
+        jobs=jobs, eccs=eccs, machine_size=workload.machine_size,
+        granularity=workload.granularity,
+    )
+
+
+def scale_time(workload: Workload, k: float) -> Workload:
+    jobs = [
+        Job(
+            job_id=j.job_id,
+            submit=j.submit * k,
+            num=j.num,
+            estimate=j.original_estimate * k,
+            actual=None if j.actual is None else j.actual * k,
+            kind=j.kind,
+            requested_start=None if j.requested_start is None else j.requested_start * k,
+        )
+        for j in workload.jobs
+    ]
+    eccs = [
+        ECC(job_id=e.job_id, issue_time=e.issue_time * k, kind=e.kind, amount=e.amount * k)
+        for e in workload.eccs
+    ]
+    return Workload(
+        jobs=jobs, eccs=eccs, machine_size=workload.machine_size,
+        granularity=workload.granularity,
+    )
+
+
+def scale_machine(workload: Workload, factor: int) -> Workload:
+    jobs = [
+        Job(
+            job_id=j.job_id,
+            submit=j.submit,
+            num=j.num * factor,
+            estimate=j.original_estimate,
+            actual=j.actual,
+            kind=j.kind,
+            requested_start=j.requested_start,
+        )
+        for j in workload.jobs
+    ]
+    return Workload(
+        jobs=jobs,
+        eccs=list(workload.eccs),
+        machine_size=workload.machine_size * factor,
+        granularity=workload.granularity * factor,
+    )
+
+
+def schedule_of(workload: Workload, name: str):
+    metrics = simulate(workload, make_scheduler(name, max_skip_count=5))
+    return sorted((r.job_id, r.start, r.finish) for r in metrics.records)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 300),
+    delta=st.sampled_from([1.0, 500.0, 86_400.0]),
+    name=st.sampled_from(ALGORITHMS),
+)
+def test_time_translation_invariance(seed, delta, name):
+    base = generate(seed)
+    shifted = translate(base, delta)
+    original = schedule_of(base, name)
+    moved = schedule_of(shifted, name)
+    assert moved == [
+        (job_id, start + delta, finish + delta) for job_id, start, finish in original
+    ]
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 300),
+    k=st.sampled_from([2.0, 4.0]),
+    name=st.sampled_from(ALGORITHMS),
+)
+def test_time_scaling_invariance(seed, k, name):
+    base = generate(seed)
+    stretched = scale_time(base, k)
+    original = schedule_of(base, name)
+    scaled = schedule_of(stretched, name)
+    assert scaled == pytest.approx(
+        [(job_id, start * k, finish * k) for job_id, start, finish in original]
+    )
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 300),
+    factor=st.sampled_from([2, 3]),
+    name=st.sampled_from(["EASY", "LOS", "Delayed-LOS"]),
+)
+def test_machine_scaling_invariance(seed, factor, name):
+    """Doubling machine and all job sizes changes nothing temporal."""
+    base = generate(seed)
+    widened = scale_machine(base, factor)
+    assert schedule_of(base, name) == schedule_of(widened, name)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 300), delta=st.sampled_from([1000.0]))
+def test_translation_holds_for_elastic_runs(seed, delta):
+    """The ECC machinery must carry no absolute-time references either."""
+    base = generate(seed, elastic=True)
+    shifted = translate(base, delta)
+    original = schedule_of(base, "Delayed-LOS-E")
+    moved = schedule_of(shifted, "Delayed-LOS-E")
+    assert moved == [
+        (job_id, start + delta, finish + delta) for job_id, start, finish in original
+    ]

@@ -1,0 +1,66 @@
+"""Performance regression guards.
+
+The whole point of bounding the DP lookahead ([7]) is tractability;
+these tests keep the implementation honest about it.  Budgets carry
+~10x headroom over current measurements so they only trip on genuine
+regressions (e.g. accidentally quadratic queue operations or a
+per-cycle DP table blow-up), not on machine noise.
+
+Current reference timings (this machine): a paper-scale 500-job run
+completes in ~0.05-0.2 s per algorithm; a full figure sweep in ~1-2 s.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.experiments.runner import simulate
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.sdsc import generate_sdsc_like
+from repro.workload.twostage import TwoStageSizeConfig
+
+
+def timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def paper_scale_workload():
+    config = GeneratorConfig(n_jobs=500, size=TwoStageSizeConfig(p_small=0.5))
+    return CWFWorkloadGenerator(config).generate(np.random.default_rng(42))
+
+
+class TestSimulationThroughput:
+    @pytest.mark.parametrize("name", ["EASY", "LOS", "Delayed-LOS", "CONSERVATIVE"])
+    def test_paper_scale_run_under_budget(self, paper_scale_workload, name):
+        elapsed = timed(lambda: simulate(paper_scale_workload, make_scheduler(name)))
+        assert elapsed < 5.0, f"{name} took {elapsed:.2f}s for 500 jobs"
+
+    def test_fine_granularity_run_under_budget(self):
+        """The SDSC-like machine (granularity 1, 128 procs) exercises
+        the largest DP tables (128x128 per reservation cycle)."""
+        workload = generate_sdsc_like(500, np.random.default_rng(7))
+        elapsed = timed(lambda: simulate(workload, make_scheduler("Delayed-LOS")))
+        assert elapsed < 10.0, f"{elapsed:.2f}s for the fine-granularity run"
+
+    def test_large_workload_scales_roughly_linearly(self):
+        """2000 jobs must not take quadratically longer than 500."""
+        config = GeneratorConfig(n_jobs=2000, size=TwoStageSizeConfig(p_small=0.5))
+        workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(3))
+        elapsed = timed(lambda: simulate(workload, make_scheduler("Delayed-LOS")))
+        assert elapsed < 20.0, f"{elapsed:.2f}s for 2000 jobs"
+
+
+class TestGenerationThroughput:
+    def test_workload_generation_fast(self):
+        config = GeneratorConfig(n_jobs=5000)
+        elapsed = timed(
+            lambda: CWFWorkloadGenerator(config).generate(np.random.default_rng(1))
+        )
+        assert elapsed < 10.0, f"{elapsed:.2f}s to generate 5000 jobs"

@@ -1,0 +1,105 @@
+"""Statistical tests for the distribution building blocks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    HyperGamma,
+    exponential,
+    gamma,
+    log2_gamma_mean,
+    two_stage_uniform,
+)
+
+
+class TestTwoStageUniform:
+    def test_bounds(self, rng):
+        samples = [two_stage_uniform(1.0, 3.0, 10.0, 0.5, rng) for _ in range(2000)]
+        assert all(1.0 <= s <= 10.0 for s in samples)
+
+    def test_mixing_probability(self, rng):
+        samples = [two_stage_uniform(0.0, 1.0, 2.0, 0.8, rng) for _ in range(8000)]
+        low_fraction = sum(1 for s in samples if s <= 1.0) / len(samples)
+        assert low_fraction == pytest.approx(0.8, abs=0.03)
+
+    def test_prob_extremes(self, rng):
+        assert all(
+            two_stage_uniform(0.0, 1.0, 2.0, 1.0, rng) <= 1.0 for _ in range(200)
+        )
+        assert all(
+            two_stage_uniform(0.0, 1.0, 2.0, 0.0, rng) >= 1.0 for _ in range(200)
+        )
+
+    def test_invalid_ordering_rejected(self, rng):
+        with pytest.raises(ValueError, match="low <= med <= high"):
+            two_stage_uniform(3.0, 1.0, 5.0, 0.5, rng)
+
+    def test_invalid_prob_rejected(self, rng):
+        with pytest.raises(ValueError, match="prob"):
+            two_stage_uniform(0.0, 1.0, 2.0, 1.5, rng)
+
+
+class TestGamma:
+    def test_mean_matches_shape_times_scale(self, rng):
+        samples = [gamma(4.2, 0.94, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(4.2 * 0.94, rel=0.05)
+
+    def test_positive(self, rng):
+        assert all(gamma(2.0, 1.0, rng) > 0 for _ in range(100))
+
+    @pytest.mark.parametrize("shape,scale", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_params_rejected(self, rng, shape, scale):
+        with pytest.raises(ValueError):
+            gamma(shape, scale, rng)
+
+
+class TestHyperGamma:
+    def test_mixture_mean(self, rng):
+        hg = HyperGamma(4.2, 0.94, 312.0, 0.03)
+        samples = [hg.sample(0.5, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(hg.mean(0.5), rel=0.05)
+
+    def test_p_extremes_select_components(self, rng):
+        hg = HyperGamma(100.0, 0.01, 400.0, 0.1)  # means 1 and 40
+        only_first = [hg.sample(1.0, rng) for _ in range(500)]
+        only_second = [hg.sample(0.0, rng) for _ in range(500)]
+        assert np.mean(only_first) == pytest.approx(1.0, rel=0.2)
+        assert np.mean(only_second) == pytest.approx(40.0, rel=0.2)
+
+    def test_p_clipped_outside_unit_interval(self, rng):
+        hg = HyperGamma(100.0, 0.01, 400.0, 0.1)
+        # p = -3 behaves as p = 0 (second component only).
+        assert np.mean([hg.sample(-3.0, rng) for _ in range(300)]) > 20
+        assert hg.mean(-3.0) == hg.mean(0.0)
+        assert hg.mean(7.0) == hg.mean(1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            HyperGamma(0.0, 1.0, 1.0, 1.0)
+
+
+class TestLog2GammaMean:
+    def test_matches_empirical_mean(self, rng):
+        shape, scale = 13.2303, 0.45
+        theory = log2_gamma_mean(shape, scale)
+        samples = [2.0 ** gamma(shape, scale, rng) for _ in range(40000)]
+        assert np.mean(samples) == pytest.approx(theory, rel=0.1)
+
+    def test_divergence_boundary(self):
+        # MGF at ln2 diverges when scale >= 1/ln2.
+        assert log2_gamma_mean(1.0, 1.0 / math.log(2.0)) == math.inf
+        assert math.isfinite(log2_gamma_mean(1.0, 1.0))
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        samples = [exponential(600.0, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(600.0, rel=0.05)
+
+    def test_invalid_mean_rejected(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            exponential(0.0, rng)

@@ -1,0 +1,55 @@
+"""Unit tests for Elastic Control Command records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.ecc import ECC, ECCKind
+
+
+class TestECCKind:
+    def test_time_commands(self):
+        assert ECCKind.EXTEND_TIME.is_time
+        assert ECCKind.REDUCE_TIME.is_time
+        assert not ECCKind.EXTEND_PROCS.is_time
+
+    def test_proc_commands(self):
+        assert ECCKind.EXTEND_PROCS.is_procs
+        assert ECCKind.REDUCE_PROCS.is_procs
+        assert not ECCKind.EXTEND_TIME.is_procs
+
+    def test_extension_flag(self):
+        assert ECCKind.EXTEND_TIME.is_extension
+        assert ECCKind.EXTEND_PROCS.is_extension
+        assert not ECCKind.REDUCE_TIME.is_extension
+        assert not ECCKind.REDUCE_PROCS.is_extension
+
+    def test_cwf_codes(self):
+        # Figure 4 field-20 codes.
+        assert {k.value for k in ECCKind} == {"S", "ET", "RT", "EP", "RP"}
+
+
+class TestECC:
+    def test_signed_amount(self):
+        extend = ECC(job_id=1, issue_time=10.0, kind=ECCKind.EXTEND_TIME, amount=60.0)
+        reduce = ECC(job_id=1, issue_time=10.0, kind=ECCKind.REDUCE_TIME, amount=60.0)
+        assert extend.signed_amount() == 60.0
+        assert reduce.signed_amount() == -60.0
+
+    def test_submission_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind S"):
+            ECC(job_id=1, issue_time=0.0, kind=ECCKind.SUBMIT, amount=10.0)
+
+    @pytest.mark.parametrize("amount", [0.0, -5.0])
+    def test_nonpositive_amount_rejected(self, amount):
+        with pytest.raises(ValueError, match="positive"):
+            ECC(job_id=1, issue_time=0.0, kind=ECCKind.EXTEND_TIME, amount=amount)
+
+    def test_negative_issue_time_rejected(self):
+        with pytest.raises(ValueError, match="negative issue time"):
+            ECC(job_id=1, issue_time=-1.0, kind=ECCKind.EXTEND_TIME, amount=1.0)
+
+    def test_frozen(self):
+        ecc = ECC(job_id=1, issue_time=0.0, kind=ECCKind.EXTEND_TIME, amount=1.0)
+        with pytest.raises(AttributeError):
+            ecc.amount = 2.0  # type: ignore[misc]

@@ -1,0 +1,125 @@
+"""Unit tests for job records and lifecycle quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.job import Job, JobKind, JobState
+from tests.conftest import batch_job, dedicated_job
+
+
+class TestValidation:
+    def test_defaults(self):
+        job = batch_job(1, submit=5.0, num=64, estimate=100.0)
+        assert job.actual == 100.0  # defaults to the estimate
+        assert job.state is JobState.PENDING
+        assert job.kind is JobKind.BATCH
+        assert job.original_estimate == 100.0
+        assert not job.is_dedicated
+
+    @pytest.mark.parametrize("num", [0, -5])
+    def test_nonpositive_size_rejected(self, num):
+        with pytest.raises(ValueError, match="num must be positive"):
+            Job(job_id=1, submit=0.0, num=num, estimate=10.0)
+
+    def test_nonpositive_estimate_rejected(self):
+        with pytest.raises(ValueError, match="estimate must be positive"):
+            Job(job_id=1, submit=0.0, num=1, estimate=0.0)
+
+    def test_negative_submit_rejected(self):
+        with pytest.raises(ValueError, match="negative submit"):
+            Job(job_id=1, submit=-1.0, num=1, estimate=10.0)
+
+    def test_dedicated_requires_requested_start(self):
+        with pytest.raises(ValueError, match="requested_start"):
+            Job(job_id=1, submit=0.0, num=1, estimate=10.0, kind=JobKind.DEDICATED)
+
+    def test_dedicated_start_before_submit_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            Job(
+                job_id=1,
+                submit=10.0,
+                num=1,
+                estimate=10.0,
+                kind=JobKind.DEDICATED,
+                requested_start=5.0,
+            )
+
+    def test_batch_with_requested_start_rejected(self):
+        with pytest.raises(ValueError, match="must not set requested_start"):
+            Job(job_id=1, submit=0.0, num=1, estimate=10.0, requested_start=5.0)
+
+
+class TestSchedulerQuantities:
+    def test_effective_runtime_is_min_of_actual_and_estimate(self):
+        overrun = batch_job(1, estimate=100.0, actual=150.0)
+        assert overrun.effective_runtime() == 100.0  # killed at kill-by
+        early = batch_job(2, estimate=100.0, actual=60.0)
+        assert early.effective_runtime() == 60.0
+
+    def test_kill_by_and_residual(self):
+        job = batch_job(1, estimate=100.0)
+        job.start_time = 50.0
+        assert job.kill_by() == 150.0
+        assert job.residual(now=80.0) == 70.0
+        assert job.residual(now=200.0) == 0.0  # clamped
+
+    def test_residual_requires_started(self):
+        with pytest.raises(ValueError, match="has not started"):
+            batch_job(1).residual(0.0)
+
+    def test_kill_by_requires_started(self):
+        with pytest.raises(ValueError, match="has not started"):
+            batch_job(1).kill_by()
+
+
+class TestMetrics:
+    def test_wait_and_runtime(self):
+        job = batch_job(1, submit=10.0, estimate=100.0)
+        job.start_time = 35.0
+        job.finish_time = 135.0
+        assert job.wait_time() == 25.0
+        assert job.runtime() == 100.0
+
+    def test_wait_requires_started(self):
+        with pytest.raises(ValueError, match="never started"):
+            batch_job(1).wait_time()
+
+    def test_dedicated_delay(self):
+        job = dedicated_job(1, submit=0.0, requested_start=100.0)
+        job.start_time = 130.0
+        assert job.dedicated_delay() == 30.0
+        job.start_time = 100.0
+        assert job.dedicated_delay() == 0.0
+
+    def test_dedicated_delay_rejects_batch(self):
+        job = batch_job(1)
+        job.start_time = 1.0
+        with pytest.raises(ValueError, match="dedicated"):
+            job.dedicated_delay()
+
+
+class TestCopyForRun:
+    def test_copy_resets_lifecycle(self):
+        job = batch_job(1, estimate=100.0)
+        job.start_time = 5.0
+        job.finish_time = 105.0
+        job.state = JobState.FINISHED
+        job.scount = 4
+        job.ecc_count = 2
+        clone = job.copy_for_run()
+        assert clone.state is JobState.PENDING
+        assert clone.start_time is None and clone.finish_time is None
+        assert clone.scount == 0 and clone.ecc_count == 0
+        assert clone.job_id == job.job_id and clone.num == job.num
+
+    def test_copy_restores_original_estimate_after_ecc(self):
+        job = batch_job(1, estimate=100.0)
+        job.estimate = 250.0  # mutated by an ET command
+        clone = job.copy_for_run()
+        assert clone.estimate == 100.0
+
+    def test_copy_preserves_dedication(self):
+        job = dedicated_job(3, requested_start=77.0)
+        clone = job.copy_for_run()
+        assert clone.is_dedicated and clone.requested_start == 77.0

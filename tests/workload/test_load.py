@@ -1,0 +1,65 @@
+"""Tests for the offered-load formula."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.load import log_span, mean_runtime, mean_size, offered_load
+from tests.conftest import batch_job
+
+
+class TestLogSpan:
+    def test_span_covers_last_job_end(self):
+        jobs = [batch_job(1, submit=0.0, estimate=100.0), batch_job(2, submit=50.0, estimate=10.0)]
+        assert log_span(jobs) == 100.0  # job 1 ends at 100 > job 2 at 60
+
+    def test_empty(self):
+        assert log_span([]) == 0.0
+
+
+class TestOfferedLoad:
+    def test_exact_value(self):
+        # One job using half the machine for the whole span.
+        jobs = [batch_job(1, submit=0.0, num=160, estimate=100.0)]
+        assert offered_load(jobs, 320) == pytest.approx(0.5)
+
+    def test_paper_formula(self):
+        # Load = sum(num*dur) / (M * span).
+        jobs = [
+            batch_job(1, submit=0.0, num=64, estimate=100.0),
+            batch_job(2, submit=0.0, num=32, estimate=200.0),
+        ]
+        span = 200.0
+        expected = (64 * 100 + 32 * 200) / (320 * span)
+        assert offered_load(jobs, 320) == pytest.approx(expected)
+
+    def test_uses_effective_runtime_for_overruns(self):
+        # A job killed at its estimate contributes only the estimate.
+        job = batch_job(1, submit=0.0, num=320, estimate=100.0, actual=500.0)
+        assert offered_load([job], 320) == pytest.approx(1.0)
+
+    def test_duration_override(self):
+        jobs = [batch_job(1, submit=0.0, num=320, estimate=100.0)]
+        assert offered_load(jobs, 320, duration=200.0) == pytest.approx(0.5)
+
+    def test_empty_and_degenerate(self):
+        assert offered_load([], 320) == 0.0
+        assert offered_load([batch_job(1)], 320, duration=0.0) == 0.0
+
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            offered_load([batch_job(1)], 0)
+
+
+class TestAverages:
+    def test_mean_runtime_and_size(self):
+        jobs = [
+            batch_job(1, num=32, estimate=100.0),
+            batch_job(2, num=96, estimate=300.0),
+        ]
+        assert mean_runtime(jobs) == 200.0
+        assert mean_size(jobs) == 64.0
+
+    def test_empty_means(self):
+        assert mean_runtime([]) == 0.0
+        assert mean_size([]) == 0.0

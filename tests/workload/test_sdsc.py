@@ -1,0 +1,44 @@
+"""Tests for the SDSC-like validation trace (Figure 1 substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.sdsc import SDSC_MACHINE_SIZE, generate_sdsc_like, sdsc_like_config
+
+
+class TestSDSCTrace:
+    def test_machine_and_shape(self, rng):
+        workload = generate_sdsc_like(200, rng)
+        assert workload.machine_size == SDSC_MACHINE_SIZE == 128
+        assert workload.granularity == 1  # SP2 had no pset granularity
+        assert len(workload) == 200
+        assert not workload.dedicated_jobs and not workload.eccs
+
+    def test_sizes_within_sp2(self, rng):
+        workload = generate_sdsc_like(300, rng)
+        assert all(1 <= j.num <= 128 for j in workload.jobs)
+
+    def test_real_log_like_packing(self, rng):
+        """Real logs are dominated by small jobs — unlike the paper's
+        two-stage BlueGene model.  This difference is the whole point
+        of the paper's claim about LOS."""
+        workload = generate_sdsc_like(800, rng)
+        small = sum(1 for j in workload.jobs if j.num <= 16) / len(workload)
+        assert small > 0.5
+
+    def test_determinism(self):
+        a = generate_sdsc_like(100, np.random.default_rng(3))
+        b = generate_sdsc_like(100, np.random.default_rng(3))
+        assert [(j.submit, j.num, j.estimate) for j in a.jobs] == [
+            (j.submit, j.num, j.estimate) for j in b.jobs
+        ]
+
+    def test_config_targets_machine(self):
+        assert sdsc_like_config(64).max_nodes == 64
+
+    def test_arrival_scaling_varies_load_as_in_ref7(self, rng):
+        """Figure 1 methodology: arrival-time scaling sweeps load."""
+        base = generate_sdsc_like(200, rng)
+        loads = [base.scale_arrivals(f).offered_load() for f in (1.0, 1.5, 2.0)]
+        assert loads[0] > loads[1] > loads[2]

@@ -1,0 +1,74 @@
+"""Tests for workload characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.stats import characterize
+from tests.conftest import batch_job, dedicated_job, make_workload
+
+
+class TestCharacterize:
+    def test_counts_and_classes(self):
+        workload = make_workload(
+            [
+                batch_job(1, submit=0.0, num=32, estimate=100.0),
+                batch_job(2, submit=10.0, num=320, estimate=200.0),
+                dedicated_job(3, submit=20.0, num=64, requested_start=100.0),
+            ],
+            eccs=[ECC(job_id=1, issue_time=5.0, kind=ECCKind.EXTEND_TIME, amount=10.0)],
+        )
+        stats = characterize(workload)
+        assert stats.n_jobs == 3
+        assert stats.n_batch == 2
+        assert stats.n_dedicated == 1
+        assert stats.n_eccs == 1
+        assert stats.ecc_kinds == {"ET": 1}
+        assert stats.machine_size == 320 and stats.granularity == 32
+
+    def test_small_share_uses_paper_boundary(self):
+        workload = make_workload(
+            [
+                batch_job(1, num=96),  # small (<= 96)
+                batch_job(2, submit=1.0, num=128),  # large
+            ]
+        )
+        stats = characterize(workload)
+        assert stats.p_small_empirical == 0.5
+
+    def test_size_histogram(self):
+        workload = make_workload(
+            [batch_job(1, num=32), batch_job(2, submit=1.0, num=32), batch_job(3, submit=2.0, num=64)]
+        )
+        stats = characterize(workload)
+        assert stats.size_histogram == {32: 2, 64: 1}
+
+    def test_means_match_load_helpers(self):
+        workload = make_workload(
+            [batch_job(1, num=32, estimate=100.0), batch_job(2, submit=1.0, num=96, estimate=300.0)]
+        )
+        stats = characterize(workload)
+        assert stats.mean_size == 64.0
+        assert stats.mean_runtime == 200.0
+        assert stats.offered_load == pytest.approx(workload.offered_load())
+
+    def test_interarrival_stats(self):
+        workload = make_workload(
+            [batch_job(i, submit=10.0 * i, num=32) for i in range(1, 6)]
+        )
+        stats = characterize(workload)
+        assert stats.interarrival_mean == pytest.approx(10.0)
+        assert stats.interarrival_cv == pytest.approx(0.0)
+
+    def test_render_contains_key_lines(self, small_hetero_workload):
+        text = characterize(small_hetero_workload).render()
+        assert "jobs:" in text
+        assert "offered load:" in text
+        assert "size histogram:" in text
+
+    def test_empty_workload(self):
+        stats = characterize(make_workload([]))
+        assert stats.n_jobs == 0
+        assert stats.mean_size == 0.0
+        assert stats.p_small_empirical == 0.0

@@ -1,0 +1,136 @@
+"""Tests for workload transformations (slice/merge/filter/head)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.transform import filter_jobs, head, merge, time_slice
+from tests.conftest import batch_job, dedicated_job, make_workload
+
+
+def et(job_id, issue):
+    return ECC(job_id=job_id, issue_time=issue, kind=ECCKind.EXTEND_TIME, amount=10.0)
+
+
+@pytest.fixture
+def workload():
+    return make_workload(
+        [
+            batch_job(1, submit=100.0, num=32),
+            batch_job(2, submit=200.0, num=64),
+            dedicated_job(3, submit=300.0, num=96, requested_start=400.0),
+            batch_job(4, submit=500.0, num=128),
+        ],
+        eccs=[et(1, 150.0), et(4, 600.0)],
+    )
+
+
+class TestTimeSlice:
+    def test_window_and_rebase(self, workload):
+        sliced = time_slice(workload, 200.0, 500.0)
+        assert [j.job_id for j in sliced.jobs] == [2, 3]
+        assert [j.submit for j in sliced.jobs] == [0.0, 100.0]
+        # Dedicated offsets preserved relative to submission.
+        assert sliced.jobs[1].requested_start == 200.0
+        # ECCs of excluded jobs dropped.
+        assert sliced.eccs == []
+
+    def test_no_rebase(self, workload):
+        sliced = time_slice(workload, 200.0, 500.0, rebase=False)
+        assert [j.submit for j in sliced.jobs] == [200.0, 300.0]
+
+    def test_keeps_eccs_of_kept_jobs(self, workload):
+        sliced = time_slice(workload, 0.0, 200.0)
+        assert [j.job_id for j in sliced.jobs] == [1]
+        assert len(sliced.eccs) == 1
+        assert sliced.eccs[0].issue_time == 150.0  # shifted by -0
+
+    def test_empty_window_rejected(self, workload):
+        with pytest.raises(ValueError, match="empty window"):
+            time_slice(workload, 500.0, 500.0)
+
+    def test_simulatable(self, workload):
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+
+        sliced = time_slice(workload, 100.0, 400.0)
+        metrics = simulate(sliced, make_scheduler("Hybrid-LOS"))
+        assert metrics.n_jobs == len(sliced)
+
+
+class TestFilterAndHead:
+    def test_filter_by_size(self, workload):
+        small = filter_jobs(workload, lambda j: j.num <= 64)
+        assert [j.job_id for j in small.jobs] == [1, 2]
+        assert len(small.eccs) == 1  # job 4's ECC dropped
+
+    def test_head(self, workload):
+        first_two = head(workload, 2)
+        assert [j.job_id for j in first_two.jobs] == [1, 2]
+        assert head(workload, 0).jobs == []
+
+    def test_head_negative_rejected(self, workload):
+        with pytest.raises(ValueError, match="non-negative"):
+            head(workload, -1)
+
+    def test_sources_not_mutated(self, workload):
+        filter_jobs(workload, lambda j: False)
+        assert len(workload.jobs) == 4
+
+
+class TestMerge:
+    def test_disjoint_ids_kept(self):
+        a = make_workload([batch_job(1, submit=0.0)])
+        b = make_workload([batch_job(2, submit=10.0)])
+        merged = merge([a, b])
+        assert sorted(j.job_id for j in merged.jobs) == [1, 2]
+
+    def test_colliding_ids_remapped_with_eccs(self):
+        a = make_workload([batch_job(1, submit=0.0)], eccs=[et(1, 5.0)])
+        b = make_workload([batch_job(1, submit=10.0)], eccs=[et(1, 15.0)])
+        merged = merge([a, b])
+        ids = sorted(j.job_id for j in merged.jobs)
+        assert len(set(ids)) == 2
+        # Each ECC still targets its own (possibly remapped) job.
+        ecc_targets = sorted(e.job_id for e in merged.eccs)
+        assert ecc_targets == ids
+
+    def test_geometry_defaults_to_maxima(self):
+        a = make_workload([batch_job(1, num=32)], machine_size=320, granularity=32)
+        b = make_workload([batch_job(2, num=64)], machine_size=640, granularity=32)
+        merged = merge([a, b])
+        assert merged.machine_size == 640
+        assert merged.granularity == 32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge([])
+
+    def test_merged_simulatable(self, workload):
+        from repro.core.registry import make_scheduler
+        from repro.experiments.runner import simulate
+
+        merged = merge([workload, workload])
+        assert len(merged) == 8
+        metrics = simulate(merged, make_scheduler("Hybrid-LOS"))
+        assert metrics.n_jobs == 8
+
+
+class TestCancellationPreserved:
+    def test_slice_shifts_cancel_at(self):
+        from repro.workload.job import Job
+
+        job = Job(job_id=1, submit=100.0, num=32, estimate=50.0, cancel_at=180.0)
+        workload = make_workload([job])
+        sliced = time_slice(workload, 100.0, 200.0)
+        assert sliced.jobs[0].cancel_at == 80.0
+
+    def test_scale_arrivals_preserves_patience(self):
+        from repro.workload.job import Job
+
+        job = Job(job_id=1, submit=100.0, num=32, estimate=50.0, cancel_at=180.0)
+        workload = make_workload([job])
+        scaled = workload.scale_arrivals(2.0)
+        # Submission moves to 200; patience (80s) is preserved.
+        assert scaled.jobs[0].cancel_at == 280.0

@@ -1,0 +1,92 @@
+"""Tests for workload validation."""
+
+from __future__ import annotations
+
+from repro.workload.ecc import ECC, ECCKind
+from repro.workload.generator import Workload
+from repro.workload.validate import (
+    Severity,
+    format_issues,
+    has_errors,
+    validate_workload,
+)
+from tests.conftest import batch_job, make_workload
+
+
+def codes(issues):
+    return {issue.code for issue in issues}
+
+
+class TestCleanWorkloads:
+    def test_generated_workload_is_clean(self, small_batch_workload):
+        issues = validate_workload(small_batch_workload)
+        assert not has_errors(issues)
+        assert not codes(issues) & {"job-too-large", "granularity", "duplicate-id"}
+
+    def test_format_clean(self):
+        assert "no issues" in format_issues([])
+
+
+class TestErrors:
+    def test_oversized_job(self):
+        workload = Workload(jobs=[batch_job(1, num=640)], machine_size=320, granularity=32)
+        issues = validate_workload(workload)
+        assert "job-too-large" in codes(issues)
+        assert has_errors(issues)
+
+    def test_granularity_violation(self):
+        workload = Workload(jobs=[batch_job(1, num=33)], machine_size=320, granularity=32)
+        assert "granularity" in codes(validate_workload(workload))
+
+    def test_duplicate_ids(self):
+        workload = make_workload([batch_job(1)])
+        workload.jobs.append(batch_job(1, submit=10.0))
+        assert "duplicate-id" in codes(validate_workload(workload))
+
+    def test_dangling_ecc(self):
+        workload = make_workload(
+            [batch_job(1)],
+            eccs=[ECC(job_id=9, issue_time=5.0, kind=ECCKind.EXTEND_TIME, amount=10.0)],
+        )
+        assert "dangling-ecc" in codes(validate_workload(workload))
+
+    def test_ecc_before_submission(self):
+        workload = make_workload(
+            [batch_job(1, submit=100.0)],
+            eccs=[ECC(job_id=1, issue_time=5.0, kind=ECCKind.EXTEND_TIME, amount=10.0)],
+        )
+        issues = validate_workload(workload)
+        assert "ecc-before-submit" in codes(issues)
+        assert has_errors(issues)
+
+
+class TestWarnings:
+    def test_under_estimate(self):
+        workload = make_workload([batch_job(1, estimate=100.0, actual=200.0)])
+        issues = validate_workload(workload)
+        assert "under-estimate" in codes(issues)
+        assert not has_errors(issues)  # warnings only
+
+    def test_huge_runtime(self):
+        workload = make_workload([batch_job(1, estimate=10 * 86400.0)])
+        assert "huge-runtime" in codes(validate_workload(workload))
+
+    def test_huge_ecc_amount(self):
+        workload = make_workload(
+            [batch_job(1, estimate=10.0)],
+            eccs=[ECC(job_id=1, issue_time=1.0, kind=ECCKind.EXTEND_TIME, amount=5000.0)],
+        )
+        assert "ecc-huge-amount" in codes(validate_workload(workload))
+
+    def test_extreme_load(self):
+        jobs = [
+            batch_job(i, submit=0.0, num=320, estimate=1000.0) for i in range(1, 6)
+        ]
+        workload = make_workload(jobs)
+        assert "extreme-load" in codes(validate_workload(workload))
+
+    def test_format_lists_all(self):
+        workload = make_workload([batch_job(1, estimate=100.0, actual=200.0)])
+        text = format_issues(validate_workload(workload))
+        assert "1 issue(s)" in text
+        assert "under-estimate" in text

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Profile a simulation run (the guides' rule: no optimization without
+measuring).
+
+Runs one paper-scale simulation under cProfile and prints the top
+functions by cumulative time, so hot spots are identified before
+anyone "optimizes" anything:
+
+    python tools/profile_simulation.py                       # Delayed-LOS, 500 jobs
+    python tools/profile_simulation.py --algorithm LOS --jobs 2000
+    python tools/profile_simulation.py --sort tottime --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+import numpy as np
+
+from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.experiments.runner import SimulationRunner
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--algorithm", default="Delayed-LOS", choices=sorted(ALGORITHMS))
+    parser.add_argument("--jobs", type=int, default=500)
+    parser.add_argument("--p-small", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--top", type=int, default=25)
+    parser.add_argument("--output", default=None, help="also save raw stats to this file")
+    args = parser.parse_args()
+
+    config = GeneratorConfig(
+        n_jobs=args.jobs, size=TwoStageSizeConfig(p_small=args.p_small)
+    )
+    workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(args.seed))
+    scheduler = make_scheduler(args.algorithm, max_skip_count=7)
+    runner = SimulationRunner(workload, scheduler)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    metrics = runner.run()
+    profiler.disable()
+
+    print(
+        f"{args.algorithm}: {metrics.n_jobs} jobs, utilization "
+        f"{metrics.utilization:.3f}, mean wait {metrics.mean_wait:.0f}s\n"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw stats saved to {args.output} (view with snakeviz/pstats)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
