@@ -1,0 +1,214 @@
+"""Core performance benchmark — the repo's tracked perf trajectory.
+
+Unlike the ``bench_fig*``/``bench_table*`` scripts (which reproduce
+the *paper's* numbers), this benchmark measures the *simulator's* own
+speed on canonical scenarios and records it in ``BENCH_core.json`` at
+the repository root, so performance changes are visible across PRs:
+
+- per-scenario engine throughput: wall time and events/sec for
+  EASY / LOS / Delayed-LOS (batch workload) and Hybrid-LOS-E
+  (heterogeneous elastic workload) at two workload scales,
+- pipeline throughput: the same batch of runs executed through
+  :func:`repro.experiments.parallel.execute_runs` serially
+  (``jobs=1``) and in parallel (all cores), with the resulting
+  speedup.
+
+Usage::
+
+    python -m benchmarks.bench_perf_core            # full (paper scale)
+    python -m benchmarks.bench_perf_core --quick    # CI smoke (~seconds)
+    python -m benchmarks.bench_perf_core --jobs 4 --output /tmp/b.json
+
+Wall times are machine-dependent by nature; compare entries produced
+on the same machine.  The run cache is bypassed here — this benchmark
+always simulates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.cache import RunCache
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.parallel import RunSpec, execute_runs, execute_spec, resolve_jobs
+from repro.workload.generator import GeneratorConfig, Workload
+from repro.workload.twostage import TwoStageSizeConfig
+
+#: Where the tracked result lands (repo root).
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Canonical scenario load (the paper's high-contention regime).
+TARGET_LOAD = 0.9
+
+BATCH_ALGORITHMS = ("EASY", "LOS", "Delayed-LOS")
+ELASTIC_ALGORITHM = "Hybrid-LOS-E"
+
+_NO_CACHE = RunCache.disabled()
+
+
+def scenario_scales(quick: bool) -> Sequence[int]:
+    """The two workload sizes benchmarked per algorithm."""
+    if quick:
+        base = int(os.environ.get("REPRO_BENCH_JOBS", "50"))
+        return (base, 2 * base)
+    base = int(os.environ.get("REPRO_BENCH_JOBS", "500"))
+    return (max(100, base // 2), base)
+
+
+def _batch_workload(n_jobs: int, seed: int) -> Workload:
+    config = GeneratorConfig(n_jobs=n_jobs, size=TwoStageSizeConfig(p_small=0.5))
+    return calibrate_beta_arr(config, TARGET_LOAD, seed=seed).workload
+
+
+def _hetero_elastic_workload(n_jobs: int, seed: int) -> Workload:
+    config = GeneratorConfig(
+        n_jobs=n_jobs,
+        size=TwoStageSizeConfig(p_small=0.5),
+        p_dedicated=0.3,
+        p_extend=0.2,
+        p_reduce=0.1,
+    )
+    return calibrate_beta_arr(config, TARGET_LOAD, seed=seed).workload
+
+
+def _time_spec(spec: RunSpec, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall time and events/sec for one run."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        metrics = execute_spec(spec)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        events = metrics.events_processed
+    return {
+        "wall_time_s": round(best, 6),
+        "events": events,
+        "events_per_sec": round(events / best, 1) if best > 0 else 0.0,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    output: Optional[Path] = None,
+) -> Dict:
+    """Run the full benchmark and write/return the JSON document."""
+    scales = scenario_scales(quick)
+    workers = resolve_jobs(jobs)
+    repeats = 1 if quick else 2
+
+    scenarios: List[Dict] = []
+    for n_jobs in scales:
+        batch = _batch_workload(n_jobs, seed=11)
+        hetero = _hetero_elastic_workload(n_jobs, seed=13)
+        for algorithm in BATCH_ALGORITHMS:
+            entry = {"algorithm": algorithm, "n_jobs": n_jobs,
+                     "offered_load": round(batch.offered_load(), 4)}
+            entry.update(_time_spec(RunSpec(batch, algorithm), repeats))
+            scenarios.append(entry)
+        entry = {"algorithm": ELASTIC_ALGORITHM, "n_jobs": n_jobs,
+                 "offered_load": round(hetero.offered_load(), 4)}
+        entry.update(_time_spec(RunSpec(hetero, ELASTIC_ALGORITHM), repeats))
+        scenarios.append(entry)
+
+    # Pipeline shootout: the same batch of independent runs, dispatched
+    # serially vs. over the pool.  Two seeds widen the batch beyond the
+    # algorithm count so there is enough fan-out to measure.
+    pipeline_scale = scales[-1]
+    pipeline_specs = [
+        RunSpec(_batch_workload(pipeline_scale, seed=seed), algorithm)
+        for seed in (11, 29)
+        for algorithm in BATCH_ALGORITHMS
+    ]
+    started = time.perf_counter()
+    serial_results = execute_runs(pipeline_specs, jobs=1, cache=_NO_CACHE)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel_results = execute_runs(pipeline_specs, jobs=workers, cache=_NO_CACHE)
+    parallel_s = time.perf_counter() - started
+    identical = all(
+        s == p for s, p in zip(serial_results, parallel_results)
+    )
+
+    document = {
+        "schema": 1,
+        "benchmark": "benchmarks.bench_perf_core",
+        "quick": quick,
+        "workers": workers,
+        "target_load": TARGET_LOAD,
+        "scales": list(scales),
+        "scenarios": scenarios,
+        "pipeline": {
+            "runs": len(pipeline_specs),
+            "n_jobs_per_run": pipeline_scale,
+            "serial_wall_time_s": round(serial_s, 6),
+            "parallel_wall_time_s": round(parallel_s, 6),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else 0.0,
+            "parallel_equals_serial": identical,
+        },
+    }
+
+    target = Path(output) if output is not None else DEFAULT_OUTPUT
+    target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return document
+
+
+def _print_summary(document: Dict) -> None:
+    print(f"perf core benchmark (quick={document['quick']}, "
+          f"workers={document['workers']})")
+    print(f"{'algorithm':<14} {'n_jobs':>7} {'wall (s)':>10} {'events/s':>12}")
+    for entry in document["scenarios"]:
+        print(
+            f"{entry['algorithm']:<14} {entry['n_jobs']:>7} "
+            f"{entry['wall_time_s']:>10.4f} {entry['events_per_sec']:>12.0f}"
+        )
+    pipe = document["pipeline"]
+    print(
+        f"pipeline: {pipe['runs']} runs x {pipe['n_jobs_per_run']} jobs — "
+        f"serial {pipe['serial_wall_time_s']:.3f}s, "
+        f"parallel {pipe['parallel_wall_time_s']:.3f}s "
+        f"(speedup {pipe['speedup']:.2f}x, "
+        f"identical={pipe['parallel_equals_serial']})"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_perf_core",
+        description="Measure simulator throughput and pipeline speedup.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: small scales, single repetition (~seconds)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the pipeline section (default: "
+        "REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help=f"result path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    document = run_bench(
+        quick=args.quick,
+        jobs=args.jobs,
+        output=Path(args.output) if args.output else None,
+    )
+    _print_summary(document)
+    if not document["pipeline"]["parallel_equals_serial"]:
+        print("ERROR: parallel metrics diverged from serial metrics", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,13 @@ full paper scale (``N_J = 500`` jobs per point; override with the
 paper plots plus a paper-vs-measured comparison, and saves the text
 report under ``benchmarks/output/``.
 
+The underlying sweeps dispatch every (algorithm × point) run through
+:mod:`repro.experiments.parallel`, so benchmarks use all cores by
+default; ``REPRO_JOBS=1`` forces the serial path (identical results),
+and ``REPRO_CACHE=1`` reuses previously simulated runs from
+``.repro_cache/`` so editing one algorithm only re-simulates the
+delta.  See docs/performance.md.
+
 Absolute numbers are *not* asserted — our workloads are fresh draws
 from the paper's statistical model, not the authors' exact traces.
 Only robust directional claims (who wins on average across the sweep)
@@ -19,13 +26,24 @@ from pathlib import Path
 from typing import Dict, Mapping, Sequence
 
 from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.cache import RunCache
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.sweep import SweepResult
 from repro.metrics.report import format_comparison_table, format_metrics_table
 
 #: Paper scale by default; set REPRO_BENCH_JOBS=100 for quick runs.
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "500"))
 
+#: Worker processes the experiment layer will fan runs out over
+#: (``REPRO_JOBS`` env var, default: CPU count).
+BENCH_WORKERS = resolve_jobs()
+
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def bench_cache() -> RunCache:
+    """The run cache as configured by ``REPRO_CACHE``/``REPRO_CACHE_DIR``."""
+    return RunCache.from_env()
 
 
 def mean_metric(sweep: SweepResult, algorithm: str, metric: str) -> float:
@@ -40,7 +58,12 @@ def render_sweep(
     metrics: Sequence[str] = ("utilization", "mean_wait", "slowdown"),
 ) -> str:
     """Figure-style report: tables plus an ASCII plot per metric."""
-    parts = [f"{'=' * 72}", title, f"jobs per point: {BENCH_JOBS}", ""]
+    parts = [
+        f"{'=' * 72}",
+        title,
+        f"jobs per point: {BENCH_JOBS} (workers: {BENCH_WORKERS})",
+        "",
+    ]
     parts.append(
         format_metrics_table(sweep.sweep_label, sweep.sweep_values, sweep.rows(),
                              metrics=[m for m in metrics if m != "slowdown"])
@@ -101,7 +124,9 @@ def save_report(name: str, text: str) -> None:
 
 __all__ = [
     "BENCH_JOBS",
+    "BENCH_WORKERS",
     "OUTPUT_DIR",
+    "bench_cache",
     "mean_metric",
     "render_improvements",
     "render_sweep",

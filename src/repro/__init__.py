@@ -45,8 +45,12 @@ from repro.core import (
 )
 from repro.experiments import (
     ExperimentConfig,
+    RunCache,
+    RunSpec,
     SimulationRunner,
     calibrate_beta_arr,
+    execute_runs,
+    resolve_jobs,
     run_algorithms,
     simulate,
 )
@@ -98,7 +102,9 @@ __all__ = [
     "LublinModel",
     "Machine",
     "ReplicatedSweep",
+    "RunCache",
     "RunMetrics",
+    "RunSpec",
     "Scheduler",
     "SimulationRunner",
     "Simulator",
@@ -112,6 +118,7 @@ __all__ = [
     "by_size_class",
     "calibrate_beta_arr",
     "characterize",
+    "execute_runs",
     "filter_jobs",
     "head",
     "make_scheduler",
@@ -121,6 +128,7 @@ __all__ = [
     "records_to_csv",
     "render_timeline",
     "replicate_sweep",
+    "resolve_jobs",
     "run_algorithms",
     "run_to_json",
     "runs_to_csv",

@@ -4,10 +4,14 @@ Runs one simulation (or a small comparison) from the terminal::
 
     repro-sim --algorithms EASY LOS Delayed-LOS --jobs 500 --load 0.9
     repro-sim --cwf my_workload.cwf --algorithms Hybrid-LOS
+    repro-sim --algorithms EASY LOS --parallel 4 --cache
     repro-sim --list-algorithms
 
 Useful for eyeballing the system without writing Python; the full
-reproduction lives in ``benchmarks/``.
+reproduction lives in ``benchmarks/``.  Algorithm runs fan out over
+worker processes (``--parallel`` / ``REPRO_JOBS``) and can reuse the
+content-addressed run cache (``--cache`` / ``REPRO_CACHE=1``); see
+docs/performance.md.
 """
 
 from __future__ import annotations
@@ -18,9 +22,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.core.registry import ALGORITHMS
+from repro.experiments.cache import RunCache
 from repro.experiments.calibrate import calibrate_beta_arr
-from repro.experiments.runner import SimulationRunner
+from repro.experiments.parallel import resolve_jobs
+from repro.experiments.sweep import run_algorithms
 from repro.metrics.report import format_table
 from repro.workload.cwf import parse_cwf_workload
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
@@ -57,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cs", type=int, default=7, help="C_s skip threshold")
     parser.add_argument("--lookahead", type=int, default=50, help="DP lookahead")
     parser.add_argument("--seed", type=int, default=42, help="RNG seed")
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes for the comparison (default: REPRO_JOBS or CPU count; "
+        "1 = deterministic serial path, same results)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse/persist runs in the content-addressed run cache "
+        "(.repro_cache/; also enabled by REPRO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="run-cache directory (default: .repro_cache or REPRO_CACHE_DIR)",
+    )
     parser.add_argument(
         "--cwf", type=str, default=None, help="load a CWF workload file instead of generating"
     )
@@ -144,12 +164,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(characterize(workload).render())
         print()
 
+    unknown = [name for name in args.algorithms if name not in ALGORITHMS]
+    if unknown:
+        print(
+            f"unknown algorithm(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(ALGORITHMS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        resolve_jobs(args.parallel)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = RunCache.from_env()
+        cache.enabled = True
+        if args.cache_dir:
+            cache.root = args.cache_dir
+    results = run_algorithms(
+        workload,
+        args.algorithms,
+        max_skip_count=args.cs,
+        lookahead=args.lookahead,
+        jobs=args.parallel,
+        cache=cache,
+    )
     rows = []
-    results = {}
-    for name in args.algorithms:
-        scheduler = make_scheduler(name, max_skip_count=args.cs, lookahead=args.lookahead)
-        metrics = SimulationRunner(workload, scheduler).run()
-        results[name] = metrics
+    for name, metrics in results.items():
         rows.append(
             [
                 name,
@@ -160,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ]
         )
     print(format_table(["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"], rows))
+    if cache is not None:
+        print(str(cache.stats))
 
     if args.timeline:
         from repro.metrics.timeline import render_timeline

@@ -17,7 +17,13 @@ Exactness is affordable because capacities shrink by the allocation
 granularity (10 units on the 320-processor BlueGene/P with 32-processor
 psets) and the lookahead is bounded (50 jobs in [7]).  The 2-D table is
 vectorized with NumPy — the per-job update is a shifted ``maximum`` —
-and per-job snapshots enable reconstruction of the selected set.
+and the selected set is reconstructed by an *incremental backtrack*:
+each candidate records only the cells it improved (and their previous
+values), and the backtrack undoes those deltas one candidate at a time
+to recover the before-table it needs.  This is exactly equivalent to
+the snapshot-per-candidate formulation but stores sparse deltas
+instead of full table copies, which matters because the DP runs once
+per scheduling cycle on the hot path.
 
 Tie-breaking: when several sets achieve maximal utilization, the
 reconstruction prefers jobs *closer to the head of the queue* (a later
@@ -27,7 +33,8 @@ which keeps the policies as FCFS-faithful as packing allows.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from itertools import islice
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,8 +47,12 @@ DEFAULT_LOOKAHEAD = 50
 
 
 def _eligible(jobs: Sequence[Job], free: int, lookahead: Optional[int]) -> List[Job]:
-    """Candidate set: the first ``lookahead`` queued jobs that fit ``m``."""
-    window = list(jobs) if lookahead is None else list(jobs)[:lookahead]
+    """Candidate set: the first ``lookahead`` queued jobs that fit ``m``.
+
+    Single pass over the (bounded) window — no intermediate copies of
+    the full queue; this runs every scheduling cycle.
+    """
+    window = jobs if lookahead is None else islice(jobs, lookahead)
     return [job for job in window if job.num <= free]
 
 
@@ -79,23 +90,29 @@ def basic_dp(
     values = [job.num for job in candidates]
 
     dp = np.zeros(capacity + 1, dtype=np.int64)
-    snapshots: List[np.ndarray] = []
+    shifted = np.empty_like(dp)
+    # Per candidate: the cells it improved and their previous values,
+    # so the backtrack can undo updates instead of copying the table.
+    undo: List[Tuple[np.ndarray, np.ndarray]] = []
     for size, value in zip(sizes, values):
-        snapshots.append(dp.copy())
-        shifted = np.full_like(dp, -1)
-        shifted[size:] = dp[: capacity + 1 - size] + value
-        np.maximum(dp, shifted, out=dp)
+        shifted.fill(-1)
+        np.add(dp[: capacity + 1 - size], value, out=shifted[size:])
+        improved = np.nonzero(shifted > dp)[0]
+        undo.append((improved, dp[improved]))
+        dp[improved] = shifted[improved]
 
     selected: List[Job] = []
     c = capacity
     v = int(dp[c])
     for index in range(len(candidates) - 1, -1, -1):
-        if int(snapshots[index][c]) == v:
+        cells, previous = undo[index]
+        dp[cells] = previous  # dp is now the table *before* this candidate
+        if int(dp[c]) == v:
             continue  # same value achievable without this (later) job
         selected.append(candidates[index])
         c -= sizes[index]
         v -= values[index]
-        assert c >= 0 and int(snapshots[index][c]) == v, "DP backtrack corrupted"
+        assert c >= 0 and int(dp[c]) == v, "DP backtrack corrupted"
     selected.reverse()
     return selected
 
@@ -152,25 +169,35 @@ def reservation_dp(
         return []
 
     dp = np.zeros((cap_now + 1, cap_freeze + 1), dtype=np.int64)
-    snapshots: List[np.ndarray] = []
+    shifted = np.empty_like(dp)
+    # Sparse per-candidate deltas for the incremental backtrack (see
+    # module docstring) — no full 2-D table copies on the hot path.
+    undo: List[Tuple[Tuple[np.ndarray, np.ndarray], np.ndarray]] = []
     for _, size, fsize, value in entries:
-        snapshots.append(dp.copy())
-        shifted = np.full_like(dp, -1)
-        shifted[size:, fsize:] = dp[: cap_now + 1 - size, : cap_freeze + 1 - fsize] + value
-        np.maximum(dp, shifted, out=dp)
+        shifted.fill(-1)
+        np.add(
+            dp[: cap_now + 1 - size, : cap_freeze + 1 - fsize],
+            value,
+            out=shifted[size:, fsize:],
+        )
+        improved = np.nonzero(shifted > dp)
+        undo.append((improved, dp[improved]))
+        dp[improved] = shifted[improved]
 
     selected: List[Job] = []
     c1, c2 = cap_now, cap_freeze
     v = int(dp[c1, c2])
     for index in range(len(entries) - 1, -1, -1):
-        if int(snapshots[index][c1, c2]) == v:
+        cells, previous = undo[index]
+        dp[cells] = previous  # dp is now the table *before* this candidate
+        if int(dp[c1, c2]) == v:
             continue
         job, size, fsize, value = entries[index]
         selected.append(job)
         c1 -= size
         c2 -= fsize
         v -= value
-        assert c1 >= 0 and c2 >= 0 and int(snapshots[index][c1, c2]) == v, (
+        assert c1 >= 0 and c2 >= 0 and int(dp[c1, c2]) == v, (
             "DP backtrack corrupted"
         )
     selected.reverse()

@@ -2,6 +2,10 @@
 
 - :mod:`repro.experiments.runner` — event-driven simulation of one
   (workload, scheduler) pair, producing :class:`RunMetrics`,
+- :mod:`repro.experiments.parallel` — fans independent runs out over
+  worker processes (``REPRO_JOBS``), deterministic serial fallback,
+- :mod:`repro.experiments.cache` — content-addressed on-disk cache of
+  run metrics (``REPRO_CACHE=1``), so re-runs only simulate the delta,
 - :mod:`repro.experiments.calibrate` — finds the ``β_arr`` that hits a
   target offered load (the paper's load knob),
 - :mod:`repro.experiments.sweep` — seeded parameter sweeps across
@@ -12,10 +16,17 @@
   benchmark harness output.
 """
 
+from repro.experiments.cache import RunCache, run_key, workload_digest
 from repro.experiments.calibrate import calibrate_beta_arr
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fidelity import FidelityScore, score_fidelity
 from repro.experiments.grid import GridResult, GridSpec, run_grid
+from repro.experiments.parallel import (
+    RunSpec,
+    execute_runs,
+    parallel_map,
+    resolve_jobs,
+)
 from repro.experiments.runner import SimulationRunner, simulate
 from repro.experiments.sweep import SweepResult, run_algorithms
 
@@ -24,11 +35,18 @@ __all__ = [
     "FidelityScore",
     "GridResult",
     "GridSpec",
+    "RunCache",
+    "RunSpec",
     "SimulationRunner",
     "SweepResult",
     "calibrate_beta_arr",
+    "execute_runs",
+    "parallel_map",
+    "resolve_jobs",
     "run_algorithms",
     "run_grid",
+    "run_key",
     "score_fidelity",
     "simulate",
+    "workload_digest",
 ]

@@ -1,0 +1,236 @@
+"""Content-addressed cache of simulation runs.
+
+A simulation is a pure function of its inputs: the workload content
+(jobs, ECCs, machine), the scheduler (name + knobs) and the package
+version.  :class:`RunCache` keys a :class:`~repro.metrics.records.RunMetrics`
+on a SHA-256 digest of exactly those inputs and persists it under
+``.repro_cache/``, so re-running a figure with one changed algorithm
+only simulates the delta and a full re-run of an unchanged benchmark
+is pure cache reads.
+
+Invalidation is automatic by construction: any change to the workload
+draw, a scheduler knob, or the package version changes the digest and
+misses.  Stale entries are never wrong, only unused; ``clear()`` (or
+``rm -rf .repro_cache``) reclaims the space.
+
+The cache is disabled by default so unit tests and ad-hoc runs stay
+side-effect free; opt in with ``REPRO_CACHE=1`` (directory override:
+``REPRO_CACHE_DIR``) or by passing an explicit :class:`RunCache`.
+Entries are written atomically (temp file + rename), so concurrent
+writers — the parallel executor's workers — cannot corrupt each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.metrics.records import RunMetrics
+from repro.workload.generator import Workload
+
+#: Environment switch: ``REPRO_CACHE=1`` enables the on-disk cache.
+ENV_CACHE = "REPRO_CACHE"
+#: Environment override for the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def workload_digest(workload: Workload) -> str:
+    """Stable hex digest of a workload's simulation-relevant content.
+
+    Covers every field a run's outcome can depend on — job attributes,
+    ECC commands, machine size and granularity — and deliberately skips
+    the cosmetic ``description``.  Two workloads with identical content
+    therefore share cache entries regardless of how they were produced.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"M={workload.machine_size};g={workload.granularity}".encode())
+    for job in workload.jobs:
+        hasher.update(
+            repr(
+                (
+                    job.job_id,
+                    job.submit,
+                    job.num,
+                    job.original_estimate,
+                    job.actual,
+                    job.kind.value,
+                    job.requested_start,
+                    job.cancel_at,
+                )
+            ).encode()
+        )
+    for ecc in workload.eccs:
+        hasher.update(
+            repr((ecc.job_id, ecc.issue_time, ecc.kind.value, ecc.amount)).encode()
+        )
+    return hasher.hexdigest()
+
+
+def run_key(
+    workload: Workload,
+    algorithm: str,
+    *,
+    max_skip_count: int = 7,
+    lookahead: Optional[int] = 50,
+    max_eccs_per_job: Optional[int] = None,
+    version: Optional[str] = None,
+) -> str:
+    """Digest identifying one (workload, scheduler, version) run."""
+    if version is None:
+        from repro import __version__ as version
+    hasher = hashlib.sha256()
+    hasher.update(workload_digest(workload).encode())
+    hasher.update(
+        repr((algorithm, max_skip_count, lookahead, max_eccs_per_job, version)).encode()
+    )
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+@dataclass
+class RunCache:
+    """Pickle-backed run cache keyed by :func:`run_key` digests.
+
+    Attributes:
+        root: Cache directory (created lazily on first store).
+        enabled: When False, every lookup misses and stores are no-ops;
+            the executor then behaves exactly as if no cache existed.
+    """
+
+    root: Union[str, Path] = DEFAULT_CACHE_DIR
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "RunCache":
+        """Cache configured from ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``."""
+        enabled = os.environ.get(ENV_CACHE, "").strip().lower() in _TRUTHY
+        root = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+        return cls(root=root, enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "RunCache":
+        """A cache that never hits and never writes."""
+        return cls(enabled=False)
+
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        workload: Workload,
+        algorithm: str,
+        *,
+        max_skip_count: int = 7,
+        lookahead: Optional[int] = 50,
+        max_eccs_per_job: Optional[int] = None,
+    ) -> str:
+        """Digest for one run under this cache's versioning."""
+        return run_key(
+            workload,
+            algorithm,
+            max_skip_count=max_skip_count,
+            lookahead=lookahead,
+            max_eccs_per_job=max_eccs_per_job,
+        )
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable for
+        # large sweeps (a full grid easily stores thousands of runs).
+        return Path(self.root) / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunMetrics]:
+        """Cached metrics for ``key``, or None on a miss.
+
+        A corrupt or unreadable entry (killed writer, version skew in
+        pickled classes) is treated as a miss, never an error.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                metrics = pickle.load(fh)
+        except Exception:
+            # Unpickling arbitrary corruption can raise nearly anything
+            # (UnpicklingError, EOFError, ValueError from bad opcodes,
+            # AttributeError/ImportError from version skew, OSError...).
+            self.stats.misses += 1
+            return None
+        if not isinstance(metrics, RunMetrics):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return metrics
+
+    def put(self, key: str, metrics: RunMetrics) -> None:
+        """Persist ``metrics`` under ``key`` (atomic, last writer wins)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(metrics, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        root = Path(self.root)
+        if not root.is_dir():
+            return 0
+        removed = 0
+        for entry in root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        root = Path(self.root)
+        if not root.is_dir():
+            return 0
+        return sum(1 for _ in root.glob("*/*.pkl"))
+
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE",
+    "ENV_CACHE_DIR",
+    "RunCache",
+    "run_key",
+    "workload_digest",
+]

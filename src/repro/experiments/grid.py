@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
 from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.parallel import parallel_map
 from repro.experiments.sweep import run_algorithms
 from repro.workload.generator import GeneratorConfig
 from repro.workload.twostage import TwoStageSizeConfig
@@ -98,41 +99,54 @@ class GridResult:
             writer.writerow(row)
 
 
-def run_grid(spec: GridSpec, progress: Optional[Iterable] = None) -> GridResult:
+def _run_cell(task: tuple) -> List[Dict[str, float]]:
+    """Calibrate and simulate one grid cell (worker-side)."""
+    spec, index, (p_small, p_dedicated, load, cs) = task
+    config = GeneratorConfig(
+        n_jobs=spec.n_jobs,
+        size=TwoStageSizeConfig(p_small=p_small),
+        p_dedicated=p_dedicated,
+        p_extend=spec.p_extend,
+        p_reduce=spec.p_reduce,
+    )
+    calibration = calibrate_beta_arr(config, load, seed=spec.seed + index)
+    outcomes = run_algorithms(calibration.workload, spec.algorithms, max_skip_count=cs)
+    return [
+        {
+            "p_small": p_small,
+            "p_dedicated": p_dedicated,
+            "target_load": load,
+            "achieved_load": round(calibration.achieved_load, 4),
+            "cs": cs,
+            "algorithm": name,
+            "utilization": round(metrics.utilization, 6),
+            "mean_wait": round(metrics.mean_wait, 2),
+            "slowdown": round(metrics.slowdown, 4),
+            "makespan": round(metrics.makespan, 1),
+            "n_jobs": metrics.n_jobs,
+        }
+        for name, metrics in outcomes.items()
+    ]
+
+
+def run_grid(
+    spec: GridSpec,
+    progress: Optional[Iterable] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> GridResult:
     """Run every grid cell; returns the long-form result.
 
     Cells are calibrated and simulated independently with derived
-    seeds, so the grid is embarrassingly deterministic.
+    seeds, so the grid is embarrassingly deterministic — and whole
+    cells fan out over worker processes.  Rows come back in cell
+    order regardless of completion order.
     """
+    tasks = [(spec, index, cell) for index, cell in enumerate(spec.cells())]
+    work_hint = len(tasks) * spec.n_jobs * len(spec.algorithms)
     result = GridResult()
-    for index, (p_small, p_dedicated, load, cs) in enumerate(spec.cells()):
-        config = GeneratorConfig(
-            n_jobs=spec.n_jobs,
-            size=TwoStageSizeConfig(p_small=p_small),
-            p_dedicated=p_dedicated,
-            p_extend=spec.p_extend,
-            p_reduce=spec.p_reduce,
-        )
-        calibration = calibrate_beta_arr(config, load, seed=spec.seed + index)
-        outcomes = run_algorithms(
-            calibration.workload, spec.algorithms, max_skip_count=cs
-        )
-        for name, metrics in outcomes.items():
-            result.rows.append(
-                {
-                    "p_small": p_small,
-                    "p_dedicated": p_dedicated,
-                    "target_load": load,
-                    "achieved_load": round(calibration.achieved_load, 4),
-                    "cs": cs,
-                    "algorithm": name,
-                    "utilization": round(metrics.utilization, 6),
-                    "mean_wait": round(metrics.mean_wait, 2),
-                    "slowdown": round(metrics.slowdown, 4),
-                    "makespan": round(metrics.makespan, 1),
-                    "n_jobs": metrics.n_jobs,
-                }
-            )
+    for rows in parallel_map(_run_cell, tasks, jobs=jobs, work_hint=work_hint):
+        result.rows.extend(rows)
     return result
 
 

@@ -1,0 +1,240 @@
+"""Parallel execution of independent simulation runs.
+
+Every paper figure/table is a sweep of independent (algorithm ×
+sweep-point × seed) simulations — embarrassingly parallel work.  This
+module is the single choke point through which the sweep, grid,
+replication and benchmark layers dispatch those runs:
+
+- :class:`RunSpec` names one run declaratively (workload + scheduler
+  knobs), so it can be pickled to a worker process or hashed into the
+  run cache,
+- :func:`execute_runs` fans a batch of specs out over a
+  ``ProcessPoolExecutor``, consulting the :class:`~repro.experiments.cache.RunCache`
+  first so only cache misses are simulated,
+- :func:`parallel_map` is the same machinery for coarser units of work
+  (one sweep point, one grid cell, one replica seed).
+
+Determinism is the hard requirement: parallel and serial execution
+produce bit-identical metrics for the same inputs.  Each run is an
+isolated simulation seeded entirely by its spec, and results are
+returned in submission order (``Executor.map`` semantics), never in
+completion order.
+
+Worker count resolution, in priority order: an explicit ``jobs=``
+argument, the ``REPRO_JOBS`` environment variable, then
+``os.cpu_count()``.  The serial path is used for ``jobs=1``, on
+platforms without the ``fork`` start method (worker startup cost would
+dwarf these millisecond-scale simulations under ``spawn``), and — when
+the worker count was only implied — for batches too small to amortize
+pool startup.  Workers pin ``REPRO_JOBS=1`` so nested calls never
+oversubscribe the machine with pools-inside-pools.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.registry import make_scheduler
+from repro.experiments.cache import RunCache
+from repro.experiments.runner import SimulationRunner
+from repro.metrics.records import RunMetrics
+from repro.workload.generator import Workload
+
+#: Environment variable naming the worker count (CLI flag equivalent:
+#: ``repro-sim --parallel N``).
+ENV_JOBS = "REPRO_JOBS"
+
+#: When the worker count is merely implied (no ``jobs=``, no
+#: ``REPRO_JOBS``), batches below this many *simulated* jobs run
+#: serially: forking a pool costs more than it saves on tiny runs.
+PARALLEL_MIN_WORK = 400
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully specified by value.
+
+    The spec carries everything :func:`execute_spec` needs to rebuild
+    the scheduler and runner in another process, and everything the run
+    cache needs to address the result.
+    """
+
+    workload: Workload
+    algorithm: str
+    max_skip_count: int = 7
+    lookahead: Optional[int] = 50
+    max_eccs_per_job: Optional[int] = None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > CPU count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(ENV_JOBS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"{ENV_JOBS} must be an integer, got {env!r}") from None
+    return max(1, os.cpu_count() or 1)
+
+
+def fork_available() -> bool:
+    """Whether the cheap ``fork`` start method exists on this platform."""
+    return "fork" in get_all_start_methods()
+
+
+def execute_spec(spec: RunSpec) -> RunMetrics:
+    """Run one spec to completion (the worker-side entry point)."""
+    scheduler = make_scheduler(
+        spec.algorithm,
+        max_skip_count=spec.max_skip_count,
+        lookahead=spec.lookahead,
+    )
+    runner = SimulationRunner(
+        spec.workload, scheduler, max_eccs_per_job=spec.max_eccs_per_job
+    )
+    return runner.run()
+
+
+def _init_worker() -> None:
+    # Nested parallelism is never a win here: the outer pool already
+    # owns the cores.  Pin workers to serial execution.
+    os.environ[ENV_JOBS] = "1"
+
+
+def _effective_workers(
+    jobs: Optional[int], n_tasks: int, work_hint: Optional[int]
+) -> int:
+    """Workers to actually use for a batch of ``n_tasks`` tasks."""
+    if n_tasks < 2 or not fork_available():
+        return 1
+    explicit = jobs is not None or bool(os.environ.get(ENV_JOBS, "").strip())
+    if not explicit and work_hint is not None and work_hint < PARALLEL_MIN_WORK:
+        return 1
+    return min(resolve_jobs(jobs), n_tasks)
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=get_context("fork"),
+        initializer=_init_worker,
+    )
+
+
+def execute_runs(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[RunMetrics]:
+    """Execute a batch of runs, in parallel where it pays off.
+
+    Cache hits are returned without simulating; misses are fanned out
+    over the pool and stored back.  Results align with ``specs`` by
+    index regardless of completion order, so the output is identical
+    to a serial loop — the determinism tests enforce this bit-for-bit.
+
+    Args:
+        specs: The runs to perform.
+        jobs: Worker count override (None = ``REPRO_JOBS`` / CPU count).
+        cache: Run cache (None = configure from the environment, which
+            means disabled unless ``REPRO_CACHE=1``).
+    """
+    specs = list(specs)
+    if cache is None:
+        cache = RunCache.from_env()
+    results: List[Optional[RunMetrics]] = [None] * len(specs)
+    keys: List[Optional[str]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if cache.enabled:
+            keys[index] = cache.key(
+                spec.workload,
+                spec.algorithm,
+                max_skip_count=spec.max_skip_count,
+                lookahead=spec.lookahead,
+                max_eccs_per_job=spec.max_eccs_per_job,
+            )
+            hit = cache.get(keys[index])
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    work_hint = sum(len(specs[index].workload) for index in pending)
+    workers = _effective_workers(jobs, len(pending), work_hint)
+    if workers > 1:
+        with _pool(workers) as pool:
+            fresh = list(pool.map(execute_spec, [specs[index] for index in pending]))
+    else:
+        fresh = [execute_spec(specs[index]) for index in pending]
+
+    for index, metrics in zip(pending, fresh):
+        results[index] = metrics
+        key = keys[index]
+        if key is not None:
+            cache.put(key, metrics)
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: Optional[int] = None,
+    work_hint: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map over worker processes, serial fallback.
+
+    Used for coarse work units (sweep points, grid cells, replica
+    seeds) whose function does more than a single simulation.  Falls
+    back to a plain loop when parallelism cannot help (one item, no
+    fork) or cannot work (``fn``/items not picklable — e.g. a test's
+    closure handed to ``replicate_sweep``).
+
+    Args:
+        fn: Top-level callable applied to every item.
+        items: The work units.
+        jobs: Worker count override.
+        work_hint: Approximate number of simulated jobs in the batch;
+            implicit parallelism is skipped below
+            :data:`PARALLEL_MIN_WORK` (ignored when the worker count
+            is explicit).
+    """
+    items = list(items)
+    workers = _effective_workers(jobs, len(items), work_hint)
+    if workers > 1 and _picklable(fn, items[0]):
+        with _pool(workers) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]
+
+
+__all__ = [
+    "ENV_JOBS",
+    "PARALLEL_MIN_WORK",
+    "RunSpec",
+    "execute_runs",
+    "execute_spec",
+    "fork_available",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -374,6 +374,7 @@ class SimulationRunner:
             makespan=last_finish - self.tracker.start_time,
             offered_load=self.workload.offered_load(),
             ecc_stats=ecc_stats,
+            events_processed=self.sim.processed_events,
             queue=self.queue_tracker.summary(until=last_finish),
             cancelled_records=list(self.cancelled_records),
         )

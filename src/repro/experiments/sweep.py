@@ -1,14 +1,22 @@
-"""Parameter sweeps: run several algorithms over calibrated workloads."""
+"""Parameter sweeps: run several algorithms over calibrated workloads.
+
+All sweeps dispatch their runs through
+:mod:`repro.experiments.parallel`, so independent (algorithm ×
+sweep-point) simulations fan out over worker processes and previously
+simulated runs come back from the run cache.  Results are identical to
+a serial loop by construction — specs are expanded in deterministic
+order and collected by index.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.registry import make_scheduler
+from repro.experiments.cache import RunCache
 from repro.experiments.calibrate import calibrate_beta_arr
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import SimulationRunner
+from repro.experiments.parallel import RunSpec, execute_runs, parallel_map
 from repro.metrics.records import RunMetrics
 from repro.workload.generator import Workload
 
@@ -45,68 +53,100 @@ def run_algorithms(
     max_skip_count: int = 7,
     lookahead: Optional[int] = 50,
     max_eccs_per_job: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
 ) -> Dict[str, RunMetrics]:
     """Run every algorithm on the *same* workload instance.
 
     Each run gets fresh job copies (the workload is immutable input),
     so the comparison is paired — identical arrivals, sizes, runtimes
-    and ECCs for every policy, as in the paper's methodology.
+    and ECCs for every policy, as in the paper's methodology.  Runs are
+    dispatched through the parallel executor; ``jobs=1`` (or
+    ``REPRO_JOBS=1``) forces the deterministic serial path, which
+    produces identical metrics.
     """
-    results: Dict[str, RunMetrics] = {}
-    for name in algorithms:
-        scheduler = make_scheduler(
-            name, max_skip_count=max_skip_count, lookahead=lookahead
+    specs = [
+        RunSpec(
+            workload=workload,
+            algorithm=name,
+            max_skip_count=max_skip_count,
+            lookahead=lookahead,
+            max_eccs_per_job=max_eccs_per_job,
         )
-        runner = SimulationRunner(
-            workload, scheduler, max_eccs_per_job=max_eccs_per_job
-        )
-        results[name] = runner.run()
-    return results
+        for name in algorithms
+    ]
+    metrics = execute_runs(specs, jobs=jobs, cache=cache)
+    return dict(zip(algorithms, metrics))
 
 
-def load_sweep(config: ExperimentConfig) -> SweepResult:
+def _load_point(
+    task: Tuple[ExperimentConfig, float, int],
+) -> Tuple[float, Dict[str, RunMetrics]]:
+    """Calibrate and simulate one load-sweep point (worker-side)."""
+    config, target, seed = task
+    calibration = calibrate_beta_arr(config.generator, target, seed=seed)
+    point = run_algorithms(
+        calibration.workload,
+        config.algorithms,
+        max_skip_count=config.max_skip_count,
+        lookahead=config.lookahead,
+        max_eccs_per_job=config.max_eccs_per_job,
+    )
+    return round(calibration.achieved_load, 4), point
+
+
+def load_sweep(config: ExperimentConfig, *, jobs: Optional[int] = None) -> SweepResult:
     """Figures 7–10 style sweep: metrics vs offered load.
 
     For each target load, calibrates ``β_arr`` (per-point seed), then
-    runs every algorithm on the calibrated workload.
+    runs every algorithm on the calibrated workload.  Points are
+    independent (own seed, own calibration), so whole points — the
+    calibration bisection included — fan out across workers.
     """
+    tasks = [
+        (config, target, config.seed + index)
+        for index, target in enumerate(config.loads)
+    ]
+    work_hint = len(tasks) * config.generator.n_jobs * len(config.algorithms)
+    points = parallel_map(_load_point, tasks, jobs=jobs, work_hint=work_hint)
     result = SweepResult(sweep_label="Load", sweep_values=[])
-    for index, target in enumerate(config.loads):
-        calibration = calibrate_beta_arr(
-            config.generator, target, seed=config.seed + index
-        )
-        result.sweep_values.append(round(calibration.achieved_load, 4))
-        point = run_algorithms(
-            calibration.workload,
-            config.algorithms,
-            max_skip_count=config.max_skip_count,
-            lookahead=config.lookahead,
-            max_eccs_per_job=config.max_eccs_per_job,
-        )
+    for achieved, point in points:
+        result.sweep_values.append(achieved)
         for name, metrics in point.items():
             result.series.setdefault(name, []).append(metrics)
     return result
 
 
-def cs_sweep(config: ExperimentConfig, cs_values: Sequence[int], target_load: float) -> SweepResult:
+def cs_sweep(
+    config: ExperimentConfig,
+    cs_values: Sequence[int],
+    target_load: float,
+    *,
+    jobs: Optional[int] = None,
+) -> SweepResult:
     """Figures 5–6 style sweep: metrics vs the ``C_s`` threshold.
 
     One workload is calibrated to ``target_load`` and *reused* across
     all ``C_s`` values (only Delayed-LOS reacts to ``C_s``; EASY/LOS
-    provide flat reference lines, as in the figures).
+    provide flat reference lines, as in the figures).  The whole
+    (C_s × algorithm) grid is dispatched as one batch.
     """
     calibration = calibrate_beta_arr(config.generator, target_load, seed=config.seed)
-    result = SweepResult(sweep_label="C_s", sweep_values=[float(v) for v in cs_values])
-    for cs in cs_values:
-        point = run_algorithms(
-            calibration.workload,
-            config.algorithms,
+    specs = [
+        RunSpec(
+            workload=calibration.workload,
+            algorithm=name,
             max_skip_count=cs,
             lookahead=config.lookahead,
             max_eccs_per_job=config.max_eccs_per_job,
         )
-        for name, metrics in point.items():
-            result.series.setdefault(name, []).append(metrics)
+        for cs in cs_values
+        for name in config.algorithms
+    ]
+    metrics = execute_runs(specs, jobs=jobs)
+    result = SweepResult(sweep_label="C_s", sweep_values=[float(v) for v in cs_values])
+    for spec, run in zip(specs, metrics):
+        result.series.setdefault(spec.algorithm, []).append(run)
     return result
 
 
@@ -117,25 +157,33 @@ def arrival_scale_sweep(
     *,
     max_skip_count: int = 7,
     lookahead: Optional[int] = 50,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Figure 1 style sweep: load varied by scaling arrival times.
 
     This is the methodology of [7] §4.1 that the paper replicates for
     validation: multiply every arrival time by a constant factor
-    (> 1 lowers load) and re-run.
+    (> 1 lowers load) and re-run.  Scaled workloads are derived up
+    front (cheap), then all (factor × algorithm) runs go out as one
+    batch.
     """
     result = SweepResult(sweep_label="Load", sweep_values=[])
+    specs: List[RunSpec] = []
     for factor in scale_factors:
         workload = base_workload.scale_arrivals(factor)
         result.sweep_values.append(round(workload.offered_load(), 4))
-        point = run_algorithms(
-            workload,
-            algorithms,
-            max_skip_count=max_skip_count,
-            lookahead=lookahead,
+        specs.extend(
+            RunSpec(
+                workload=workload,
+                algorithm=name,
+                max_skip_count=max_skip_count,
+                lookahead=lookahead,
+            )
+            for name in algorithms
         )
-        for name, metrics in point.items():
-            result.series.setdefault(name, []).append(metrics)
+    metrics = execute_runs(specs, jobs=jobs)
+    for spec, run in zip(specs, metrics):
+        result.series.setdefault(spec.algorithm, []).append(run)
     return result
 
 

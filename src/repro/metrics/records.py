@@ -101,6 +101,9 @@ class RunMetrics:
         offered_load: The paper's Load of the input workload.
         ecc_stats: Outcome counts from the ECC processor (empty for
             non-elastic runs).
+        events_processed: Discrete events the simulator fired during
+            the run (0 for hand-built metrics); the numerator of the
+            perf benchmark's events/sec throughput figure.
     """
 
     algorithm: str
@@ -110,6 +113,7 @@ class RunMetrics:
     makespan: float
     offered_load: float = 0.0
     ecc_stats: Dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
     #: Time-averaged queue dynamics (None for hand-built metrics).
     queue: Optional[QueueSummary] = None
     #: Jobs withdrawn from the queue before starting (SWF status 5).

@@ -11,7 +11,12 @@ it work, make it testable, only then optimize):
 
 - The heap stores events directly; cancellation is a lazily-honoured
   flag so rescheduling a job's finish event (runtime elasticity!) is
-  O(log n) to add and O(1) to cancel.
+  O(log n) to add and O(1) to cancel.  The engine keeps an exact count
+  of cancelled-but-still-heaped events (events notify it on
+  cancellation), so :meth:`Simulator.pending_count` is O(1) rather
+  than a heap scan, and the heap is compacted whenever cancelled
+  events outnumber live ones — elastic runs that reschedule every
+  finish event stay linear in live work.
 - Time never goes backwards.  Scheduling an event in the past raises
   :class:`SimulationError` immediately rather than corrupting the run.
 - ``run(until=...)`` stops *after* processing all events at ``until``;
@@ -52,6 +57,8 @@ class Simulator:
         self._heap: list[Event] = []
         self._processed = 0
         self._running = False
+        #: Cancelled events still sitting in the heap (exact count).
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -67,8 +74,12 @@ class Simulator:
         return self._processed
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): maintained as ``len(heap) - cancelled`` from the
+        cancellation notifications, not by scanning the heap.
+        """
+        return len(self._heap) - self._cancelled_in_heap
 
     def pending(self) -> Iterator[Event]:
         """Iterate live queued events in an unspecified order."""
@@ -103,6 +114,7 @@ class Simulator:
                 f"cannot schedule {name or action!r} at t={time}; clock is at t={self._now}"
             )
         event = Event(time=float(time), priority=int(priority), action=action, name=name)
+        event._sink = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -131,6 +143,7 @@ class Simulator:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        event._sink = None  # fired: a late cancel() must not decrement
         self._now = event.time
         self._processed += 1
         event.action()
@@ -174,6 +187,24 @@ class Simulator:
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
+
+    def _note_cancelled(self) -> None:
+        """Cancellation hook from :meth:`Event.cancel`.
+
+        Keeps the live-event count exact and compacts the heap once
+        cancelled events outnumber live ones, bounding both memory and
+        the log-factor of subsequent pushes by the *live* event count.
+        """
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap with cancelled events dropped."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
 
 __all__ = ["SimulationError", "Simulator"]

@@ -63,15 +63,27 @@ class Event:
     name: str = ""
     seq: int = field(default_factory=lambda: next(_seq_counter))
     cancelled: bool = False
+    #: Owning simulator while the event sits in its heap; lets the
+    #: engine keep a live-event counter without scanning the heap.
+    #: Cleared when the event fires or is discarded.
+    _sink: Any = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled.
 
         Cancellation is O(1): the engine discards cancelled events when
-        they reach the top of the heap.  Cancelling an event that
-        already fired is a no-op.
+        they reach the top of the heap (or during a compaction pass)
+        and keeps its live-event count exact via the notification hook.
+        Cancelling an event that already fired, or cancelling twice,
+        is a no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sink = self._sink
+        if sink is not None:
+            self._sink = None
+            sink._note_cancelled()
 
     def sort_key(self) -> tuple[float, int, int]:
         """Ordering key used by the event heap."""

@@ -162,3 +162,72 @@ class TestClockMonotonicity:
         victim = events[cancel_index % len(events)]
         victim.cancel()
         assert sim.run() == len(times) - 1
+
+
+class TestLiveEventAccounting:
+    """The O(1) pending counter and the cancelled-heap compaction."""
+
+    def test_pending_count_exact_through_mixed_lifecycle(self):
+        sim = Simulator()
+        events = [sim.schedule_at(float(t), lambda: None) for t in range(10)]
+        assert sim.pending_count() == 10
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_count() == 5
+        sim.run()
+        assert sim.pending_count() == 0
+
+    def test_double_cancel_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_count() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.step()  # fires `event`
+        event.cancel()
+        assert sim.pending_count() == 1
+
+    def test_compaction_drops_cancelled_events(self):
+        sim = Simulator()
+        doomed = [sim.schedule_at(float(t), lambda: None) for t in range(100)]
+        survivor = sim.schedule_at(200.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        # Cancelled events outnumbered live ones mid-way, so the heap
+        # was compacted down to the survivor (at most one cancelled
+        # event may linger below the compaction threshold).
+        assert len(sim._heap) <= 2
+        assert sim.pending_count() == 1
+        assert sim.peek_time() == 200.0
+        sim.run()
+        assert survivor.cancelled is False
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for t in range(50):
+            event = sim.schedule_at(float(t), lambda t=t: fired.append(t))
+            if t % 5:
+                event.cancel()
+            else:
+                keep.append(t)
+        sim.run()
+        assert fired == keep
+
+    def test_reschedule_churn_stays_compact(self):
+        """Elastic-style churn: repeatedly cancel + reschedule one
+        finish event; the heap must not accumulate dead entries."""
+        sim = Simulator()
+        event = sim.schedule_at(1000.0, lambda: None)
+        for i in range(1000):
+            event.cancel()
+            event = sim.schedule_at(1000.0 + i, lambda: None)
+        assert sim.pending_count() == 1
+        assert len(sim._heap) <= 3
