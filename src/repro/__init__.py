@@ -55,6 +55,7 @@ from repro.experiments import (
     simulate,
 )
 from repro.experiments.replicate import ReplicatedSweep, replicate_sweep
+from repro.faults import FaultConfig, RetryPolicy
 from repro.metrics import JobRecord, RunMetrics
 from repro.metrics.breakdown import by_kind, by_outcome, by_size_class
 from repro.metrics.export import records_to_csv, run_to_json, runs_to_csv, sweep_to_csv
@@ -77,7 +78,7 @@ from repro.workload.stats import WorkloadStats, characterize
 from repro.workload.transform import filter_jobs, head, merge, time_slice
 from repro.workload.validate import validate_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -91,6 +92,7 @@ __all__ = [
     "EasyBackfillDedicated",
     "ExperimentConfig",
     "FCFS",
+    "FaultConfig",
     "GeneratorConfig",
     "HybridLOS",
     "Job",
@@ -102,6 +104,7 @@ __all__ = [
     "LublinModel",
     "Machine",
     "ReplicatedSweep",
+    "RetryPolicy",
     "RunCache",
     "RunMetrics",
     "RunSpec",

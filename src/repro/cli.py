@@ -5,6 +5,8 @@ Runs one simulation (or a small comparison) from the terminal::
     repro-sim --algorithms EASY LOS Delayed-LOS --jobs 500 --load 0.9
     repro-sim --cwf my_workload.cwf --algorithms Hybrid-LOS
     repro-sim --algorithms EASY LOS --parallel 4 --cache
+    repro-sim --algorithms EASY Hybrid-LOS-E \
+        --faults mtbf=86400,mttr=3600,seed=1 --max-retries 3 --checkpoint
     repro-sim --list-algorithms
 
 Useful for eyeballing the system without writing Python; the full
@@ -27,6 +29,7 @@ from repro.experiments.cache import RunCache
 from repro.experiments.calibrate import calibrate_beta_arr
 from repro.experiments.parallel import resolve_jobs
 from repro.experiments.sweep import run_algorithms
+from repro.faults.model import RetryPolicy, parse_faults_spec
 from repro.metrics.report import format_table
 from repro.workload.cwf import parse_cwf_workload
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
@@ -76,6 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="run-cache directory (default: .repro_cache or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="inject faults: key=value spec, e.g. "
+        "mtbf=86400,mttr=3600,seed=1,pfail=0.02,poison=3|9 (docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="K",
+        help="requeue budget per failed job before it fails permanently",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="resubmission delay after a failure (doubles per extra attempt)",
+    )
+    parser.add_argument(
+        "--checkpoint", action="store_true",
+        help="preserve completed work across restarts (elastic -E policies, "
+        "applied through the ECC machinery)",
     )
     parser.add_argument(
         "--cwf", type=str, default=None, help="load a CWF workload file instead of generating"
@@ -179,6 +200,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    faults = None
+    retry = None
+    if args.faults:
+        try:
+            faults = parse_faults_spec(args.faults)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            retry = RetryPolicy(
+                max_retries=args.max_retries,
+                backoff=args.retry_backoff,
+                checkpoint=args.checkpoint,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     cache = None
     if args.cache or args.cache_dir:
         cache = RunCache.from_env()
@@ -190,21 +229,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.algorithms,
         max_skip_count=args.cs,
         lookahead=args.lookahead,
+        faults=faults,
+        retry=retry,
         jobs=args.parallel,
         cache=cache,
     )
+    headers = ["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"]
+    if faults is not None:
+        headers += ["requeues", "failed", "lost work (ps)", "degraded (s)"]
     rows = []
     for name, metrics in results.items():
-        rows.append(
-            [
-                name,
-                round(metrics.utilization, 4),
-                round(metrics.mean_wait, 1),
-                round(metrics.slowdown, 3),
-                round(metrics.makespan, 0),
+        row = [
+            name,
+            round(metrics.utilization, 4),
+            round(metrics.mean_wait, 1),
+            round(metrics.slowdown, 3),
+            round(metrics.makespan, 0),
+        ]
+        if faults is not None:
+            row += [
+                metrics.requeue_count,
+                metrics.failed_jobs,
+                round(metrics.lost_work, 0),
+                round(metrics.degraded_time, 0),
             ]
-        )
-    print(format_table(["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"], rows))
+        rows.append(row)
+    print(format_table(headers, rows))
     if cache is not None:
         print(str(cache.stats))
 

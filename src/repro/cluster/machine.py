@@ -5,11 +5,18 @@ The paper's testbed is a simulated BlueGene/P with 320 processors where
 (§IV-A).  :class:`Machine` models exactly that: a flat processor pool
 with a hard allocation granularity.  No torus topology or contiguity is
 modelled because the paper does not model it either (see DESIGN.md §2).
+
+Fault support (docs/resilience.md): with ``track_placement=True`` the
+machine additionally assigns every allocation to concrete psets
+(granularity units), so a pset can be *failed* — evicting whichever
+allocation holds it and shrinking available capacity until the
+matching repair.  Placement tracking is off by default; the fault-free
+hot path is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional, Set
 
 from repro.cluster.accounting import UtilizationTracker
 
@@ -32,11 +39,17 @@ class Machine:
         tracker: Optional utilization tracker; when provided, every
             allocation change is recorded so mean utilization can be
             integrated exactly.
+        track_placement: Assign allocations to concrete psets so that
+            :meth:`fail_unit` / :meth:`repair_unit` can take psets
+            offline and evict overlapping jobs.  Off by default; the
+            fault-free path carries no placement bookkeeping.
 
     Invariants (enforced on every call):
-        * ``0 <= used <= total``
+        * ``0 <= used <= available <= total``
         * every live allocation is a positive multiple of ``granularity``
         * allocation ids are unique among live allocations
+        * (placement) owned psets exactly cover the allocations and
+          never intersect the offline set
     """
 
     def __init__(
@@ -44,6 +57,7 @@ class Machine:
         total: int,
         granularity: int = 1,
         tracker: Optional[UtilizationTracker] = None,
+        track_placement: bool = False,
     ) -> None:
         if total <= 0:
             raise ValueError(f"machine size must be positive, got {total}")
@@ -58,6 +72,19 @@ class Machine:
         self.tracker = tracker
         self._allocations: Dict[Hashable, int] = {}
         self._used = 0
+        # --- placement / fault state (only populated when tracking) ---
+        self.track_placement = bool(track_placement)
+        #: pset index -> owning allocation id (None = free); empty
+        #: list when placement is untracked.
+        self._unit_owner: List[Optional[Hashable]] = (
+            [None] * (self.total // self.granularity) if track_placement else []
+        )
+        self._unit_of: Dict[Hashable, List[int]] = {}
+        self._offline: Set[int] = set()
+        # Degraded-time integral: accumulated seconds with >= 1 pset
+        # offline, plus the open segment's start (None when healthy).
+        self._degraded_accum = 0.0
+        self._degraded_since: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -68,9 +95,28 @@ class Machine:
         return self._used
 
     @property
+    def offline(self) -> int:
+        """Processors currently offline due to failed psets (0 when healthy)."""
+        return len(self._offline) * self.granularity
+
+    @property
+    def available(self) -> int:
+        """Processors not offline (``total`` on a healthy machine)."""
+        return self.total - self.offline
+
+    @property
+    def degraded(self) -> bool:
+        """Whether at least one pset is currently offline."""
+        return bool(self._offline)
+
+    @property
     def free(self) -> int:
-        """Processors currently free (the paper's ``m``)."""
-        return self.total - self._used
+        """Processors currently free (the paper's ``m``).
+
+        Offline psets are neither free nor used: ``free = total −
+        offline − used``.
+        """
+        return self.total - self.offline - self._used
 
     @property
     def units(self) -> int:
@@ -130,9 +176,12 @@ class Machine:
         if num > self.free:
             raise AllocationError(
                 f"cannot allocate {num} processors; only {self.free} free of {self.total}"
+                + (f" ({self.offline} offline)" if self._offline else "")
             )
         self._allocations[alloc_id] = num
         self._used += num
+        if self.track_placement:
+            self._place(alloc_id, num // self.granularity)
         if self.tracker is not None:
             self.tracker.observe(time, self._used)
 
@@ -147,21 +196,122 @@ class Machine:
         except KeyError:
             raise AllocationError(f"allocation id {alloc_id!r} is not live") from None
         self._used -= num
+        if self.track_placement:
+            for index in self._unit_of.pop(alloc_id, ()):
+                self._unit_owner[index] = None
         if self.tracker is not None:
             self.tracker.observe(time, self._used)
         return num
 
+    # ------------------------------------------------------------------
+    # Faults (placement tracking required)
+    # ------------------------------------------------------------------
+    def _place(self, alloc_id: Hashable, n_units: int) -> None:
+        """Assign the lowest-indexed free online psets (first-fit)."""
+        chosen: List[int] = []
+        for index, owner in enumerate(self._unit_owner):
+            if owner is None and index not in self._offline:
+                chosen.append(index)
+                if len(chosen) == n_units:
+                    break
+        # free-capacity check already passed, so enough psets exist
+        assert len(chosen) == n_units, (alloc_id, n_units, chosen)
+        for index in chosen:
+            self._unit_owner[index] = alloc_id
+        self._unit_of[alloc_id] = chosen
+
+    def _require_placement(self) -> None:
+        if not self.track_placement:
+            raise AllocationError(
+                "pset faults need Machine(track_placement=True)"
+            )
+
+    def online_units(self) -> List[int]:
+        """Indices of psets currently online (sorted)."""
+        self._require_placement()
+        return [i for i in range(self.units) if i not in self._offline]
+
+    def owner_of_unit(self, index: int) -> Optional[Hashable]:
+        """Allocation id holding pset ``index`` (None when free)."""
+        self._require_placement()
+        return self._unit_owner[index]
+
+    def fail_unit(self, index: int, time: float = 0.0) -> Optional[Hashable]:
+        """Take pset ``index`` offline; evict and return its owner.
+
+        The owning allocation (if any) is released *in full* — a job
+        cannot keep running on a partially failed allocation — and its
+        id is returned so the caller can requeue or fail the job.
+        Capacity shrinks by one granularity unit until
+        :meth:`repair_unit`.
+
+        Raises:
+            AllocationError: placement untracked, index out of range,
+                or pset already offline.
+        """
+        self._require_placement()
+        if not 0 <= index < self.units:
+            raise AllocationError(f"pset index {index} out of range 0..{self.units - 1}")
+        if index in self._offline:
+            raise AllocationError(f"pset {index} is already offline")
+        evicted = self._unit_owner[index]
+        if evicted is not None:
+            self.release(evicted, time=time)
+        if not self._offline:
+            self._degraded_since = time
+        self._offline.add(index)
+        return evicted
+
+    def repair_unit(self, index: int, time: float = 0.0) -> None:
+        """Bring pset ``index`` back online.
+
+        Raises:
+            AllocationError: when the pset is not offline.
+        """
+        self._require_placement()
+        if index not in self._offline:
+            raise AllocationError(f"pset {index} is not offline")
+        self._offline.remove(index)
+        if not self._offline:
+            assert self._degraded_since is not None
+            self._degraded_accum += max(0.0, time - self._degraded_since)
+            self._degraded_since = None
+
+    def degraded_time(self, until: float) -> float:
+        """Total seconds with >= 1 pset offline, up to ``until``."""
+        extra = 0.0
+        if self._degraded_since is not None and until > self._degraded_since:
+            extra = until - self._degraded_since
+        return self._degraded_accum + extra
+
     def check_invariants(self) -> None:
         """Assert internal consistency (used by property tests)."""
-        assert 0 <= self._used <= self.total, (self._used, self.total)
+        assert 0 <= self._used <= self.available <= self.total, (
+            self._used,
+            self.offline,
+            self.total,
+        )
         assert self._used == sum(self._allocations.values())
         for alloc_id, num in self._allocations.items():
             assert num > 0 and num % self.granularity == 0, (alloc_id, num)
+        if self.track_placement:
+            owned = {
+                alloc_id: len(units) * self.granularity
+                for alloc_id, units in self._unit_of.items()
+            }
+            assert owned == dict(self._allocations), (owned, self._allocations)
+            for alloc_id, units in self._unit_of.items():
+                for index in units:
+                    assert self._unit_owner[index] == alloc_id, (alloc_id, index)
+                    assert index not in self._offline, (alloc_id, index)
+            n_owned = sum(1 for owner in self._unit_owner if owner is not None)
+            assert n_owned * self.granularity == self._used, (n_owned, self._used)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        degraded = f", offline={self.offline}" if self._offline else ""
         return (
             f"Machine(total={self.total}, granularity={self.granularity}, "
-            f"used={self._used}, live={len(self._allocations)})"
+            f"used={self._used}, live={len(self._allocations)}{degraded})"
         )
 
 

@@ -18,7 +18,7 @@ see ``benchmarks/bench_ablation_fragmentation.py``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.cluster.machine import AllocationError
 
@@ -64,6 +64,7 @@ class PartitionedMachine:
         self.units = total // granularity
         self._owner: List[Optional[Hashable]] = [None] * self.units
         self._spans: Dict[Hashable, Tuple[int, int]] = {}  # id -> (start, length)
+        self._offline: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -74,16 +75,28 @@ class PartitionedMachine:
         return (self.units - self._owner.count(None)) * self.granularity
 
     @property
+    def offline(self) -> int:
+        """Processors offline due to failed psets."""
+        return len(self._offline) * self.granularity
+
+    @property
     def free(self) -> int:
         """Processors currently free (possibly fragmented)."""
-        return self._owner.count(None) * self.granularity
+        return (
+            self._owner.count(None) - len(self._offline)
+        ) * self.granularity
 
     def free_runs(self) -> List[Tuple[int, int]]:
-        """Maximal free runs as (start unit, length in units)."""
+        """Maximal free *online* runs as (start unit, length in units).
+
+        Offline psets break runs: a failed pset in the middle of a free
+        region splits it, exactly as a dead midplane would on the real
+        machine.
+        """
         runs: List[Tuple[int, int]] = []
         start = None
         for index, owner in enumerate(self._owner):
-            if owner is None:
+            if owner is None and index not in self._offline:
                 if start is None:
                     start = index
             elif start is not None:
@@ -103,8 +116,8 @@ class PartitionedMachine:
         ``1 - largest_free_run / total_free_units``; 0 when all free
         capacity is one run (or none is free).
         """
-        free_units = self._owner.count(None)
-        if free_units == 0:
+        free_units = self._owner.count(None) - len(self._offline)
+        if free_units <= 0:
             return 0.0
         return 1.0 - self.largest_free_run() / free_units
 
@@ -150,6 +163,29 @@ class PartitionedMachine:
             )
         raise AllocationError(f"only {self.free} of {self.total} processors free")
 
+    def fail_unit(self, index: int) -> Optional[Hashable]:
+        """Take pset ``index`` offline; evict and return its owner.
+
+        As in :meth:`repro.cluster.machine.Machine.fail_unit`, the
+        owning allocation (if any) is released in full before the pset
+        goes dark.
+        """
+        if not 0 <= index < self.units:
+            raise AllocationError(f"pset index {index} out of range 0..{self.units - 1}")
+        if index in self._offline:
+            raise AllocationError(f"pset {index} is already offline")
+        evicted = self._owner[index]
+        if evicted is not None:
+            self.release(evicted)
+        self._offline.add(index)
+        return evicted
+
+    def repair_unit(self, index: int) -> None:
+        """Bring pset ``index`` back online."""
+        if index not in self._offline:
+            raise AllocationError(f"pset {index} is not offline")
+        self._offline.remove(index)
+
     def release(self, alloc_id: Hashable) -> int:
         """Release an allocation; returns its size in processors."""
         try:
@@ -168,6 +204,8 @@ class PartitionedMachine:
         coalesce into one run.  Returns the number of allocations that
         moved (the migration cost proxy).
         """
+        if self._offline:
+            return self._compact_degraded()
         moved = 0
         cursor = 0
         for alloc_id, (start, length) in sorted(
@@ -183,6 +221,42 @@ class PartitionedMachine:
             cursor += length
         return moved
 
+    def _compact_degraded(self) -> int:
+        """Compaction around offline psets (first-fit repack).
+
+        Offline psets cannot host migrated allocations, so the simple
+        left-slide is replaced by a first-fit repack into online runs.
+        When the repack cannot place every allocation (pathological
+        fragmentation by failures), the layout is left untouched and 0
+        is returned.
+        """
+        order = sorted(self._spans.items(), key=lambda item: item[1][0])
+        owner: List[Optional[Hashable]] = [None] * self.units
+        spans: Dict[Hashable, Tuple[int, int]] = {}
+        for alloc_id, (_, length) in order:
+            placed = False
+            run = 0
+            for index in range(self.units):
+                if owner[index] is None and index not in self._offline:
+                    run += 1
+                    if run == length:
+                        start = index - length + 1
+                        for unit in range(start, start + length):
+                            owner[unit] = alloc_id
+                        spans[alloc_id] = (start, length)
+                        placed = True
+                        break
+                else:
+                    run = 0
+            if not placed:
+                return 0
+        moved = sum(
+            1 for alloc_id, span in spans.items() if span != self._spans[alloc_id]
+        )
+        self._owner = owner
+        self._spans = spans
+        return moved
+
     def check_invariants(self) -> None:
         """Assert span bookkeeping matches the ownership map."""
         seen = 0
@@ -190,8 +264,12 @@ class PartitionedMachine:
             assert all(
                 self._owner[index] == alloc_id for index in range(start, start + length)
             ), f"span map corrupt for {alloc_id!r}"
+            assert all(
+                index not in self._offline for index in range(start, start + length)
+            ), f"allocation {alloc_id!r} spans an offline pset"
             seen += length
         assert seen == self.units - self._owner.count(None)
+        assert all(self._owner[index] is None for index in self._offline)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

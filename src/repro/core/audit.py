@@ -6,7 +6,8 @@ Wraps any :class:`~repro.core.base.Scheduler` and re-checks, around
 - the Notations-box structural invariants (``W^b`` FIFO with the
   Algorithm-3 promoted prefix, ``W^d`` start-sorted, ``A``
   residual-sorted, machine books consistent),
-- the Algorithm-1 line-1 identity ``m = M − Σ a_i.num``,
+- the Algorithm-1 line-1 identity ``m = M − Σ a_i.num`` (with ``M``
+  shrunk by offline psets under fault injection),
 - decision sanity: only queued jobs are started, within free capacity;
   only due dedicated jobs are promoted.
 
@@ -49,10 +50,10 @@ class AuditingScheduler(Scheduler):
             ctx.machine.check_invariants()
         except AssertionError as exc:
             raise AuditViolation(f"state invariant broken at t={ctx.now}: {exc}") from exc
-        if ctx.free != ctx.machine.total - ctx.active.total_used:
+        if ctx.free != ctx.machine.available - ctx.active.total_used:
             raise AuditViolation(
-                f"m != M - sum(a_i.num) at t={ctx.now}: "
-                f"{ctx.free} vs {ctx.machine.total - ctx.active.total_used}"
+                f"m != M - offline - sum(a_i.num) at t={ctx.now}: "
+                f"{ctx.free} vs {ctx.machine.available - ctx.active.total_used}"
             )
 
     def _audit_decision(self, ctx: SchedulerContext, decision: CycleDecision) -> None:

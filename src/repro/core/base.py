@@ -54,10 +54,12 @@ class SchedulerContext:
     def free(self) -> int:
         """The paper's ``m`` — free processors at ``t``.
 
-        Computed as ``M - Σ a_i.num`` (Algorithm 1 line 1); asserted
-        equal to the machine's own bookkeeping.
+        Computed as ``M - offline - Σ a_i.num`` (Algorithm 1 line 1,
+        with ``M`` shrunk by psets currently failed under fault
+        injection — zero on the fault-free path); asserted equal to
+        the machine's own bookkeeping.
         """
-        m = self.machine.total - self.active.total_used
+        m = self.machine.available - self.active.total_used
         assert m == self.machine.free, (m, self.machine.free)
         return m
 
@@ -114,6 +116,16 @@ class Scheduler(abc.ABC):
 
         Must be side-effect free except for ``scount`` bookkeeping on
         queued jobs (guarded by ``ctx.allow_scount_increment``).
+        """
+
+    def on_job_failure(self, job: Job, now: float, permanent: bool) -> None:
+        """Notification hook: ``job`` failed or was evicted at ``now``.
+
+        Called by the runner after its own recovery bookkeeping
+        (requeue or permanent failure, per ``permanent``).  Policies
+        are stateless by design, so the default is a no-op; stateful
+        subclasses (e.g. a reservation-holding CONSERVATIVE extension)
+        can override to invalidate cached plans.
         """
 
     # ------------------------------------------------------------------

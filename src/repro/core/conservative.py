@@ -27,7 +27,11 @@ class ConservativeBackfill(Scheduler):
         queue = ctx.batch_queue.jobs()
         if not queue:
             return CycleDecision.nothing()
-        profile = CapacityProfile.from_active(ctx.machine.total, ctx.now, ctx.active)
+        # Plan against the *available* capacity: offline psets (fault
+        # injection) must not be promised to future reservations.
+        profile = CapacityProfile.from_active(
+            ctx.machine.available, ctx.now, ctx.active
+        )
         starts = []
         for job in queue:
             start = profile.earliest_start(job.num, job.estimate)

@@ -71,6 +71,14 @@ def batch_head_freeze(ctx: SchedulerContext, head: Job) -> FreezeSpec:
                 frec=m + cumulative - head.num,
                 sufficient=True,
             )
+    if ctx.machine.offline:
+        # Degraded machine (fault injection): even a full drain cannot
+        # host the head until psets are repaired.  Anchor at the last
+        # termination with zero freeze capacity — nothing may backfill
+        # past it — and let repairs re-trigger the cycle.
+        last = ctx.active.last()
+        anchor = ctx.now + (last.residual(ctx.now) if last is not None else 0.0)
+        return FreezeSpec(fret=anchor, frec=0, sufficient=False)
     # Unreachable when job sizes are validated against the machine:
     # m + Σ all active = M >= head.num.
     raise AssertionError(
@@ -101,7 +109,9 @@ def dedicated_freeze(ctx: SchedulerContext) -> FreezeSpec:
             f"(start={head.requested_start} <= t={ctx.now}); promote it instead"
         )
 
-    machine_size = ctx.machine.total
+    # Offline psets (fault injection) are unavailable to reservations;
+    # optimistically assuming their repair would overcommit the freeze.
+    machine_size = ctx.machine.available
     start = head.requested_start
     last = ctx.active.last()
 

@@ -22,6 +22,7 @@ writers — the parallel executor's workers — cannot corrupt each other.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
@@ -30,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
 from repro.workload.generator import Workload
 
@@ -82,9 +84,15 @@ def run_key(
     max_skip_count: int = 7,
     lookahead: Optional[int] = 50,
     max_eccs_per_job: Optional[int] = None,
+    faults: Optional[FaultConfig] = None,
+    retry: Optional[RetryPolicy] = None,
     version: Optional[str] = None,
 ) -> str:
-    """Digest identifying one (workload, scheduler, version) run."""
+    """Digest identifying one (workload, scheduler, version) run.
+
+    ``faults``/``retry`` enter the digest only when set, so fault-free
+    digests are unchanged from earlier versions of this function.
+    """
     if version is None:
         from repro import __version__ as version
     hasher = hashlib.sha256()
@@ -92,6 +100,8 @@ def run_key(
     hasher.update(
         repr((algorithm, max_skip_count, lookahead, max_eccs_per_job, version)).encode()
     )
+    if faults is not None or retry is not None:
+        hasher.update(repr((faults, retry)).encode())
     return hasher.hexdigest()
 
 
@@ -146,6 +156,8 @@ class RunCache:
         max_skip_count: int = 7,
         lookahead: Optional[int] = 50,
         max_eccs_per_job: Optional[int] = None,
+        faults: Optional[FaultConfig] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> str:
         """Digest for one run under this cache's versioning."""
         return run_key(
@@ -154,6 +166,8 @@ class RunCache:
             max_skip_count=max_skip_count,
             lookahead=lookahead,
             max_eccs_per_job=max_eccs_per_job,
+            faults=faults,
+            retry=retry,
         )
 
     def _path(self, key: str) -> Path:
@@ -180,6 +194,15 @@ class RunCache:
             self.stats.misses += 1
             return None
         if not isinstance(metrics, RunMetrics):
+            self.stats.misses += 1
+            return None
+        # Schema check: an entry pickled by an older RunMetrics (its
+        # __dict__ simply lacks fields added since) must be a miss, not
+        # a half-initialized object crashing a report downstream.  The
+        # instance dict is checked, not hasattr: class-level dataclass
+        # defaults would mask a missing field.
+        state = getattr(metrics, "__dict__", {})
+        if any(f.name not in state for f in dataclasses.fields(RunMetrics)):
             self.stats.misses += 1
             return None
         self.stats.hits += 1

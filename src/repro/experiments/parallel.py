@@ -20,6 +20,12 @@ isolated simulation seeded entirely by its spec, and results are
 returned in submission order (``Executor.map`` semantics), never in
 completion order.
 
+Robustness (docs/resilience.md): a crashed worker process
+(``BrokenProcessPool``) or a per-run wait exceeding
+``REPRO_RUN_TIMEOUT`` does not abort the batch — the affected runs are
+retried serially in the parent after a ``RuntimeWarning``, degrading
+gracefully to the plain loop that parallelism merely accelerates.
+
 Worker count resolution, in priority order: an explicit ``jobs=``
 argument, the ``REPRO_JOBS`` environment variable, then
 ``os.cpu_count()``.  The serial path is used for ``jobs=1``, on
@@ -34,7 +40,10 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -42,12 +51,19 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 from repro.core.registry import make_scheduler
 from repro.experiments.cache import RunCache
 from repro.experiments.runner import SimulationRunner
+from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
 from repro.workload.generator import Workload
 
 #: Environment variable naming the worker count (CLI flag equivalent:
 #: ``repro-sim --parallel N``).
 ENV_JOBS = "REPRO_JOBS"
+
+#: Optional per-run wait bound in seconds: when set, waiting on any
+#: single worker-side run longer than this counts as a failure and the
+#: run is retried serially in the parent.  Unset/non-positive = wait
+#: forever (the default; simulations are deterministic and finite).
+ENV_RUN_TIMEOUT = "REPRO_RUN_TIMEOUT"
 
 #: When the worker count is merely implied (no ``jobs=``, no
 #: ``REPRO_JOBS``), batches below this many *simulated* jobs run
@@ -72,6 +88,10 @@ class RunSpec:
     max_skip_count: int = 7
     lookahead: Optional[int] = 50
     max_eccs_per_job: Optional[int] = None
+    #: Optional fault model (docs/resilience.md); None = fault-free.
+    faults: Optional[FaultConfig] = None
+    #: Recovery policy under faults; None = RetryPolicy defaults.
+    retry: Optional[RetryPolicy] = None
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -100,7 +120,11 @@ def execute_spec(spec: RunSpec) -> RunMetrics:
         lookahead=spec.lookahead,
     )
     runner = SimulationRunner(
-        spec.workload, scheduler, max_eccs_per_job=spec.max_eccs_per_job
+        spec.workload,
+        scheduler,
+        max_eccs_per_job=spec.max_eccs_per_job,
+        faults=spec.faults,
+        retry=spec.retry,
     )
     return runner.run()
 
@@ -129,6 +153,63 @@ def _pool(workers: int) -> ProcessPoolExecutor:
         mp_context=get_context("fork"),
         initializer=_init_worker,
     )
+
+
+def run_timeout() -> Optional[float]:
+    """Per-run wait bound from ``REPRO_RUN_TIMEOUT`` (None = no bound)."""
+    raw = os.environ.get(ENV_RUN_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_RUN_TIMEOUT} must be a number of seconds, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+def _map_resilient(fn: Callable[[T], R], items: Sequence[T], workers: int) -> List[R]:
+    """Order-preserving pool map that survives worker failure.
+
+    A worker crash (``BrokenProcessPool`` — OOM-killed child, segfault
+    in a native extension, ``os._exit`` in user code) or an over-long
+    wait (:data:`ENV_RUN_TIMEOUT`) does not abort the batch: the
+    affected items are collected and retried **serially in the parent
+    process**, once, after a :class:`RuntimeWarning`.  Exceptions
+    *raised by* ``fn`` are real errors and propagate unchanged — a
+    deterministic failure would fail the serial retry too.
+    """
+    results: List[Optional[R]] = [None] * len(items)
+    retry_indexes: List[int] = []
+    timeout = run_timeout()
+    try:
+        with _pool(workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    retry_indexes.append(index)
+                except (BrokenProcessPool, CancelledError):
+                    retry_indexes.append(index)
+    except BrokenProcessPool:
+        # The pool died while submitting or shutting down; every item
+        # without a result gets the serial retry.
+        done = set(index for index in range(len(items)) if results[index] is not None)
+        retry_indexes = sorted(set(retry_indexes) | (set(range(len(items))) - done))
+    if retry_indexes:
+        warnings.warn(
+            f"parallel execution failed for {len(retry_indexes)} of "
+            f"{len(items)} runs (worker crash or timeout); retrying "
+            "serially in the parent process",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for index in retry_indexes:
+            results[index] = fn(items[index])
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def execute_runs(
@@ -164,6 +245,8 @@ def execute_runs(
                 max_skip_count=spec.max_skip_count,
                 lookahead=spec.lookahead,
                 max_eccs_per_job=spec.max_eccs_per_job,
+                faults=spec.faults,
+                retry=spec.retry,
             )
             hit = cache.get(keys[index])
             if hit is not None:
@@ -174,8 +257,7 @@ def execute_runs(
     work_hint = sum(len(specs[index].workload) for index in pending)
     workers = _effective_workers(jobs, len(pending), work_hint)
     if workers > 1:
-        with _pool(workers) as pool:
-            fresh = list(pool.map(execute_spec, [specs[index] for index in pending]))
+        fresh = _map_resilient(execute_spec, [specs[index] for index in pending], workers)
     else:
         fresh = [execute_spec(specs[index]) for index in pending]
 
@@ -223,13 +305,13 @@ def parallel_map(
     items = list(items)
     workers = _effective_workers(jobs, len(items), work_hint)
     if workers > 1 and _picklable(fn, items[0]):
-        with _pool(workers) as pool:
-            return list(pool.map(fn, items))
+        return _map_resilient(fn, items, workers)
     return [fn(item) for item in items]
 
 
 __all__ = [
     "ENV_JOBS",
+    "ENV_RUN_TIMEOUT",
     "PARALLEL_MIN_WORK",
     "RunSpec",
     "execute_runs",
@@ -237,4 +319,5 @@ __all__ = [
     "fork_available",
     "parallel_map",
     "resolve_jobs",
+    "run_timeout",
 ]

@@ -27,15 +27,22 @@ from repro.cluster.accounting import UtilizationTracker
 from repro.cluster.machine import Machine
 from repro.core.base import CycleDecision, Scheduler, SchedulerContext
 from repro.core.elastic import ECCOutcome, ECCProcessor
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.queue_stats import QueueTracker
-from repro.metrics.records import CancellationRecord, JobRecord, RunMetrics
+from repro.metrics.records import (
+    CancellationRecord,
+    FailureRecord,
+    JobRecord,
+    RunMetrics,
+)
 from repro.queues.active_list import ActiveList
 from repro.queues.batch_queue import BatchQueue
 from repro.queues.dedicated_queue import DedicatedQueue
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.events import Event, EventPriority
 from repro.sim.trace import TraceLog
-from repro.workload.ecc import ECC
+from repro.workload.ecc import ECC, ECCKind
 from repro.workload.generator import Workload
 from repro.workload.job import Job, JobState
 
@@ -55,6 +62,13 @@ class SimulationRunner:
         trace: Record a full :class:`TraceLog` (tests/debugging).
         max_eccs_per_job: Optional per-job ECC budget (§III-C).
         allow_resource_eccs: Opt-in for the EP/RP prototype.
+        faults: Optional fault model (docs/resilience.md).  Node
+            faults switch the machine to placement tracking so psets
+            can fail; job faults schedule per-attempt crashes.
+        retry: Recovery policy for failed/evicted jobs; defaults to
+            :class:`~repro.faults.model.RetryPolicy` (3 retries, no
+            backoff, no checkpointing).  Only consulted when faults
+            are injected.
 
     Raises:
         ValueError: when the workload contains dedicated jobs but the
@@ -70,9 +84,12 @@ class SimulationRunner:
         trace: bool = False,
         max_eccs_per_job: Optional[int] = None,
         allow_resource_eccs: bool = False,
+        faults: Optional[FaultConfig] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.workload = workload
         self.scheduler = scheduler
+        self.retry = retry if retry is not None else RetryPolicy()
         self.jobs: List[Job] = workload.fresh_jobs()
         self._jobs_by_id: Dict[int, Job] = {job.job_id: job for job in self.jobs}
         if len(self._jobs_by_id) != len(self.jobs):
@@ -104,6 +121,9 @@ class SimulationRunner:
             total=workload.machine_size,
             granularity=workload.granularity,
             tracker=self.tracker,
+            # Pset failures need concrete placement; job-only faults
+            # (and the fault-free path) skip the bookkeeping.
+            track_placement=faults is not None and faults.node_faults_enabled,
         )
         for job in self.jobs:
             self.machine.validate_request(job.num)
@@ -125,7 +145,16 @@ class SimulationRunner:
         self._cancelled_while_running: set[int] = set()
         self._finish_events: Dict[int, Event] = {}
         self._pending_cycle_time: Optional[float] = None
+        self.failed_records: List[FailureRecord] = []
+        self._lost_work = 0.0
+        self._lost_by_job: Dict[int, float] = {}
+        self._requeue_count = 0
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self, faults) if faults is not None and faults.enabled else None
+        )
         self._wire_events()
+        if self.faults is not None:
+            self.faults.install()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -180,6 +209,8 @@ class SimulationRunner:
 
     def _on_finish(self, job: Job) -> None:
         now = self.sim.now
+        if self.faults is not None:
+            self.faults.cancel_job_failure(job)
         self.active.remove(job)
         self.machine.release(job.job_id, time=now)
         job.finish_time = now
@@ -274,6 +305,102 @@ class SimulationRunner:
         )
 
     # ------------------------------------------------------------------
+    # Failure recovery (docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _fail_running_job(self, job: Job, *, release: bool, reason: str) -> None:
+        """Terminate a running job's attempt; requeue or fail it.
+
+        Args:
+            job: The victim (must be RUNNING).
+            release: Whether the machine allocation still needs
+                releasing (pset eviction already released it).
+            reason: ``"crash"`` or ``"evicted"`` (trace/records).
+
+        The attempt's partial execution is charged to ``lost_work``,
+        minus any checkpoint credit: with ``retry.checkpoint`` under an
+        elastic policy the elapsed work is preserved as a synthetic RT
+        command through the ECC processor, shrinking the restart's
+        runtime (and honouring the per-job ECC budget).  The job then
+        either re-enters the batch queue after the policy's backoff —
+        at the tail, with a fresh effective arrival — or, once the
+        retry budget is exhausted, fails permanently into a
+        :class:`FailureRecord`.
+        """
+        now = self.sim.now
+        assert job.state is JobState.RUNNING and job.start_time is not None, job
+        pending = self._finish_events.pop(job.job_id, None)
+        if pending is not None:
+            pending.cancel()
+        if self.faults is not None:
+            self.faults.cancel_job_failure(job)
+        self.active.remove(job)
+        if release:
+            self.machine.release(job.job_id, time=now)
+        elapsed = now - job.start_time
+        job.requeues += 1
+        attempt = job.requeues
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.killed = False
+        preserved = 0.0
+        if self.retry.checkpoint and self.scheduler.elastic and elapsed > 0:
+            estimate_before = job.estimate
+            result = self.ecc_processor.apply(
+                ECC(
+                    job_id=job.job_id,
+                    issue_time=now,
+                    kind=ECCKind.REDUCE_TIME,
+                    amount=elapsed,
+                ),
+                job,
+                now,
+            )
+            if result.outcome.applied:
+                preserved = estimate_before - job.estimate
+        lost = job.num * max(0.0, elapsed - preserved)
+        self._lost_work += lost
+        self._lost_by_job[job.job_id] = self._lost_by_job.get(job.job_id, 0.0) + lost
+        self.trace.record(
+            now, "job-fail", job=job.job_id, num=job.num,
+            reason=reason, attempt=attempt, lost=lost,
+        )
+        permanent = attempt > self.retry.max_retries
+        if permanent:
+            job.state = JobState.FAILED
+            job.finish_time = now
+            self.failed_records.append(
+                FailureRecord(
+                    job_id=job.job_id,
+                    kind=job.kind,
+                    num=job.num,
+                    submit=job.submit,
+                    failed_at=now,
+                    attempts=attempt,
+                    lost_work=self._lost_by_job[job.job_id],
+                    reason=reason,
+                )
+            )
+            self.trace.record(now, "job-failed-permanently", job=job.job_id, attempts=attempt)
+        else:
+            self.sim.schedule_in(
+                self.retry.delay(attempt),
+                lambda j=job: self._on_requeue(j),
+                priority=EventPriority.ARRIVAL,
+                name=f"requeue#{job.job_id}",
+            )
+        self.scheduler.on_job_failure(job, now, permanent)
+        self._request_cycle()
+
+    def _on_requeue(self, job: Job) -> None:
+        """Backoff expired: the failed job rejoins the batch queue."""
+        now = self.sim.now
+        self.batch_queue.push_requeue(job, now)
+        self.queue_tracker.on_enqueue(now, job.num * job.estimate)
+        self._requeue_count += 1
+        self.trace.record(now, "requeue", job=job.job_id, attempt=job.requeues)
+        self._request_cycle()
+
+    # ------------------------------------------------------------------
     # Scheduling cycle
     # ------------------------------------------------------------------
     def _request_cycle_now(self) -> None:
@@ -331,6 +458,8 @@ class SimulationRunner:
             job.killed = job.actual is not None and job.actual > job.estimate
             self.active.add(job)
             self._reschedule_finish(job, now + job.effective_runtime())
+            if self.faults is not None:
+                self.faults.on_job_start(job)
             self.trace.record(now, "start", job=job.job_id, num=job.num)
 
     # ------------------------------------------------------------------
@@ -347,7 +476,8 @@ class SimulationRunner:
         unfinished = [
             job
             for job in self.jobs
-            if job.state not in (JobState.FINISHED, JobState.CANCELLED)
+            if job.state
+            not in (JobState.FINISHED, JobState.CANCELLED, JobState.FAILED)
         ]
         if unfinished and until is None:
             ids = [job.job_id for job in unfinished[:10]]
@@ -377,6 +507,11 @@ class SimulationRunner:
             events_processed=self.sim.processed_events,
             queue=self.queue_tracker.summary(until=last_finish),
             cancelled_records=list(self.cancelled_records),
+            failed_records=list(self.failed_records),
+            lost_work=self._lost_work,
+            requeue_count=self._requeue_count,
+            degraded_time=self.machine.degraded_time(until=last_finish),
+            node_failures=self.faults.node_failures if self.faults else 0,
         )
 
 
@@ -386,6 +521,8 @@ def simulate(
     *,
     trace: bool = False,
     max_eccs_per_job: Optional[int] = None,
+    faults: Optional[FaultConfig] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> RunMetrics:
     """One-shot convenience wrapper around :class:`SimulationRunner`."""
     return SimulationRunner(
@@ -393,6 +530,8 @@ def simulate(
         scheduler,
         trace=trace,
         max_eccs_per_job=max_eccs_per_job,
+        faults=faults,
+        retry=retry,
     ).run()
 
 

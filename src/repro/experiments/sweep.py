@@ -17,6 +17,7 @@ from repro.experiments.cache import RunCache
 from repro.experiments.calibrate import calibrate_beta_arr
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import RunSpec, execute_runs, parallel_map
+from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
 from repro.workload.generator import Workload
 
@@ -53,6 +54,8 @@ def run_algorithms(
     max_skip_count: int = 7,
     lookahead: Optional[int] = 50,
     max_eccs_per_job: Optional[int] = None,
+    faults: Optional[FaultConfig] = None,
+    retry: Optional[RetryPolicy] = None,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
 ) -> Dict[str, RunMetrics]:
@@ -60,8 +63,9 @@ def run_algorithms(
 
     Each run gets fresh job copies (the workload is immutable input),
     so the comparison is paired — identical arrivals, sizes, runtimes
-    and ECCs for every policy, as in the paper's methodology.  Runs are
-    dispatched through the parallel executor; ``jobs=1`` (or
+    and ECCs for every policy, as in the paper's methodology; under
+    ``faults`` every policy also faces the *same* seeded fault model.
+    Runs are dispatched through the parallel executor; ``jobs=1`` (or
     ``REPRO_JOBS=1``) forces the deterministic serial path, which
     produces identical metrics.
     """
@@ -72,6 +76,8 @@ def run_algorithms(
             max_skip_count=max_skip_count,
             lookahead=lookahead,
             max_eccs_per_job=max_eccs_per_job,
+            faults=faults,
+            retry=retry,
         )
         for name in algorithms
     ]

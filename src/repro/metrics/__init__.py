@@ -8,7 +8,7 @@ simulation (:mod:`repro.metrics.records`), and format comparison
 tables (:mod:`repro.metrics.report`).
 """
 
-from repro.metrics.records import JobRecord, RunMetrics
+from repro.metrics.records import FailureRecord, JobRecord, RunMetrics
 from repro.metrics.stats import (
     bounded_slowdown,
     improvement_percent,
@@ -20,6 +20,7 @@ from repro.metrics.stats import (
 from repro.metrics.report import format_comparison_table, format_metrics_table
 
 __all__ = [
+    "FailureRecord",
     "JobRecord",
     "RunMetrics",
     "bounded_slowdown",

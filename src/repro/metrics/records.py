@@ -87,6 +87,38 @@ class CancellationRecord:
         return self.cancelled_at - self.submit
 
 
+@dataclass(frozen=True)
+class FailureRecord:
+    """A job that exhausted its retry budget (fault injection).
+
+    Permanently failed jobs never complete, so they have no
+    :class:`JobRecord`; their story — attempts consumed, processor-
+    seconds of work thrown away — is reported separately, like
+    cancellations.
+
+    Attributes:
+        job_id: The job.
+        kind: Batch or dedicated.
+        num: Requested processors.
+        submit: Original submission time.
+        failed_at: Instant of the final, budget-exhausting failure.
+        attempts: Total attempts consumed (``max_retries + 1``).
+        lost_work: Cumulative processor-seconds of discarded partial
+            execution across all the job's attempts.
+        reason: Cause of the final failure (``"crash"`` for a
+            job-level fault, ``"evicted"`` for a pset failure).
+    """
+
+    job_id: int
+    kind: JobKind
+    num: int
+    submit: float
+    failed_at: float
+    attempts: int
+    lost_work: float
+    reason: str
+
+
 @dataclass
 class RunMetrics:
     """Aggregates of one simulation run (one plotted point in §V).
@@ -118,6 +150,18 @@ class RunMetrics:
     queue: Optional[QueueSummary] = None
     #: Jobs withdrawn from the queue before starting (SWF status 5).
     cancelled_records: List["CancellationRecord"] = field(default_factory=list)
+    # --- resilience (docs/resilience.md; all zero on fault-free runs) ---
+    #: Jobs that exhausted their retry budget and never completed.
+    failed_records: List["FailureRecord"] = field(default_factory=list)
+    #: Processor-seconds of partial execution discarded by failures and
+    #: evictions (after any checkpoint credit).
+    lost_work: float = 0.0
+    #: Times any job re-entered the batch queue after a failure.
+    requeue_count: int = 0
+    #: Seconds the machine spent with >= 1 pset offline.
+    degraded_time: float = 0.0
+    #: Pset failures injected during the run.
+    node_failures: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +173,11 @@ class RunMetrics:
     def n_cancelled(self) -> int:
         """Jobs withdrawn from the queue before starting."""
         return len(self.cancelled_records)
+
+    @property
+    def failed_jobs(self) -> int:
+        """Jobs that permanently failed (retry budget exhausted)."""
+        return len(self.failed_records)
 
     @property
     def mean_wait(self) -> float:
@@ -186,7 +235,12 @@ class RunMetrics:
             "makespan": self.makespan,
             "offered_load": self.offered_load,
             "n_jobs": float(self.n_jobs),
+            "failed_jobs": float(self.failed_jobs),
+            "requeue_count": float(self.requeue_count),
+            "lost_work": self.lost_work,
+            "degraded_time": self.degraded_time,
+            "node_failures": float(self.node_failures),
         }
 
 
-__all__ = ["CancellationRecord", "JobRecord", "RunMetrics"]
+__all__ = ["CancellationRecord", "FailureRecord", "JobRecord", "RunMetrics"]

@@ -59,10 +59,10 @@ class BatchQueue:
                 more than head-promotion allows (i.e. arrivals must be
                 fed in submission order).
         """
-        if self._queue and job.submit < self._queue[-1].submit:
+        if self._queue and job.submit < self._queue[-1].effective_arrival():
             raise ValueError(
                 f"job {job.job_id} (arr={job.submit}) arrives before queue tail "
-                f"(arr={self._queue[-1].submit}); feed arrivals in order"
+                f"(arr={self._queue[-1].effective_arrival()}); feed arrivals in order"
             )
         job.scount = 0
         job.state = JobState.QUEUED
@@ -72,6 +72,24 @@ class BatchQueue:
         """Prepend a job (Algorithm 3's dedicated-job promotion)."""
         job.state = JobState.QUEUED
         self._queue.appendleft(job)
+
+    def push_requeue(self, job: Job, now: float) -> None:
+        """Re-enqueue a failed/evicted job at the tail (retry policy).
+
+        The job's *effective arrival* becomes ``now``, so FIFO ordering
+        by effective arrival is preserved: every later push happens at
+        a simulation time ``>= now``.  The skip count resets — a
+        restarted job starts a fresh Delayed-LOS skip budget.
+        """
+        if self._queue and now < self._queue[-1].effective_arrival():
+            raise ValueError(
+                f"job {job.job_id} requeued at t={now} before queue tail "
+                f"(arr={self._queue[-1].effective_arrival()})"
+            )
+        job.requeued_at = now
+        job.scount = 0
+        job.state = JobState.QUEUED
+        self._queue.append(job)
 
     def pop_head(self) -> Job:
         """Remove and return ``w_1^b``.
@@ -107,7 +125,10 @@ class BatchQueue:
         the head, and since ordinary arrivals append at the tail, all
         still-waiting promoted jobs always occupy a contiguous prefix
         (in reverse promotion order).  The batch suffix behind them
-        must be FIFO by arrival.
+        must be FIFO by *effective arrival* — requeued jobs (fault
+        recovery) re-enter at the tail with their requeue instant as
+        the ordering key, and an evicted dedicated job rejoins as an
+        ordinary batch-tail citizen rather than a promoted head.
         """
         jobs = list(self._queue)
         start = 0
@@ -115,12 +136,14 @@ class BatchQueue:
             while start < len(jobs) and jobs[start].is_dedicated:
                 start += 1
         for earlier, later in zip(jobs[start:], jobs[start + 1 :]):
-            assert not later.is_dedicated or not allow_promoted_head, (
-                f"promoted dedicated job {later.job_id} outside the queue prefix"
-            )
-            assert earlier.submit <= later.submit, (
-                f"FIFO violation: {earlier.job_id} (arr={earlier.submit}) before "
-                f"{later.job_id} (arr={later.submit})"
+            assert (
+                not later.is_dedicated
+                or later.requeued_at is not None
+                or not allow_promoted_head
+            ), f"promoted dedicated job {later.job_id} outside the queue prefix"
+            assert earlier.effective_arrival() <= later.effective_arrival(), (
+                f"FIFO violation: {earlier.job_id} (arr={earlier.effective_arrival()}) "
+                f"before {later.job_id} (arr={later.effective_arrival()})"
             )
 
 

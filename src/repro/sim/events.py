@@ -22,11 +22,17 @@ class EventPriority(IntEnum):
     paper's simulation framework (GridSim/ALEA) exhibits:
 
     - job terminations release capacity before anything else at the
-      same timestamp (``FINISH``),
+      same timestamp (``FINISH``) — a job completing at the very
+      instant a fault strikes has completed,
     - elastic control commands are applied next (``ECC``) so a
       reduction arriving exactly at a scheduling instant is visible to
       the scheduler,
-    - job arrivals enter the queues (``ARRIVAL``),
+    - fault-model events fire next (``FAULT``: node failures, node
+      repairs and injected job failures), so the scheduler cycle of
+      the same instant already observes the degraded (or repaired)
+      machine,
+    - job arrivals enter the queues (``ARRIVAL``; failed jobs re-enter
+      through the same slot when requeued),
     - dedicated-job start-time timers fire (``TIMER``),
     - the scheduler cycle runs last (``SCHEDULE``), observing a
       consistent post-update state.
@@ -34,9 +40,10 @@ class EventPriority(IntEnum):
 
     FINISH = 0
     ECC = 1
-    ARRIVAL = 2
-    TIMER = 3
-    SCHEDULE = 4
+    FAULT = 2
+    ARRIVAL = 3
+    TIMER = 4
+    SCHEDULE = 5
     LOW = 9
 
 

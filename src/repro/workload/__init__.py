@@ -24,6 +24,7 @@ paper's Figure 3:
 from repro.workload.archive import LoadReport, load_swf_workload
 from repro.workload.downey import DowneyConfig, DowneyModel, calibrate_downey
 from repro.workload.ecc import ECC, ECCKind
+from repro.workload.errors import WorkloadFormatError
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
 from repro.workload.job import Job, JobKind, JobState
 from repro.workload.load import offered_load
@@ -46,6 +47,7 @@ __all__ = [
     "TwoStageSizeConfig",
     "TwoStageSizeModel",
     "Workload",
+    "WorkloadFormatError",
     "calibrate_downey",
     "load_swf_workload",
     "offered_load",

@@ -70,6 +70,7 @@ def load_swf_workload(
     granularity: int = 1,
     max_jobs: Optional[int] = None,
     rebase_time: bool = True,
+    strict: bool = True,
 ) -> Tuple[Workload, LoadReport]:
     """Load an archive SWF log into a simulatable :class:`Workload`.
 
@@ -79,6 +80,9 @@ def load_swf_workload(
             ``MaxProcs`` (required when the header lacks it).
         granularity: Allocation unit of the target machine; job sizes
             are snapped *up* to it (a 33-proc request needs 2 psets).
+        strict: When False, syntactically malformed lines are skipped
+            with a warning instead of aborting the load (see
+            :func:`repro.workload.swf.iter_swf`).
         max_jobs: Keep only the first N usable records (submission
             order), the usual excerpting practice.
         rebase_time: Shift submissions so the first kept job arrives
@@ -104,7 +108,7 @@ def load_swf_workload(
         )
 
     jobs: List[Job] = []
-    for record in iter_swf(path):
+    for record in iter_swf(path, strict=strict):
         report.total_records += 1
         if max_jobs is not None and report.kept >= max_jobs:
             break

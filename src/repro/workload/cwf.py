@@ -19,11 +19,13 @@ simulation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, TextIO, Tuple, Union
 
 from repro.workload.ecc import ECC, ECCKind
+from repro.workload.errors import numbered_records, source_name
 from repro.workload.job import Job, JobKind
 from repro.workload.swf import SWFParseError, SWFRecord, UNKNOWN, _open_text
 
@@ -166,22 +168,34 @@ class CWFRecord(SWFRecord):
 # ----------------------------------------------------------------------
 # File I/O
 # ----------------------------------------------------------------------
-def iter_cwf(source: Union[str, Path, TextIO]) -> Iterator[CWFRecord]:
-    """Yield CWF records from a file or open text stream."""
+def iter_cwf(
+    source: Union[str, Path, TextIO], *, strict: bool = True
+) -> Iterator[CWFRecord]:
+    """Yield CWF records from a file or open text stream.
+
+    ``strict`` semantics as in :func:`repro.workload.swf.iter_swf`:
+    malformed lines raise :class:`CWFParseError` with file/line
+    context, or are skipped with a warning under ``strict=False``.
+    """
     if isinstance(source, (str, Path)):
         with _open_text(source, "r") as fh:
-            yield from iter_cwf(fh)
+            yield from iter_cwf(fh, strict=strict)
         return
-    for raw in source:
-        line = raw.strip()
-        if not line or line.startswith(";"):
-            continue
-        yield CWFRecord.parse(line)
+    for _, record in numbered_records(
+        source,
+        CWFRecord.parse,
+        strict=strict,
+        source=source_name(source),
+        error_cls=CWFParseError,
+    ):
+        yield record
 
 
-def read_cwf(source: Union[str, Path, TextIO]) -> List[CWFRecord]:
+def read_cwf(
+    source: Union[str, Path, TextIO], *, strict: bool = True
+) -> List[CWFRecord]:
     """Read an entire CWF file into a list of records."""
-    return list(iter_cwf(source))
+    return list(iter_cwf(source, strict=strict))
 
 
 def write_cwf(
@@ -201,31 +215,49 @@ def write_cwf(
 
 
 def parse_cwf_workload(
-    source: Union[str, Path, TextIO],
+    source: Union[str, Path, TextIO], *, strict: bool = True
 ) -> Tuple[List[Job], List[ECC]]:
     """Split a CWF file into submissions and elastic control commands.
 
     ECC lines must reference a previously seen job id; dangling
     references raise :class:`CWFParseError` because they can never be
-    applied.
+    applied.  Every failure — parse errors, semantic violations, and
+    stray :class:`ValueError` from the ``Job``/``ECC`` constructors
+    (e.g. a dedicated start before its submit) — is reported as a
+    :class:`CWFParseError` with file/line context, or skipped with a
+    :class:`RuntimeWarning` under ``strict=False``.
     """
+    if isinstance(source, (str, Path)):
+        with _open_text(source, "r") as fh:
+            return parse_cwf_workload(fh, strict=strict)
+    name = source_name(source)
     jobs: List[Job] = []
     eccs: List[ECC] = []
     seen: set[int] = set()
-    for record in iter_cwf(source):
-        if record.is_submission:
-            job = record.to_job()
-            if job.job_id in seen:
-                raise CWFParseError(f"duplicate submission for job {job.job_id}")
-            seen.add(job.job_id)
-            jobs.append(job)
-        else:
-            if record.job_id not in seen:
-                raise CWFParseError(
-                    f"ECC references unknown job {record.job_id} "
-                    "(submissions must precede their ECCs)"
-                )
-            eccs.append(record.to_ecc())
+    for lineno, record in numbered_records(
+        source, CWFRecord.parse, strict=strict, source=name, error_cls=CWFParseError
+    ):
+        try:
+            if record.is_submission:
+                job = record.to_job()
+                if job.job_id in seen:
+                    raise ValueError(f"duplicate submission for job {job.job_id}")
+                seen.add(job.job_id)
+                jobs.append(job)
+            else:
+                if record.job_id not in seen:
+                    raise ValueError(
+                        f"ECC references unknown job {record.job_id} "
+                        "(submissions must precede their ECCs)"
+                    )
+                eccs.append(record.to_ecc())
+        except ValueError as exc:
+            error = CWFParseError(str(exc), source=name, line=lineno)
+            if strict:
+                raise error from exc
+            warnings.warn(
+                f"skipping malformed record: {error}", RuntimeWarning, stacklevel=2
+            )
     return jobs, eccs
 
 

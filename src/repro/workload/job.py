@@ -42,6 +42,7 @@ class JobState(Enum):
     RUNNING = "running"  # in A, holding processors
     FINISHED = "finished"  # released its processors
     CANCELLED = "cancelled"  # withdrawn from the queue before starting
+    FAILED = "failed"  # fault-injected failure with retries exhausted
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -86,6 +87,12 @@ class Job:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     killed: bool = False  # terminated at kill-by before actual completed
+    #: Times the job failed (fault injection / eviction) and re-entered
+    #: the batch queue; 0 on the fault-free path.
+    requeues: int = 0
+    #: Instant of the latest requeue (None before any failure); this is
+    #: the job's *effective arrival* for queue-ordering purposes.
+    requeued_at: Optional[float] = None
 
     # Immutable originals, for metrics and round-tripping.
     original_estimate: float = field(default=0.0)
@@ -167,6 +174,16 @@ class Job:
         if self.start_time is None or self.finish_time is None:
             raise ValueError(f"job {self.job_id} did not complete")
         return self.finish_time - self.start_time
+
+    def effective_arrival(self) -> float:
+        """When the job last entered the batch queue.
+
+        The original submission for never-failed jobs; the latest
+        requeue instant otherwise.  FIFO queue ordering is defined on
+        this quantity so requeued jobs rejoin at the tail without
+        violating the Notations-box arrival invariant.
+        """
+        return self.requeued_at if self.requeued_at is not None else self.submit
 
     def dedicated_delay(self) -> float:
         """How late a dedicated job started relative to its rigid start.

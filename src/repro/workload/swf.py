@@ -39,13 +39,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, TextIO, Union
 
+from repro.workload.errors import WorkloadFormatError, numbered_records, source_name
 from repro.workload.job import Job, JobKind
 
 UNKNOWN = -1
 
 
-class SWFParseError(ValueError):
-    """Raised when a line cannot be parsed as an SWF record."""
+class SWFParseError(WorkloadFormatError):
+    """Raised when a line cannot be parsed as an SWF record.
+
+    Carries ``source``/``line`` context when raised by the file-level
+    readers; see :class:`repro.workload.errors.WorkloadFormatError`.
+    """
 
 
 @dataclass
@@ -213,22 +218,36 @@ def _open_text(path: Union[str, Path], mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def iter_swf(source: Union[str, Path, TextIO]) -> Iterator[SWFRecord]:
-    """Yield records from an SWF file (``.gz`` ok) or open text stream."""
+def iter_swf(
+    source: Union[str, Path, TextIO], *, strict: bool = True
+) -> Iterator[SWFRecord]:
+    """Yield records from an SWF file (``.gz`` ok) or open text stream.
+
+    Under ``strict`` (the default) a malformed line raises
+    :class:`SWFParseError` carrying the file name and line number;
+    with ``strict=False`` the line is skipped with a
+    :class:`RuntimeWarning` instead — for dirty archive logs where a
+    few broken records should not discard the rest.
+    """
     if isinstance(source, (str, Path)):
         with _open_text(source, "r") as fh:
-            yield from iter_swf(fh)
+            yield from iter_swf(fh, strict=strict)
         return
-    for raw in source:
-        line = raw.strip()
-        if not line or line.startswith(";"):
-            continue
-        yield SWFRecord.parse(line)
+    for _, record in numbered_records(
+        source,
+        SWFRecord.parse,
+        strict=strict,
+        source=source_name(source),
+        error_cls=SWFParseError,
+    ):
+        yield record
 
 
-def read_swf(source: Union[str, Path, TextIO]) -> List[SWFRecord]:
+def read_swf(
+    source: Union[str, Path, TextIO], *, strict: bool = True
+) -> List[SWFRecord]:
     """Read an entire SWF file into a list of records."""
-    return list(iter_swf(source))
+    return list(iter_swf(source, strict=strict))
 
 
 def write_swf(
