@@ -11,7 +11,12 @@ the repository root, so performance changes are visible across PRs:
 - pipeline throughput: the same batch of runs executed through
   :func:`repro.experiments.parallel.execute_runs` serially
   (``jobs=1``) and in parallel (all cores), with the resulting
-  speedup.
+  speedup,
+- observability overhead: the largest batch scenario re-timed with
+  trace export enabled (``trace_out``), reported as a ratio against
+  the untraced wall time (docs/observability.md budgets this at ≤5%
+  with tracing *disabled* — telemetry alone — and the traced ratio
+  documents the full cost of streaming the JSONL file).
 
 Usage::
 
@@ -30,6 +35,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -137,8 +143,32 @@ def run_bench(
         s == p for s, p in zip(serial_results, parallel_results)
     )
 
+    # Observability overhead: re-time the heaviest batch scenario with
+    # trace export on.  Metrics must be identical (observe-only rule).
+    obs_workload = _batch_workload(pipeline_scale, seed=11)
+    obs_algorithm = BATCH_ALGORITHMS[-1]
+    plain = _time_spec(RunSpec(obs_workload, obs_algorithm), repeats)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "bench.jsonl")
+        traced = _time_spec(
+            RunSpec(obs_workload, obs_algorithm, trace_out=trace_path), repeats
+        )
+        trace_bytes = Path(trace_path).stat().st_size
+    observability = {
+        "algorithm": obs_algorithm,
+        "n_jobs": pipeline_scale,
+        "untraced_wall_time_s": plain["wall_time_s"],
+        "traced_wall_time_s": traced["wall_time_s"],
+        "traced_over_untraced": (
+            round(traced["wall_time_s"] / plain["wall_time_s"], 3)
+            if plain["wall_time_s"] > 0
+            else 0.0
+        ),
+        "trace_bytes": trace_bytes,
+    }
+
     document = {
-        "schema": 1,
+        "schema": 2,
         "benchmark": "benchmarks.bench_perf_core",
         "quick": quick,
         "workers": workers,
@@ -153,6 +183,7 @@ def run_bench(
             "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else 0.0,
             "parallel_equals_serial": identical,
         },
+        "observability": observability,
     }
 
     target = Path(output) if output is not None else DEFAULT_OUTPUT
@@ -176,6 +207,14 @@ def _print_summary(document: Dict) -> None:
         f"parallel {pipe['parallel_wall_time_s']:.3f}s "
         f"(speedup {pipe['speedup']:.2f}x, "
         f"identical={pipe['parallel_equals_serial']})"
+    )
+    obs = document["observability"]
+    print(
+        f"observability: {obs['algorithm']} x {obs['n_jobs']} jobs — "
+        f"untraced {obs['untraced_wall_time_s']:.4f}s, "
+        f"traced {obs['traced_wall_time_s']:.4f}s "
+        f"({obs['traced_over_untraced']:.2f}x, "
+        f"{obs['trace_bytes']} trace bytes)"
     )
 
 

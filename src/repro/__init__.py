@@ -60,6 +60,14 @@ from repro.metrics import JobRecord, RunMetrics
 from repro.metrics.breakdown import by_kind, by_outcome, by_size_class
 from repro.metrics.export import records_to_csv, run_to_json, runs_to_csv, sweep_to_csv
 from repro.metrics.timeline import occupancy_sparkline, render_timeline
+from repro.obs import (
+    ProgressEvent,
+    ProgressReporter,
+    Telemetry,
+    TelemetrySnapshot,
+    read_trace,
+    write_trace,
+)
 from repro.sim import Simulator
 from repro.workload import (
     CWFWorkloadGenerator,
@@ -78,7 +86,7 @@ from repro.workload.stats import WorkloadStats, characterize
 from repro.workload.transform import filter_jobs, head, merge, time_slice
 from repro.workload.validate import validate_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -103,6 +111,8 @@ __all__ = [
     "LublinConfig",
     "LublinModel",
     "Machine",
+    "ProgressEvent",
+    "ProgressReporter",
     "ReplicatedSweep",
     "RetryPolicy",
     "RunCache",
@@ -111,6 +121,8 @@ __all__ = [
     "Scheduler",
     "SimulationRunner",
     "Simulator",
+    "Telemetry",
+    "TelemetrySnapshot",
     "TwoStageSizeConfig",
     "UtilizationTracker",
     "Workload",
@@ -128,6 +140,7 @@ __all__ = [
     "merge",
     "occupancy_sparkline",
     "offered_load",
+    "read_trace",
     "records_to_csv",
     "render_timeline",
     "replicate_sweep",
@@ -139,4 +152,5 @@ __all__ = [
     "sweep_to_csv",
     "time_slice",
     "validate_workload",
+    "write_trace",
 ]

@@ -1,13 +1,20 @@
-"""Command-line entry point: ``repro-sim``.
+"""Command-line entry points: ``repro-sim`` and ``repro``.
 
 Runs one simulation (or a small comparison) from the terminal::
 
     repro-sim --algorithms EASY LOS Delayed-LOS --jobs 500 --load 0.9
     repro-sim --cwf my_workload.cwf --algorithms Hybrid-LOS
-    repro-sim --algorithms EASY LOS --parallel 4 --cache
+    repro-sim --algorithms EASY LOS --parallel 4 --cache --progress
     repro-sim --algorithms EASY Hybrid-LOS-E \
         --faults mtbf=86400,mttr=3600,seed=1 --max-retries 3 --checkpoint
+    repro-sim --algorithms Delayed-LOS --trace-out run.jsonl --telemetry
     repro-sim --list-algorithms
+
+The ``repro`` umbrella command wraps this plus the trace inspector
+(docs/observability.md)::
+
+    repro sim --algorithms EASY --trace-out run.jsonl
+    repro trace run.jsonl --check
 
 Useful for eyeballing the system without writing Python; the full
 reproduction lives in ``benchmarks/``.  Algorithm runs fan out over
@@ -20,7 +27,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +39,7 @@ from repro.experiments.parallel import resolve_jobs
 from repro.experiments.sweep import run_algorithms
 from repro.faults.model import RetryPolicy, parse_faults_spec
 from repro.metrics.report import format_table
+from repro.obs.progress import ProgressReporter
 from repro.workload.cwf import parse_cwf_workload
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
 from repro.workload.twostage import TwoStageSizeConfig
@@ -79,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="run-cache directory (default: .repro_cache or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="export each run's event trace as JSONL (docs/observability.md); "
+        "with several algorithms the name expands per run, e.g. "
+        "run.jsonl -> run.EASY.jsonl.  Inspect with 'repro trace PATH'",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="report per-run progress (done/total, cache hits, ETA) on stderr",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="print each run's scheduler telemetry counters after the table",
     )
     parser.add_argument(
         "--faults", type=str, default=None, metavar="SPEC",
@@ -153,6 +176,24 @@ def _build_workload(args: argparse.Namespace) -> Workload:
     return calibration.workload
 
 
+def _trace_paths(trace_out: str, algorithms: Sequence[str]) -> Dict[str, str]:
+    """Per-algorithm trace file paths for ``--trace-out``.
+
+    A single algorithm gets the path verbatim; a comparison expands the
+    name per run so traces never overwrite each other::
+
+        run.jsonl + [EASY, LOS]  ->  run.EASY.jsonl, run.LOS.jsonl
+    """
+    if len(algorithms) == 1:
+        return {algorithms[0]: trace_out}
+    path = Path(trace_out)
+    suffix = path.suffix or ".jsonl"
+    return {
+        name: str(path.with_name(f"{path.stem}.{name}{suffix}"))
+        for name in algorithms
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -224,6 +265,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache.enabled = True
         if args.cache_dir:
             cache.root = args.cache_dir
+    trace_out = None
+    if args.trace_out:
+        trace_out = _trace_paths(args.trace_out, args.algorithms)
+    progress = ProgressReporter() if args.progress else None
     results = run_algorithms(
         workload,
         args.algorithms,
@@ -233,6 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         retry=retry,
         jobs=args.parallel,
         cache=cache,
+        trace_out=trace_out,
+        progress=progress,
     )
     headers = ["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"]
     if faults is not None:
@@ -257,6 +304,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(format_table(headers, rows))
     if cache is not None:
         print(str(cache.stats))
+    if trace_out is not None:
+        for name in args.algorithms:
+            print(f"trace ({name}): wrote {trace_out[name]}")
+    if args.telemetry:
+        for name, metrics in results.items():
+            snapshot = metrics.telemetry
+            print(f"\n--- telemetry: {name} ---")
+            if snapshot is None:
+                print("(no telemetry attached to this run)")
+                continue
+            for key, value in sorted(snapshot.counters.items()):
+                print(f"{key:<20} {value}")
+            for key, value in sorted(snapshot.timers.items()):
+                print(f"{key:<20} {value:.4f}s")
+            if "queue_depth" in snapshot.series:
+                depth = snapshot.series_max("queue_depth")
+                print(f"{'peak queue depth':<20} {depth:g}")
 
     if args.timeline:
         from repro.metrics.timeline import render_timeline
@@ -310,6 +374,30 @@ def _figure_report(figure_id: str, n_jobs: int) -> int:
                 )
             )
     return 0
+
+
+def repro_main(argv: Optional[List[str]] = None) -> int:
+    """Umbrella entry point: ``repro <subcommand> ...``.
+
+    Subcommands:
+        ``sim``: the full ``repro-sim`` interface (simulate/compare).
+        ``trace``: inspect an exported JSONL trace
+        (:mod:`repro.obs.inspect`; docs/observability.md).
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    usage = "usage: repro {sim,trace} ...  (repro <subcommand> --help for details)"
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "sim":
+        return main(rest)
+    if command == "trace":
+        from repro.obs.inspect import main as trace_main
+
+        return trace_main(rest)
+    print(f"unknown subcommand: {command!r}\n{usage}", file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.telemetry import bump
 from repro.workload.job import Job
 
 #: Lookahead bound of [7]: the DP examines at most this many waiting
@@ -94,12 +95,16 @@ def basic_dp(
     # Per candidate: the cells it improved and their previous values,
     # so the backtrack can undo updates instead of copying the table.
     undo: List[Tuple[np.ndarray, np.ndarray]] = []
+    cells_touched = 0
     for size, value in zip(sizes, values):
         shifted.fill(-1)
         np.add(dp[: capacity + 1 - size], value, out=shifted[size:])
         improved = np.nonzero(shifted > dp)[0]
+        cells_touched += improved.size
         undo.append((improved, dp[improved]))
         dp[improved] = shifted[improved]
+    bump("dp_cells", int(cells_touched))
+    bump("dp_invocations")
 
     selected: List[Job] = []
     c = capacity
@@ -173,6 +178,7 @@ def reservation_dp(
     # Sparse per-candidate deltas for the incremental backtrack (see
     # module docstring) — no full 2-D table copies on the hot path.
     undo: List[Tuple[Tuple[np.ndarray, np.ndarray], np.ndarray]] = []
+    cells_touched = 0
     for _, size, fsize, value in entries:
         shifted.fill(-1)
         np.add(
@@ -181,8 +187,11 @@ def reservation_dp(
             out=shifted[size:, fsize:],
         )
         improved = np.nonzero(shifted > dp)
+        cells_touched += improved[0].size
         undo.append((improved, dp[improved]))
         dp[improved] = shifted[improved]
+    bump("dp_cells", int(cells_touched))
+    bump("dp_invocations")
 
     selected: List[Job] = []
     c1, c2 = cap_now, cap_freeze

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.base import CycleDecision, Scheduler, SchedulerContext
 from repro.core.freeze import batch_head_freeze
+from repro.obs.telemetry import bump
 
 
 class EasyBackfill(Scheduler):
@@ -42,13 +43,20 @@ class EasyBackfill(Scheduler):
             return CycleDecision.nothing()
 
         shadow = batch_head_freeze(ctx, head)
+        # Telemetry is accumulated locally and reported once per cycle:
+        # a bump() per scanned candidate would dominate this tight loop.
+        scanned = 0
         for job in queue[1:]:
+            scanned += 1
             if job.num > m:
                 continue
             ends_by_shadow = ctx.now + job.estimate <= shadow.fret
             fits_extra = job.num <= shadow.frec
             if ends_by_shadow or fits_extra:
+                bump("backfill_attempts", scanned)
+                bump("backfill_starts")
                 return CycleDecision(starts=[job])
+        bump("backfill_attempts", scanned)
         return CycleDecision.nothing()
 
 

@@ -107,14 +107,35 @@ def run_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`RunCache` instance."""
+    """Hit/miss/store counters of one :class:`RunCache` instance.
+
+    >>> stats = CacheStats(hits=3, misses=1, stores=1)
+    >>> stats.lookups, round(stats.hit_rate, 2)
+    (4, 0.75)
+    >>> print(stats)
+    cache: 3 hits, 1 misses (75% hit rate), 1 stores
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stores"
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls that reached an enabled cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        rate = f" ({self.hit_rate:.0%} hit rate)" if self.lookups else ""
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses{rate}, "
+            f"{self.stores} stores"
+        )
 
 
 @dataclass

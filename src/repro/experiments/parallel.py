@@ -53,6 +53,7 @@ from repro.experiments.cache import RunCache
 from repro.experiments.runner import SimulationRunner
 from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
+from repro.obs.progress import ProgressEvent, ProgressTracker
 from repro.workload.generator import Workload
 
 #: Environment variable naming the worker count (CLI flag equivalent:
@@ -92,6 +93,12 @@ class RunSpec:
     faults: Optional[FaultConfig] = None
     #: Recovery policy under faults; None = RetryPolicy defaults.
     retry: Optional[RetryPolicy] = None
+    #: Stream the run's trace to this JSONL path
+    #: (docs/observability.md).  Deliberately **not** part of the run
+    #: cache key: tracing never changes metrics.  A spec with a trace
+    #: path is always simulated (never served from cache), so the file
+    #: is actually produced; the result is still stored back.
+    trace_out: Optional[str] = None
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -122,6 +129,7 @@ def execute_spec(spec: RunSpec) -> RunMetrics:
     runner = SimulationRunner(
         spec.workload,
         scheduler,
+        trace_out=spec.trace_out,
         max_eccs_per_job=spec.max_eccs_per_job,
         faults=spec.faults,
         retry=spec.retry,
@@ -169,7 +177,12 @@ def run_timeout() -> Optional[float]:
     return value if value > 0 else None
 
 
-def _map_resilient(fn: Callable[[T], R], items: Sequence[T], workers: int) -> List[R]:
+def _map_resilient(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int,
+    on_result: Optional[Callable[[int, bool], None]] = None,
+) -> List[R]:
     """Order-preserving pool map that survives worker failure.
 
     A worker crash (``BrokenProcessPool`` — OOM-killed child, segfault
@@ -179,6 +192,12 @@ def _map_resilient(fn: Callable[[T], R], items: Sequence[T], workers: int) -> Li
     process**, once, after a :class:`RuntimeWarning`.  Exceptions
     *raised by* ``fn`` are real errors and propagate unchanged — a
     deterministic failure would fail the serial retry too.
+
+    ``on_result(index, retried)`` — when given — fires in the parent
+    after each item's result lands (progress reporting;
+    docs/observability.md).  Events follow submission order for pooled
+    results, then retry order for serially recovered ones; ``retried``
+    is True for the latter.
     """
     results: List[Optional[R]] = [None] * len(items)
     retry_indexes: List[int] = []
@@ -194,6 +213,9 @@ def _map_resilient(fn: Callable[[T], R], items: Sequence[T], workers: int) -> Li
                     retry_indexes.append(index)
                 except (BrokenProcessPool, CancelledError):
                     retry_indexes.append(index)
+                else:
+                    if on_result is not None:
+                        on_result(index, False)
     except BrokenProcessPool:
         # The pool died while submitting or shutting down; every item
         # without a result gets the serial retry.
@@ -209,6 +231,8 @@ def _map_resilient(fn: Callable[[T], R], items: Sequence[T], workers: int) -> Li
         )
         for index in retry_indexes:
             results[index] = fn(items[index])
+            if on_result is not None:
+                on_result(index, True)
     return results  # type: ignore[return-value]  # every slot is filled
 
 
@@ -217,6 +241,7 @@ def execute_runs(
     *,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> List[RunMetrics]:
     """Execute a batch of runs, in parallel where it pays off.
 
@@ -225,15 +250,24 @@ def execute_runs(
     index regardless of completion order, so the output is identical
     to a serial loop — the determinism tests enforce this bit-for-bit.
 
+    Specs that request a trace file (``RunSpec.trace_out``) are always
+    simulated, never served from the cache: a hit would skip the run
+    and leave no trace behind.  Their metrics are still stored back.
+
     Args:
         specs: The runs to perform.
         jobs: Worker count override (None = ``REPRO_JOBS`` / CPU count).
         cache: Run cache (None = configure from the environment, which
             means disabled unless ``REPRO_CACHE=1``).
+        progress: Optional callback fired in the parent process with a
+            :class:`~repro.obs.progress.ProgressEvent` after every run
+            resolves (cache hit, simulation, or serial retry).  Purely
+            observational — results are identical with or without it.
     """
     specs = list(specs)
     if cache is None:
         cache = RunCache.from_env()
+    tracker = ProgressTracker(len(specs), progress) if progress is not None else None
     results: List[Optional[RunMetrics]] = [None] * len(specs)
     keys: List[Optional[str]] = [None] * len(specs)
     pending: List[int] = []
@@ -248,18 +282,30 @@ def execute_runs(
                 faults=spec.faults,
                 retry=spec.retry,
             )
-            hit = cache.get(keys[index])
-            if hit is not None:
-                results[index] = hit
-                continue
+            if spec.trace_out is None:
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    results[index] = hit
+                    if tracker is not None:
+                        tracker.hit()
+                    continue
         pending.append(index)
 
     work_hint = sum(len(specs[index].workload) for index in pending)
     workers = _effective_workers(jobs, len(pending), work_hint)
     if workers > 1:
-        fresh = _map_resilient(execute_spec, [specs[index] for index in pending], workers)
+        on_result = None
+        if tracker is not None:
+            on_result = lambda _index, retried: tracker.ran(retried=retried)  # noqa: E731
+        fresh = _map_resilient(
+            execute_spec, [specs[index] for index in pending], workers, on_result
+        )
     else:
-        fresh = [execute_spec(specs[index]) for index in pending]
+        fresh = []
+        for index in pending:
+            fresh.append(execute_spec(specs[index]))
+            if tracker is not None:
+                tracker.ran()
 
     for index, metrics in zip(pending, fresh):
         results[index] = metrics
@@ -284,6 +330,7 @@ def parallel_map(
     *,
     jobs: Optional[int] = None,
     work_hint: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> List[R]:
     """Order-preserving map over worker processes, serial fallback.
 
@@ -301,12 +348,25 @@ def parallel_map(
             implicit parallelism is skipped below
             :data:`PARALLEL_MIN_WORK` (ignored when the worker count
             is explicit).
+        progress: Optional parent-side callback fired with a
+            :class:`~repro.obs.progress.ProgressEvent` after each work
+            unit completes (every unit counts as a fresh run — this
+            layer has no cache).
     """
     items = list(items)
+    tracker = ProgressTracker(len(items), progress) if progress is not None else None
     workers = _effective_workers(jobs, len(items), work_hint)
     if workers > 1 and _picklable(fn, items[0]):
-        return _map_resilient(fn, items, workers)
-    return [fn(item) for item in items]
+        on_result = None
+        if tracker is not None:
+            on_result = lambda _index, retried: tracker.ran(retried=retried)  # noqa: E731
+        return _map_resilient(fn, items, workers, on_result)
+    results: List[R] = []
+    for item in items:
+        results.append(fn(item))
+        if tracker is not None:
+            tracker.ran()
+    return results
 
 
 __all__ = [

@@ -21,7 +21,9 @@ when tracing is on; tests assert event-level invariants on it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
 
 from repro.cluster.accounting import UtilizationTracker
 from repro.cluster.machine import Machine
@@ -36,6 +38,7 @@ from repro.metrics.records import (
     JobRecord,
     RunMetrics,
 )
+from repro.obs import telemetry as obs_telemetry
 from repro.queues.active_list import ActiveList
 from repro.queues.batch_queue import BatchQueue
 from repro.queues.dedicated_queue import DedicatedQueue
@@ -59,7 +62,14 @@ class SimulationRunner:
         workload: The input workload (jobs are copied; the workload
             object is reusable across runs and algorithms).
         scheduler: The policy to drive.
-        trace: Record a full :class:`TraceLog` (tests/debugging).
+        trace: Record a full in-memory :class:`TraceLog`
+            (tests/debugging).
+        trace_out: Stream every trace record to this path as JSONL
+            (schema ``repro.trace/1``; docs/observability.md).
+            Independent of ``trace``: with ``trace_out`` alone,
+            records go straight to disk and memory stays flat.
+            Tracing never changes scheduling — metrics are identical
+            with and without it.
         max_eccs_per_job: Optional per-job ECC budget (§III-C).
         allow_resource_eccs: Opt-in for the EP/RP prototype.
         faults: Optional fault model (docs/resilience.md).  Node
@@ -82,6 +92,7 @@ class SimulationRunner:
         scheduler: Scheduler,
         *,
         trace: bool = False,
+        trace_out: Optional[Union[str, Path]] = None,
         max_eccs_per_job: Optional[int] = None,
         allow_resource_eccs: bool = False,
         faults: Optional[FaultConfig] = None,
@@ -129,7 +140,11 @@ class SimulationRunner:
             self.machine.validate_request(job.num)
 
         self.sim = Simulator(start_time=start)
-        self.trace = TraceLog(enabled=trace)
+        self._trace_out = Path(trace_out) if trace_out is not None else None
+        self.trace = TraceLog(
+            enabled=trace or self._trace_out is not None, store=trace
+        )
+        self.telemetry = obs_telemetry.Telemetry()
         self.batch_queue = BatchQueue()
         self.dedicated_queue = DedicatedQueue()
         self.active = ActiveList()
@@ -189,6 +204,12 @@ class SimulationRunner:
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
+    def _sample_queue_depth(self, now: float) -> None:
+        """Telemetry: waiting-job count after any queue transition."""
+        self.telemetry.sample(
+            "queue_depth", now, len(self.batch_queue) + len(self.dedicated_queue)
+        )
+
     def _on_arrival(self, job: Job) -> None:
         now = self.sim.now
         self.trace.record(now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value)
@@ -205,6 +226,7 @@ class SimulationRunner:
                 )
         else:
             self.batch_queue.push(job)
+        self._sample_queue_depth(now)
         self._request_cycle()
 
     def _on_finish(self, job: Job) -> None:
@@ -248,6 +270,7 @@ class SimulationRunner:
                 )
             )
             self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="queued")
+            self._sample_queue_depth(now)
             self._request_cycle()
         elif job.state is JobState.RUNNING:
             self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="running")
@@ -259,6 +282,7 @@ class SimulationRunner:
 
     def _on_ecc(self, ecc: ECC) -> None:
         now = self.sim.now
+        self.telemetry.count("ecc_commands")
         if not self.scheduler.elastic:
             # Non-elastic policies have no ECC processor appended; the
             # command is silently dropped (recorded for diagnostics).
@@ -398,6 +422,7 @@ class SimulationRunner:
         self.queue_tracker.on_enqueue(now, job.num * job.estimate)
         self._requeue_count += 1
         self.trace.record(now, "requeue", job=job.job_id, attempt=job.requeues)
+        self._sample_queue_depth(now)
         self._request_cycle()
 
     # ------------------------------------------------------------------
@@ -424,19 +449,26 @@ class SimulationRunner:
         now = self.sim.now
         if self._pending_cycle_time == now:
             self._pending_cycle_time = None
-        for pass_index in range(MAX_CYCLE_PASSES):
-            ctx = SchedulerContext(
-                now=now,
-                machine=self.machine,
-                batch_queue=self.batch_queue,
-                dedicated_queue=self.dedicated_queue,
-                active=self.active,
-                allow_scount_increment=(pass_index == 0),
-            )
-            decision = self.scheduler.cycle(ctx)
-            if decision.is_empty():
-                return
-            self._apply(decision)
+        telemetry = self.telemetry
+        telemetry.count("schedule_cycles")
+        started = perf_counter()
+        try:
+            for pass_index in range(MAX_CYCLE_PASSES):
+                telemetry.count("schedule_passes")
+                ctx = SchedulerContext(
+                    now=now,
+                    machine=self.machine,
+                    batch_queue=self.batch_queue,
+                    dedicated_queue=self.dedicated_queue,
+                    active=self.active,
+                    allow_scount_increment=(pass_index == 0),
+                )
+                decision = self.scheduler.cycle(ctx)
+                if decision.is_empty():
+                    return
+                self._apply(decision)
+        finally:
+            telemetry.add_time("schedule_wall_s", perf_counter() - started)
         raise SimulationError(
             f"scheduler {self.scheduler.name} did not reach a fix-point "
             f"within {MAX_CYCLE_PASSES} passes at t={now}"
@@ -461,6 +493,8 @@ class SimulationRunner:
             if self.faults is not None:
                 self.faults.on_job_start(job)
             self.trace.record(now, "start", job=job.job_id, num=job.num)
+        if decision.starts:
+            self._sample_queue_depth(now)
 
     # ------------------------------------------------------------------
     # Execution
@@ -472,7 +506,23 @@ class SimulationRunner:
             SimulationError: when events drain with jobs still waiting
                 (a policy starved them — always a bug).
         """
-        self.sim.run(until=until)
+        writer = None
+        if self._trace_out is not None:
+            from repro.obs.trace_io import TraceWriter
+
+            writer = TraceWriter(self._trace_out, meta=self._trace_meta())
+            self.trace.sink = writer.write
+        try:
+            # The active registry lets instrumented library code
+            # (repro.core.dp, repro.core.easy) report without plumbing
+            # a telemetry handle through every policy signature.
+            with obs_telemetry.activated(self.telemetry):
+                with self.telemetry.timeit("run_wall_s"):
+                    self.sim.run(until=until)
+        finally:
+            if writer is not None:
+                self.trace.sink = None
+                writer.close()
         unfinished = [
             job
             for job in self.jobs
@@ -486,6 +536,20 @@ class SimulationRunner:
                 f"(first ids: {ids}); starvation or wiring bug"
             )
         return self._metrics()
+
+    def _trace_meta(self) -> Dict[str, object]:
+        """Header metadata for a streamed trace file."""
+        from repro import __version__
+
+        return {
+            "algorithm": self.scheduler.name,
+            "machine_size": self.machine.total,
+            "granularity": self.machine.granularity,
+            "n_jobs": len(self.jobs),
+            "n_eccs": len(self.workload.eccs),
+            "faulty": self.faults is not None,
+            "repro_version": __version__,
+        }
 
     def _metrics(self) -> RunMetrics:
         last_finish = max((r.finish for r in self.records), default=self.tracker.start_time)
@@ -512,6 +576,7 @@ class SimulationRunner:
             requeue_count=self._requeue_count,
             degraded_time=self.machine.degraded_time(until=last_finish),
             node_failures=self.faults.node_failures if self.faults else 0,
+            telemetry=self.telemetry.snapshot(),
         )
 
 
@@ -520,6 +585,7 @@ def simulate(
     scheduler: Scheduler,
     *,
     trace: bool = False,
+    trace_out: Optional[Union[str, Path]] = None,
     max_eccs_per_job: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
@@ -529,6 +595,7 @@ def simulate(
         workload,
         scheduler,
         trace=trace,
+        trace_out=trace_out,
         max_eccs_per_job=max_eccs_per_job,
         faults=faults,
         retry=retry,

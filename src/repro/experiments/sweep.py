@@ -11,7 +11,7 @@ order and collected by index.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.cache import RunCache
 from repro.experiments.calibrate import calibrate_beta_arr
@@ -19,6 +19,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import RunSpec, execute_runs, parallel_map
 from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
+from repro.obs.progress import ProgressEvent
 from repro.workload.generator import Workload
 
 
@@ -58,6 +59,8 @@ def run_algorithms(
     retry: Optional[RetryPolicy] = None,
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    trace_out: Optional[Mapping[str, str]] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> Dict[str, RunMetrics]:
     """Run every algorithm on the *same* workload instance.
 
@@ -68,6 +71,12 @@ def run_algorithms(
     Runs are dispatched through the parallel executor; ``jobs=1`` (or
     ``REPRO_JOBS=1``) forces the deterministic serial path, which
     produces identical metrics.
+
+    Observability (docs/observability.md): ``trace_out`` maps
+    algorithm names to JSONL trace paths — algorithms absent from the
+    mapping run untraced, and traced runs produce identical metrics to
+    untraced ones.  ``progress`` receives a
+    :class:`~repro.obs.progress.ProgressEvent` per resolved run.
     """
     specs = [
         RunSpec(
@@ -78,10 +87,11 @@ def run_algorithms(
             max_eccs_per_job=max_eccs_per_job,
             faults=faults,
             retry=retry,
+            trace_out=None if trace_out is None else trace_out.get(name),
         )
         for name in algorithms
     ]
-    metrics = execute_runs(specs, jobs=jobs, cache=cache)
+    metrics = execute_runs(specs, jobs=jobs, cache=cache, progress=progress)
     return dict(zip(algorithms, metrics))
 
 
@@ -101,20 +111,29 @@ def _load_point(
     return round(calibration.achieved_load, 4), point
 
 
-def load_sweep(config: ExperimentConfig, *, jobs: Optional[int] = None) -> SweepResult:
+def load_sweep(
+    config: ExperimentConfig,
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> SweepResult:
     """Figures 7–10 style sweep: metrics vs offered load.
 
     For each target load, calibrates ``β_arr`` (per-point seed), then
     runs every algorithm on the calibrated workload.  Points are
     independent (own seed, own calibration), so whole points — the
     calibration bisection included — fan out across workers.
+    ``progress`` reports at sweep-point granularity (one event per
+    calibrated point, not per inner run).
     """
     tasks = [
         (config, target, config.seed + index)
         for index, target in enumerate(config.loads)
     ]
     work_hint = len(tasks) * config.generator.n_jobs * len(config.algorithms)
-    points = parallel_map(_load_point, tasks, jobs=jobs, work_hint=work_hint)
+    points = parallel_map(
+        _load_point, tasks, jobs=jobs, work_hint=work_hint, progress=progress
+    )
     result = SweepResult(sweep_label="Load", sweep_values=[])
     for achieved, point in points:
         result.sweep_values.append(achieved)
@@ -129,6 +148,7 @@ def cs_sweep(
     target_load: float,
     *,
     jobs: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> SweepResult:
     """Figures 5–6 style sweep: metrics vs the ``C_s`` threshold.
 
@@ -149,7 +169,7 @@ def cs_sweep(
         for cs in cs_values
         for name in config.algorithms
     ]
-    metrics = execute_runs(specs, jobs=jobs)
+    metrics = execute_runs(specs, jobs=jobs, progress=progress)
     result = SweepResult(sweep_label="C_s", sweep_values=[float(v) for v in cs_values])
     for spec, run in zip(specs, metrics):
         result.series.setdefault(spec.algorithm, []).append(run)
@@ -164,6 +184,7 @@ def arrival_scale_sweep(
     max_skip_count: int = 7,
     lookahead: Optional[int] = 50,
     jobs: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> SweepResult:
     """Figure 1 style sweep: load varied by scaling arrival times.
 
@@ -187,7 +208,7 @@ def arrival_scale_sweep(
             )
             for name in algorithms
         )
-    metrics = execute_runs(specs, jobs=jobs)
+    metrics = execute_runs(specs, jobs=jobs, progress=progress)
     for spec, run in zip(specs, metrics):
         result.series.setdefault(spec.algorithm, []).append(run)
     return result

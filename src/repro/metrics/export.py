@@ -3,6 +3,12 @@
 Downstream analysis (pandas, R, gnuplot) wants flat files, not Python
 objects.  Everything here is stdlib-only (``csv``/``json``) and
 streams through writers, so exports scale to large sweeps.
+
+Telemetry (docs/observability.md): runs that carry a
+:class:`~repro.obs.telemetry.TelemetrySnapshot` can export it — JSON
+always includes it, CSV adds ``tm_``-prefixed columns on request
+(``telemetry=True``), keeping the default schema stable for existing
+consumers.
 """
 
 from __future__ import annotations
@@ -10,11 +16,14 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Sequence, TextIO, Union
+from typing import Dict, Iterable, List, Sequence, TextIO, Union
 
 from repro.metrics.records import JobRecord, RunMetrics
 
 PathOrFile = Union[str, Path, TextIO]
+
+#: Prefix of opt-in telemetry columns in per-run CSVs.
+TELEMETRY_PREFIX = "tm_"
 
 #: Column order of the per-job CSV schema.
 JOB_RECORD_FIELDS = (
@@ -101,33 +110,86 @@ def _run_row(metrics: RunMetrics) -> dict:
     }
 
 
-def runs_to_csv(runs: Iterable[RunMetrics], target: PathOrFile) -> None:
-    """Write run aggregates (one row per run) as CSV."""
+def _telemetry_columns(metrics: RunMetrics) -> Dict[str, float]:
+    """``tm_``-prefixed flat telemetry columns (empty when untracked)."""
+    snapshot = metrics.telemetry
+    if snapshot is None:
+        return {}
+    columns = {
+        TELEMETRY_PREFIX + name: value
+        for name, value in snapshot.as_columns().items()
+    }
+    for name in snapshot.series:
+        columns[f"{TELEMETRY_PREFIX}{name}_peak"] = snapshot.series_max(name)
+    return columns
 
-    def write(fh: TextIO) -> None:
-        writer = csv.DictWriter(fh, fieldnames=RUN_FIELDS)
+
+def _telemetry_fieldnames(rows: Sequence[Dict[str, float]]) -> List[str]:
+    """Sorted union of telemetry columns across all exported runs."""
+    names = set()
+    for row in rows:
+        names.update(row)
+    return sorted(names)
+
+
+def runs_to_csv(
+    runs: Iterable[RunMetrics], target: PathOrFile, *, telemetry: bool = False
+) -> None:
+    """Write run aggregates (one row per run) as CSV.
+
+    ``telemetry=True`` appends ``tm_``-prefixed counter/timer columns
+    (docs/observability.md); runs without telemetry leave them blank.
+    """
+    if not telemetry:
+
+        def write(fh: TextIO) -> None:
+            writer = csv.DictWriter(fh, fieldnames=RUN_FIELDS)
+            writer.writeheader()
+            for run in runs:
+                writer.writerow(_run_row(run))
+
+        _open(target, write)
+        return
+
+    runs = list(runs)
+    extra_rows = [_telemetry_columns(run) for run in runs]
+    extra_fields = _telemetry_fieldnames(extra_rows)
+
+    def write_telemetry(fh: TextIO) -> None:
+        writer = csv.DictWriter(
+            fh, fieldnames=(*RUN_FIELDS, *extra_fields), restval=""
+        )
         writer.writeheader()
-        for run in runs:
-            writer.writerow(_run_row(run))
+        for run, extra in zip(runs, extra_rows):
+            writer.writerow({**_run_row(run), **extra})
 
-    _open(target, write)
+    _open(target, write_telemetry)
 
 
-def sweep_to_csv(sweep, target: PathOrFile) -> None:
+def sweep_to_csv(sweep, target: PathOrFile, *, telemetry: bool = False) -> None:
     """Write a :class:`~repro.experiments.sweep.SweepResult` as long-form CSV.
 
     Columns: sweep label, sweep value, algorithm, then the run fields —
-    one row per (sweep point, algorithm).
+    one row per (sweep point, algorithm).  ``telemetry=True`` appends
+    ``tm_``-prefixed columns as in :func:`runs_to_csv`.
     """
+    all_runs = [run for runs in sweep.series.values() for run in runs]
+    extra_fields: List[str] = []
+    if telemetry:
+        extra_fields = _telemetry_fieldnames(
+            [_telemetry_columns(run) for run in all_runs]
+        )
 
     def write(fh: TextIO) -> None:
-        fieldnames = (sweep.sweep_label, *RUN_FIELDS)
-        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        fieldnames = (sweep.sweep_label, *RUN_FIELDS, *extra_fields)
+        writer = csv.DictWriter(fh, fieldnames=fieldnames, restval="")
         writer.writeheader()
         for algorithm, runs in sweep.series.items():
             for value, run in zip(sweep.sweep_values, runs):
                 row = _run_row(run)
                 row[sweep.sweep_label] = value
+                if telemetry:
+                    row.update(_telemetry_columns(run))
                 writer.writerow(row)
 
     _open(target, write)
@@ -145,6 +207,15 @@ def run_to_json(metrics: RunMetrics, target: PathOrFile, indent: int = 2) -> Non
             for r in metrics.records
         ],
     }
+    if metrics.telemetry is not None:
+        payload["telemetry"] = {
+            "counters": dict(metrics.telemetry.counters),
+            "timers": dict(metrics.telemetry.timers),
+            "series": {
+                name: [list(point) for point in points]
+                for name, points in metrics.telemetry.series.items()
+            },
+        }
 
     def write(fh: TextIO) -> None:
         json.dump(payload, fh, indent=indent)
@@ -156,6 +227,7 @@ def run_to_json(metrics: RunMetrics, target: PathOrFile, indent: int = 2) -> Non
 __all__ = [
     "JOB_RECORD_FIELDS",
     "RUN_FIELDS",
+    "TELEMETRY_PREFIX",
     "records_to_csv",
     "run_to_json",
     "runs_to_csv",

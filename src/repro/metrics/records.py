@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.metrics.queue_stats import QueueSummary
 from repro.metrics.stats import mean, paper_slowdown, per_job_slowdowns
 from repro.workload.job import Job, JobKind, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.telemetry import TelemetrySnapshot
 
 
 @dataclass(frozen=True)
@@ -162,6 +165,16 @@ class RunMetrics:
     degraded_time: float = 0.0
     #: Pset failures injected during the run.
     node_failures: int = 0
+    # --- observability (docs/observability.md) ---
+    #: Run telemetry: counters, wall timers, queue-depth timeseries.
+    #: ``compare=False`` is load-bearing: the timers are wall-clock and
+    #: therefore machine-dependent, while `RunMetrics` equality is the
+    #: repo's determinism contract (serial == parallel == traced) and
+    #: must see only the scheduling outcomes.  None for hand-built
+    #: metrics and entries cached before this field existed.
+    telemetry: Optional["TelemetrySnapshot"] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     @property

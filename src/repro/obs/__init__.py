@@ -1,0 +1,84 @@
+"""Observability: trace export, run telemetry, sweep progress.
+
+The simulation and experiment layers compute plenty of diagnostic
+signal — every state transition lands in a
+:class:`~repro.sim.trace.TraceLog`, the run cache counts hits and
+misses, schedulers burn measurable work in DP tables and backfill
+scans — but before this package none of it left the process.
+``repro.obs`` is the layer that gets it out, without ever feeding
+back: **observability must not change scheduling decisions**, and a
+traced run produces `RunMetrics` identical to an untraced one (the
+determinism tests in ``tests/obs/`` enforce both).
+
+Four modules:
+
+- :mod:`repro.obs.trace_io` — a versioned JSONL schema for
+  :class:`~repro.sim.trace.TraceRecord` with a streaming writer and
+  reader; round-trips are lossless.
+- :mod:`repro.obs.telemetry` — a per-run counters/timers/timeseries
+  registry attached to :class:`~repro.metrics.records.RunMetrics`;
+  hot-path hooks cost one global load when inactive.
+- :mod:`repro.obs.progress` — per-run progress events (done/total,
+  cache hits vs. cold runs, ETA) emitted by the parallel executor,
+  always from the parent process, and a terminal reporter.
+- :mod:`repro.obs.inspect` — filtering/summarizing exported traces:
+  per-job timelines, transition counts, invariant spot-checks; the
+  engine behind the ``repro trace`` subcommand.
+
+See docs/observability.md for the trace schema, the counter catalog
+and overhead numbers.
+"""
+
+from repro.obs.inspect import (
+    TraceCheck,
+    TraceSummary,
+    check_trace,
+    job_timeline,
+    summarize,
+)
+from repro.obs.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    ProgressTracker,
+    format_duration,
+)
+from repro.obs.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    activated,
+    bump,
+    current,
+)
+from repro.obs.trace_io import (
+    TRACE_SCHEMA,
+    TraceFile,
+    TraceReadError,
+    TraceWriter,
+    iter_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressReporter",
+    "ProgressTracker",
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TraceCheck",
+    "TraceFile",
+    "TraceReadError",
+    "TraceSummary",
+    "TraceWriter",
+    "activated",
+    "bump",
+    "check_trace",
+    "current",
+    "format_duration",
+    "iter_trace",
+    "job_timeline",
+    "read_trace",
+    "summarize",
+    "write_trace",
+]

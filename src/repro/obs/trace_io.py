@@ -1,0 +1,285 @@
+"""Versioned JSONL export of simulation traces.
+
+A trace file is newline-delimited JSON: one **header** line naming the
+schema plus free-form run metadata, then one line per
+:class:`~repro.sim.trace.TraceRecord`::
+
+    {"schema": "repro.trace/1", "meta": {"algorithm": "EASY", ...}}
+    {"t": 0.0, "kind": "arrive", "data": {"job": 1, "num": 8}}
+    {"t": 120.0, "kind": "start", "data": {"job": 1, "num": 8}}
+
+Design rules:
+
+- **Streaming both ways.** :class:`TraceWriter` appends records as the
+  simulation produces them (the runner's sink), so memory stays flat
+  regardless of run length; :func:`iter_trace` yields records without
+  materializing the file.
+- **Lossless round-trips.** Times are JSON numbers (``repr``-exact for
+  Python floats), payload values are scalars/strings; NumPy scalars
+  are converted via ``.item()`` on write.  ``write → read`` returns
+  records that compare equal to the originals — enforced by
+  ``tests/obs/test_trace_io.py``.
+- **Versioned.** The header's ``schema`` field gates readers; an
+  unknown version is a :class:`TraceReadError`, never a silent
+  misparse.  Malformed lines carry file/line context, mirroring the
+  workload parsers (docs/resilience.md); ``strict=False`` skips them.
+
+>>> import io
+>>> from repro.sim.trace import TraceRecord
+>>> buf = io.StringIO()
+>>> with TraceWriter(buf, meta={"algorithm": "EASY"}) as writer:
+...     writer.write(TraceRecord(0.0, "arrive", {"job": 1, "num": 8}))
+...     writer.write(TraceRecord(120.0, "start", {"job": 1, "num": 8}))
+>>> writer.count
+2
+>>> _ = buf.seek(0)
+>>> trace = read_trace(buf)
+>>> trace.meta["algorithm"]
+'EASY'
+>>> trace.records[1] == TraceRecord(120.0, "start", {"job": 1, "num": 8})
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.sim.trace import TraceRecord
+
+#: Schema tag written to (and required of) every trace file header.
+TRACE_SCHEMA = "repro.trace/1"
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+class TraceReadError(ValueError):
+    """A trace file failed to parse.
+
+    Attributes:
+        source: Name of the offending file (``"<stream>"`` for
+            file-like inputs).
+        line: 1-based line number, or None when the whole file is at
+            fault (e.g. empty input).
+    """
+
+    def __init__(self, message: str, *, source: str = "<stream>", line: Optional[int] = None) -> None:
+        self.source = source
+        self.line = line
+        location = source if line is None else f"{source}:{line}"
+        super().__init__(f"{location}: {message}")
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values to JSON-safe types (NumPy scalars → Python)."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bool)):
+        return item()
+    raise TypeError(f"trace payload value {value!r} is not JSON-serializable")
+
+
+class TraceWriter:
+    """Streaming JSONL writer for trace records.
+
+    Opens the target (path or text stream), writes the header line
+    immediately, then one line per :meth:`write`.  Usable as a context
+    manager; paths are closed on exit, caller-owned streams are not.
+
+    Args:
+        target: Output path or writable text stream.
+        meta: Free-form run metadata for the header (algorithm,
+            machine size, package version...).  Must be JSON-safe.
+    """
+
+    def __init__(self, target: PathOrFile, meta: Optional[Dict[str, Any]] = None) -> None:
+        if isinstance(target, (str, Path)):
+            Path(target).parent.mkdir(parents=True, exist_ok=True)
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self.count = 0
+        header = {"schema": TRACE_SCHEMA, "meta": dict(meta or {})}
+        self._fh.write(json.dumps(header, separators=(",", ":"), default=_jsonable) + "\n")
+
+    def write(self, record: TraceRecord) -> None:
+        """Append one record as a JSONL line."""
+        line = json.dumps(
+            {"t": record.time, "kind": record.kind, "data": record.data},
+            separators=(",", ":"),
+            default=_jsonable,
+        )
+        self._fh.write(line + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and (for path targets) close the underlying file."""
+        if self._owns_fh:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(
+    records: Iterable[TraceRecord],
+    target: PathOrFile,
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a full trace in one call; returns the record count."""
+    with TraceWriter(target, meta=meta) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.count
+
+
+@dataclass(frozen=True)
+class TraceFile:
+    """A fully parsed trace: header metadata plus all records."""
+
+    meta: Dict[str, Any]
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _parse_header(line: str, source: str) -> Dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceReadError(f"malformed header: {exc}", source=source, line=1) from None
+    if not isinstance(header, dict) or "schema" not in header:
+        raise TraceReadError(
+            "first line is not a trace header (missing 'schema')", source=source, line=1
+        )
+    if header["schema"] != TRACE_SCHEMA:
+        raise TraceReadError(
+            f"unsupported trace schema {header['schema']!r} "
+            f"(this reader understands {TRACE_SCHEMA!r})",
+            source=source,
+            line=1,
+        )
+    meta = header.get("meta", {})
+    if not isinstance(meta, dict):
+        raise TraceReadError("header 'meta' must be an object", source=source, line=1)
+    return meta
+
+
+def _parse_record(line: str, source: str, lineno: int) -> TraceRecord:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceReadError(f"malformed record: {exc}", source=source, line=lineno) from None
+    if not isinstance(payload, dict):
+        raise TraceReadError("record line is not an object", source=source, line=lineno)
+    try:
+        time = payload["t"]
+        kind = payload["kind"]
+    except KeyError as exc:
+        raise TraceReadError(f"record missing field {exc}", source=source, line=lineno) from None
+    data = payload.get("data", {})
+    if (
+        not isinstance(time, (int, float))
+        or isinstance(time, bool)
+        or not isinstance(kind, str)
+        or not isinstance(data, dict)
+    ):
+        raise TraceReadError(
+            "record fields have wrong types (want t: number, kind: string, data: object)",
+            source=source,
+            line=lineno,
+        )
+    return TraceRecord(time=float(time), kind=kind, data=data)
+
+
+def iter_trace(source: PathOrFile, *, strict: bool = True) -> Iterator[TraceRecord]:
+    """Stream records from a trace file after validating its header.
+
+    Args:
+        source: Input path or readable text stream.
+        strict: When True (default), a malformed record raises
+            :class:`TraceReadError` with file/line context; when
+            False, malformed *record* lines are skipped (a bad header
+            always raises — without it nothing is trustworthy).
+    """
+    if isinstance(source, (str, Path)):
+        name = str(source)
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        owns = True
+    else:
+        name = "<stream>"
+        fh = source
+        owns = False
+    try:
+        first = fh.readline()
+        if not first:
+            raise TraceReadError("empty file (no header)", source=name)
+        _parse_header(first, name)
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                yield _parse_record(line, name, lineno)
+            except TraceReadError:
+                if strict:
+                    raise
+    finally:
+        if owns:
+            fh.close()
+
+
+def read_meta(source: PathOrFile) -> Dict[str, Any]:
+    """Parse and return only the header metadata of a trace file."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+        name = str(source)
+    else:
+        first = source.readline()
+        name = "<stream>"
+    if not first:
+        raise TraceReadError("empty file (no header)", source=name)
+    return _parse_header(first, name)
+
+
+def read_trace(source: PathOrFile, *, strict: bool = True) -> TraceFile:
+    """Parse a whole trace file into a :class:`TraceFile`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_trace(fh, strict=strict)
+    name = getattr(source, "name", "<stream>")
+    first = source.readline()
+    if not first:
+        raise TraceReadError("empty file (no header)", source=str(name))
+    meta = _parse_header(first, str(name))
+    records: List[TraceRecord] = []
+    for lineno, line in enumerate(source, start=2):
+        if not line.strip():
+            continue
+        try:
+            records.append(_parse_record(line, str(name), lineno))
+        except TraceReadError:
+            if strict:
+                raise
+    return TraceFile(meta=meta, records=records)
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceFile",
+    "TraceReadError",
+    "TraceWriter",
+    "iter_trace",
+    "read_meta",
+    "read_trace",
+    "write_trace",
+]

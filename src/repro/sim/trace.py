@@ -11,7 +11,7 @@ only end-of-run aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -35,20 +35,37 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only in-memory trace with query helpers.
+    """Append-only trace with query helpers and an optional sink.
 
     Tracing can be disabled (``enabled=False``) for large sweeps; the
-    API stays identical so call-sites never branch.
+    API stays identical so call-sites never branch.  A ``sink`` — any
+    callable taking one :class:`TraceRecord` — receives every record
+    as it is produced; with ``store=False`` records go *only* to the
+    sink, so streaming a long run to disk
+    (:class:`repro.obs.trace_io.TraceWriter`) keeps memory flat.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+        store: bool = True,
+    ) -> None:
         self.enabled = enabled
+        self.sink = sink
+        self._store = store
         self._records: list[TraceRecord] = []
 
     def record(self, time: float, kind: str, **data: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
-        if self.enabled:
-            self._records.append(TraceRecord(time=time, kind=kind, data=data))
+        if not self.enabled:
+            return
+        record = TraceRecord(time=time, kind=kind, data=data)
+        if self._store:
+            self._records.append(record)
+        if self.sink is not None:
+            self.sink(record)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -79,7 +96,13 @@ class TraceLog:
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         """Bulk-append (used when merging sub-traces in tests)."""
-        if self.enabled:
+        if not self.enabled:
+            return
+        if self.sink is not None:
+            records = list(records)
+            for record in records:
+                self.sink(record)
+        if self._store:
             self._records.extend(records)
 
 

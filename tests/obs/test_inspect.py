@@ -1,0 +1,133 @@
+"""The trace inspector: analysis functions and the ``repro trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import repro_main
+from repro.experiments.parallel import RunSpec, execute_spec
+from repro.obs.inspect import (
+    check_trace,
+    filter_records,
+    job_timeline,
+    main as trace_main,
+    summarize,
+)
+from repro.obs.trace_io import TRACE_SCHEMA
+from repro.sim.trace import TraceRecord
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+
+
+def _lifecycle(job: int, arrive: float, start: float, finish: float, num: int = 32):
+    return [
+        TraceRecord(arrive, "arrive", {"job": job, "num": num}),
+        TraceRecord(start, "start", {"job": job, "num": num}),
+        TraceRecord(finish, "finish", {"job": job, "num": num}),
+    ]
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A real exported trace from a small EASY run."""
+    workload = CWFWorkloadGenerator(GeneratorConfig(n_jobs=30)).generate(
+        np.random.default_rng(3)
+    )
+    path = tmp_path / "easy.jsonl"
+    execute_spec(RunSpec(workload=workload, algorithm="EASY", trace_out=str(path)))
+    return path
+
+
+class TestAnalysis:
+    def test_summarize_counts_and_span(self):
+        records = _lifecycle(1, 0.0, 10.0, 70.0) + _lifecycle(2, 5.0, 80.0, 90.0)
+        records.sort(key=lambda r: r.time)
+        summary = summarize(records)
+        assert summary.n_records == 6
+        assert summary.n_jobs == 2
+        assert summary.kind_counts == {"arrive": 2, "start": 2, "finish": 2}
+        assert summary.span == 90.0
+
+    def test_job_timeline_orders_one_job(self):
+        records = _lifecycle(1, 0.0, 10.0, 70.0) + _lifecycle(2, 5.0, 80.0, 90.0)
+        timeline = job_timeline(records, 2)
+        assert [r.kind for r in timeline] == ["arrive", "start", "finish"]
+        assert all(r.data["job"] == 2 for r in timeline)
+
+    def test_filter_by_kind_and_window(self):
+        records = _lifecycle(1, 0.0, 10.0, 70.0)
+        assert [r.kind for r in filter_records(records, kinds=["start"])] == ["start"]
+        windowed = filter_records(records, t0=5.0, t1=20.0)
+        assert [r.kind for r in windowed] == ["start"]
+
+    def test_check_accepts_legal_trace(self):
+        records = _lifecycle(1, 0.0, 10.0, 70.0)
+        assert check_trace(records, machine_size=320) == []
+
+    def test_check_flags_double_start(self):
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 32}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 32}),
+            TraceRecord(2.0, "start", {"job": 1, "num": 32}),
+        ]
+        findings = check_trace(records)
+        assert any("not waiting" in f for f in findings)
+
+    def test_check_flags_overallocation(self):
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 300}),
+            TraceRecord(0.0, "arrive", {"job": 2, "num": 300}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 300}),
+            TraceRecord(1.0, "start", {"job": 2, "num": 300}),
+        ]
+        findings = check_trace(records, machine_size=320)
+        assert any("exceeds machine size" in f for f in findings)
+
+    def test_requeue_allows_restart(self):
+        # Fault-injection lifecycle: fail, requeue, run again.
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 32}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 32}),
+            TraceRecord(2.0, "job-fail", {"job": 1, "num": 32}),
+            TraceRecord(2.0, "requeue", {"job": 1, "num": 32}),
+            TraceRecord(3.0, "start", {"job": 1, "num": 32}),
+            TraceRecord(9.0, "finish", {"job": 1, "num": 32}),
+        ]
+        assert check_trace(records, machine_size=320) == []
+
+
+class TestCli:
+    def test_summary_and_check_ok(self, trace_file, capsys):
+        assert trace_main([str(trace_file), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "meta: " in out and "algorithm=EASY" in out
+        assert "checks: OK" in out
+
+    def test_job_filter_prints_timeline(self, trace_file, capsys):
+        assert trace_main([str(trace_file), "--job", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "filter matched" in out
+        assert "arrive(job=1" in out
+
+    def test_check_failure_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        lines = [json.dumps({"schema": TRACE_SCHEMA, "meta": {}})] + [
+            json.dumps({"t": 1.0, "kind": "start", "data": {"job": 1, "num": 8}})
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert trace_main([str(path), "--check"]) == 1
+        assert "CHECK FAILED" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        assert trace_main([str(tmp_path / "missing.jsonl")]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_repro_umbrella_dispatch(self, trace_file, capsys):
+        assert repro_main(["trace", str(trace_file)]) == 0
+        assert "records over t=" in capsys.readouterr().out
+
+    def test_repro_unknown_subcommand(self, capsys):
+        assert repro_main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err

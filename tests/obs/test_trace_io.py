@@ -1,0 +1,130 @@
+"""Trace JSONL round-trip guarantees and error reporting."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace_io import (
+    TRACE_SCHEMA,
+    TraceReadError,
+    TraceWriter,
+    iter_trace,
+    read_meta,
+    read_trace,
+    write_trace,
+)
+from repro.sim.trace import TraceRecord
+
+
+def _records():
+    return [
+        TraceRecord(time=0.0, kind="arrive", data={"job": 1, "num": 32}),
+        TraceRecord(time=7.25, kind="start", data={"job": 1, "num": 32}),
+        TraceRecord(time=1e9 + 0.125, kind="finish", data={"job": 1, "num": 32}),
+    ]
+
+
+class TestRoundTrip:
+    def test_records_and_meta_survive(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        meta = {"algorithm": "EASY", "machine_size": 320}
+        n = write_trace(_records(), path, meta=meta)
+        assert n == 3
+        trace = read_trace(path)
+        assert trace.meta == meta
+        assert trace.records == _records()
+
+    def test_float_times_roundtrip_exactly(self, tmp_path):
+        # repr-level float fidelity: JSON round-trips IEEE doubles.
+        times = [0.1, 1 / 3, 2**53 - 1.0, 6.02e23, 5e-324]
+        records = [
+            TraceRecord(time=t, kind="tick", data={"value": t}) for t in times
+        ]
+        path = tmp_path / "floats.jsonl"
+        write_trace(records, path)
+        back = read_trace(path).records
+        assert [r.time for r in back] == times
+        assert [r.data["value"] for r in back] == times
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        records = [
+            TraceRecord(
+                time=np.float64(3.5),
+                kind="start",
+                data={"job": np.int64(9), "util": np.float32(0.5)},
+            )
+        ]
+        path = tmp_path / "np.jsonl"
+        write_trace(records, path)
+        (record,) = read_trace(path).records
+        assert record.time == 3.5
+        assert record.data["job"] == 9
+        # Every line is plain JSON — no numpy repr leaked through.
+        lines = path.read_text().splitlines()
+        for line in lines:
+            json.loads(line)
+
+    def test_stream_target_and_streaming_reader(self):
+        buffer = io.StringIO()
+        with TraceWriter(buffer, meta={"k": 1}) as writer:
+            for record in _records():
+                writer.write(record)
+            assert writer.count == 3
+        buffer.seek(0)
+        assert read_meta(buffer) == {"k": 1}
+        buffer.seek(0)
+        assert list(iter_trace(buffer)) == _records()
+
+    def test_header_written_even_without_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_trace([], path, meta={"algorithm": "LOS"})
+        trace = read_trace(path)
+        assert trace.meta == {"algorithm": "LOS"}
+        assert trace.records == []
+
+    def test_writer_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        write_trace(_records(), path)
+        assert len(read_trace(path).records) == 3
+
+
+class TestValidation:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t":0,"kind":"arrive","data":{}}\n')
+        with pytest.raises(TraceReadError, match="header"):
+            read_trace(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema":"other/9","meta":{}}\n')
+        with pytest.raises(TraceReadError, match="schema"):
+            read_trace(path)
+
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA, "meta": {}})
+            + '\n{"t":0,"kind":"x","data":{}}\nnot json\n'
+        )
+        with pytest.raises(TraceReadError, match=r"bad\.jsonl:3: malformed record"):
+            read_trace(path)
+
+    def test_non_strict_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA, "meta": {}})
+            + '\n{"t":0,"kind":"x","data":{}}\nnot json\n'
+            + '{"t":1,"kind":"y","data":{}}\n'
+        )
+        records = read_trace(path, strict=False).records
+        assert [r.kind for r in records] == ["x", "y"]
+
+    def test_unserializable_payload_raises(self, tmp_path):
+        record = TraceRecord(time=0.0, kind="bad", data={"obj": object()})
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            write_trace([record], tmp_path / "x.jsonl")

@@ -29,7 +29,7 @@ def test_quick_bench_document(tmp_path):
 
     on_disk = json.loads(output.read_text(encoding="utf-8"))
     assert on_disk == document
-    assert document["schema"] == 1
+    assert document["schema"] == 2
     assert document["quick"] is True
     assert document["workers"] == 2
 
@@ -47,6 +47,12 @@ def test_quick_bench_document(tmp_path):
     assert pipe["parallel_equals_serial"] is True
     assert pipe["serial_wall_time_s"] > 0
     assert pipe["parallel_wall_time_s"] > 0
+
+    obs = document["observability"]
+    assert obs["untraced_wall_time_s"] > 0
+    assert obs["traced_wall_time_s"] > 0
+    assert obs["traced_over_untraced"] > 0
+    assert obs["trace_bytes"] > 0
 
 
 def test_cli_quick_exits_clean(tmp_path):

@@ -12,16 +12,26 @@ import pytest
 
 import repro.cluster.partition
 import repro.core.dp
+import repro.experiments.cache
 import repro.metrics.stats
 import repro.metrics.timeline
+import repro.obs.inspect
+import repro.obs.progress
+import repro.obs.telemetry
+import repro.obs.trace_io
 import repro.sim.engine
 import repro.workload.load
 
 MODULES = [
     repro.cluster.partition,
     repro.core.dp,
+    repro.experiments.cache,
     repro.metrics.stats,
     repro.metrics.timeline,
+    repro.obs.inspect,
+    repro.obs.progress,
+    repro.obs.telemetry,
+    repro.obs.trace_io,
     repro.sim.engine,
     repro.workload.load,
 ]
