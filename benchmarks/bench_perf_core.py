@@ -27,6 +27,13 @@ Usage::
 Wall times are machine-dependent by nature; compare entries produced
 on the same machine.  The run cache is bypassed here — this benchmark
 always simulates.
+
+Each CLI run also appends one condensed, schema-versioned line to
+``benchmarks/history.jsonl`` (git sha + timestamp + host stamped), the
+longitudinal record behind ``repro bench-compare`` — pass
+``--no-history`` to skip.  Library calls (``run_bench``) only append
+when given an explicit ``history`` path, so tests never pollute the
+tracked file.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ from repro.workload.twostage import TwoStageSizeConfig
 
 #: Where the tracked result lands (repo root).
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: The longitudinal record (this directory); see repro.obs.bench_history.
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "history.jsonl"
 
 #: Canonical scenario load (the paper's high-contention regime).
 TARGET_LOAD = 0.9
@@ -104,8 +114,14 @@ def run_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
     output: Optional[Path] = None,
+    history: Optional[Path] = None,
 ) -> Dict:
-    """Run the full benchmark and write/return the JSON document."""
+    """Run the full benchmark and write/return the JSON document.
+
+    When ``history`` is given, a condensed entry is also appended
+    there (see :mod:`repro.obs.bench_history`); None (the default)
+    appends nothing.
+    """
     scales = scenario_scales(quick)
     workers = resolve_jobs(jobs)
     repeats = 1 if quick else 2
@@ -188,6 +204,10 @@ def run_bench(
 
     target = Path(output) if output is not None else DEFAULT_OUTPUT
     target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    if history is not None:
+        from repro.obs.bench_history import append_entry
+
+        append_entry(document, history)
     return document
 
 
@@ -236,13 +256,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", type=str, default=None,
         help=f"result path (default: {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--history", type=str, default=str(DEFAULT_HISTORY),
+        help=f"append a condensed entry to this JSONL history "
+        f"(default: {DEFAULT_HISTORY}; compare with 'repro bench-compare')",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the history append (snapshot JSON only)",
+    )
     args = parser.parse_args(argv)
     document = run_bench(
         quick=args.quick,
         jobs=args.jobs,
         output=Path(args.output) if args.output else None,
+        history=None if args.no_history else Path(args.history),
     )
     _print_summary(document)
+    if not args.no_history:
+        print(f"history: appended to {args.history}")
     if not document["pipeline"]["parallel_equals_serial"]:
         print("ERROR: parallel metrics diverged from serial metrics", file=sys.stderr)
         return 1

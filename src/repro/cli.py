@@ -10,11 +10,14 @@ Runs one simulation (or a small comparison) from the terminal::
     repro-sim --algorithms Delayed-LOS --trace-out run.jsonl --telemetry
     repro-sim --list-algorithms
 
-The ``repro`` umbrella command wraps this plus the trace inspector
+The ``repro`` umbrella command wraps this plus the trace inspector,
+the trace-report builder and the benchmark history diff
 (docs/observability.md)::
 
     repro sim --algorithms EASY --trace-out run.jsonl
     repro trace run.jsonl --check
+    repro report run.jsonl -o report.md
+    repro bench-compare --threshold 1.5
 
 Useful for eyeballing the system without writing Python; the full
 reproduction lives in ``benchmarks/``.  Algorithm runs fan out over
@@ -39,7 +42,7 @@ from repro.experiments.parallel import resolve_jobs
 from repro.experiments.sweep import run_algorithms
 from repro.faults.model import RetryPolicy, parse_faults_spec
 from repro.metrics.report import format_table
-from repro.obs.progress import ProgressReporter
+from repro.obs.progress import ProgressReporter, ProgressSummary
 from repro.workload.cwf import parse_cwf_workload
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Workload
 from repro.workload.twostage import TwoStageSizeConfig
@@ -268,7 +271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = None
     if args.trace_out:
         trace_out = _trace_paths(args.trace_out, args.algorithms)
-    progress = ProgressReporter() if args.progress else None
+    # Always collect progress events (so the end-of-sweep summary line
+    # — cache hit rate, serial retries — prints even without
+    # --progress); forward them to a live reporter only when asked.
+    progress = ProgressSummary(ProgressReporter() if args.progress else None)
     results = run_algorithms(
         workload,
         args.algorithms,
@@ -302,25 +308,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             ]
         rows.append(row)
     print(format_table(headers, rows))
+    print(progress.render(cache.stats.hit_rate if cache is not None else None))
     if cache is not None:
         print(str(cache.stats))
     if trace_out is not None:
         for name in args.algorithms:
             print(f"trace ({name}): wrote {trace_out[name]}")
     if args.telemetry:
+        from repro.obs.telemetry import format_snapshot
+
         for name, metrics in results.items():
             snapshot = metrics.telemetry
             print(f"\n--- telemetry: {name} ---")
             if snapshot is None:
                 print("(no telemetry attached to this run)")
                 continue
-            for key, value in sorted(snapshot.counters.items()):
-                print(f"{key:<20} {value}")
-            for key, value in sorted(snapshot.timers.items()):
-                print(f"{key:<20} {value:.4f}s")
-            if "queue_depth" in snapshot.series:
-                depth = snapshot.series_max("queue_depth")
-                print(f"{'peak queue depth':<20} {depth:g}")
+            print(format_snapshot(snapshot))
 
     if args.timeline:
         from repro.metrics.timeline import render_timeline
@@ -383,9 +386,16 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         ``sim``: the full ``repro-sim`` interface (simulate/compare).
         ``trace``: inspect an exported JSONL trace
         (:mod:`repro.obs.inspect`; docs/observability.md).
+        ``report``: build a self-contained Markdown/HTML report from
+        traces or a sweep directory (:mod:`repro.obs.report`).
+        ``bench-compare``: diff the newest benchmark history entry
+        against prior runs (:mod:`repro.obs.bench_history`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: repro {sim,trace} ...  (repro <subcommand> --help for details)"
+    usage = (
+        "usage: repro {sim,trace,report,bench-compare} ...  "
+        "(repro <subcommand> --help for details)"
+    )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)
         return 0
@@ -396,6 +406,14 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.inspect import main as trace_main
 
         return trace_main(rest)
+    if command == "report":
+        from repro.obs.report import main as report_main
+
+        return report_main(rest)
+    if command == "bench-compare":
+        from repro.obs.bench_history import main as bench_compare_main
+
+        return bench_compare_main(rest)
     print(f"unknown subcommand: {command!r}\n{usage}", file=sys.stderr)
     return 2
 

@@ -120,7 +120,14 @@ def fork_available() -> bool:
 
 
 def execute_spec(spec: RunSpec) -> RunMetrics:
-    """Run one spec to completion (the worker-side entry point)."""
+    """Run one spec to completion (the worker-side entry point).
+
+    With ``REPRO_TRACE_VALIDATE`` truthy, a traced run is re-checked by
+    the observability oracle (:mod:`repro.obs.analytics`): the exported
+    trace is read back, the paper metrics are recomputed from it, and a
+    disagreement with the returned :class:`RunMetrics` raises
+    :class:`~repro.obs.analytics.TraceOracleError`.
+    """
     scheduler = make_scheduler(
         spec.algorithm,
         max_skip_count=spec.max_skip_count,
@@ -134,7 +141,14 @@ def execute_spec(spec: RunSpec) -> RunMetrics:
         faults=spec.faults,
         retry=spec.retry,
     )
-    return runner.run()
+    metrics = runner.run()
+    if spec.trace_out is not None and os.environ.get(
+        "REPRO_TRACE_VALIDATE", ""
+    ).strip().lower() in ("1", "true", "yes", "on"):
+        from repro.obs.analytics import validate_trace_file
+
+        validate_trace_file(spec.trace_out, metrics)
+    return metrics
 
 
 def _init_worker() -> None:

@@ -212,7 +212,15 @@ class SimulationRunner:
 
     def _on_arrival(self, job: Job) -> None:
         now = self.sim.now
-        self.trace.record(now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value)
+        if job.is_dedicated:
+            self.trace.record(
+                now, "arrive", job=job.job_id, num=job.num,
+                job_kind=job.kind.value, requested_start=job.requested_start,
+            )
+        else:
+            self.trace.record(
+                now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value
+            )
         self.queue_tracker.on_enqueue(now, job.num * job.estimate)
         if job.is_dedicated:
             self.dedicated_queue.push(job)
@@ -306,6 +314,9 @@ class SimulationRunner:
             ecc_kind=ecc.kind.value,
             amount=ecc.amount,
             outcome=result.outcome.value,
+            # Post-command size: lets trace analytics map EP/RP
+            # commands to allocation deltas (repro trace --check).
+            num=job.num,
         )
         if result.outcome is ECCOutcome.APPLIED_RUNNING:
             assert result.new_kill_by is not None

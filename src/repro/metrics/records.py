@@ -6,7 +6,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.metrics.queue_stats import QueueSummary
-from repro.metrics.stats import mean, paper_slowdown, per_job_slowdowns
+from repro.metrics.stats import (
+    bounded_slowdown,
+    mean,
+    paper_slowdown,
+    per_job_slowdowns,
+)
 from repro.workload.job import Job, JobKind, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
@@ -215,6 +220,20 @@ class RunMetrics:
                 [(r.wait, r.runtime) for r in self.records]
             )
         )
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time ``wait + runtime`` (seconds)."""
+        return mean(r.wait + r.runtime for r in self.records)
+
+    @property
+    def mean_bounded_slowdown(self) -> float:
+        """Mean Feitelson bounded slowdown (10 s threshold).
+
+        Cross-validated against the trace-recomputed value by the
+        observability oracle (:mod:`repro.obs.analytics`).
+        """
+        return mean(bounded_slowdown((r.wait, r.runtime) for r in self.records))
 
     # ------------------------------------------------------------------
     # Heterogeneous extras

@@ -10,7 +10,7 @@ back: **observability must not change scheduling decisions**, and a
 traced run produces `RunMetrics` identical to an untraced one (the
 determinism tests in ``tests/obs/`` enforce both).
 
-Four modules:
+Seven modules:
 
 - :mod:`repro.obs.trace_io` — a versioned JSONL schema for
   :class:`~repro.sim.trace.TraceRecord` with a streaming writer and
@@ -20,14 +20,46 @@ Four modules:
   hot-path hooks cost one global load when inactive.
 - :mod:`repro.obs.progress` — per-run progress events (done/total,
   cache hits vs. cold runs, ETA) emitted by the parallel executor,
-  always from the parent process, and a terminal reporter.
+  always from the parent process, a terminal reporter, and the
+  end-of-sweep summary collector.
 - :mod:`repro.obs.inspect` — filtering/summarizing exported traces:
-  per-job timelines, transition counts, invariant spot-checks; the
-  engine behind the ``repro trace`` subcommand.
+  per-job timelines, transition counts, invariant spot-checks
+  (lifecycle, occupancy, elastic-policy size deltas); the engine
+  behind the ``repro trace`` subcommand.
+- :mod:`repro.obs.analytics` — the read side of tracing: replays a
+  trace into timelines, recomputes the paper's §V metrics from the
+  event stream alone, and cross-validates them against the
+  simulator's :class:`~repro.metrics.records.RunMetrics` (the
+  correctness oracle; ``REPRO_TRACE_VALIDATE=1`` arms it per run).
+- :mod:`repro.obs.report` — ``repro report``: one or more traces (or
+  a sweep directory) rendered into a self-contained Markdown/HTML
+  report with comparison tables and charts.
+- :mod:`repro.obs.bench_history` — the benchmark's longitudinal
+  record (``benchmarks/history.jsonl``) and the ``repro
+  bench-compare`` regression diff.
 
-See docs/observability.md for the trace schema, the counter catalog
-and overhead numbers.
+See docs/observability.md for the trace schema, the counter catalog,
+the oracle's semantics and overhead numbers.
 """
+
+from repro.obs.analytics import (
+    ECCEpisode,
+    TraceMetrics,
+    TraceOracleError,
+    TraceReplay,
+    assert_consistent,
+    cross_validate,
+    recompute_metrics,
+    replay,
+    validate_trace_file,
+)
+from repro.obs.bench_history import (
+    HISTORY_SCHEMA,
+    BenchComparison,
+    append_entry,
+    compare,
+    read_history,
+)
 
 from repro.obs.inspect import (
     TraceCheck,
@@ -39,6 +71,7 @@ from repro.obs.inspect import (
 from repro.obs.progress import (
     ProgressEvent,
     ProgressReporter,
+    ProgressSummary,
     ProgressTracker,
     format_duration,
 )
@@ -48,6 +81,7 @@ from repro.obs.telemetry import (
     activated,
     bump,
     current,
+    format_snapshot,
 )
 from repro.obs.trace_io import (
     TRACE_SCHEMA,
@@ -59,26 +93,55 @@ from repro.obs.trace_io import (
     write_trace,
 )
 
+def __getattr__(name: str):
+    # repro.obs.report pulls in repro.experiments, whose core imports
+    # reach back into repro.obs.telemetry — an eager import here would
+    # cycle.  PEP 562 lazy loading breaks the loop without changing
+    # the public surface.
+    if name == "build_report":
+        from repro.obs.report import build_report
+
+        return build_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BenchComparison",
+    "ECCEpisode",
+    "HISTORY_SCHEMA",
     "ProgressEvent",
     "ProgressReporter",
+    "ProgressSummary",
     "ProgressTracker",
     "TRACE_SCHEMA",
     "Telemetry",
     "TelemetrySnapshot",
     "TraceCheck",
     "TraceFile",
+    "TraceMetrics",
+    "TraceOracleError",
     "TraceReadError",
+    "TraceReplay",
     "TraceSummary",
     "TraceWriter",
     "activated",
+    "append_entry",
+    "assert_consistent",
+    "build_report",
     "bump",
     "check_trace",
+    "compare",
+    "cross_validate",
     "current",
     "format_duration",
+    "format_snapshot",
     "iter_trace",
     "job_timeline",
+    "read_history",
     "read_trace",
+    "recompute_metrics",
+    "replay",
     "summarize",
+    "validate_trace_file",
     "write_trace",
 ]

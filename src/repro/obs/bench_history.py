@@ -1,0 +1,359 @@
+"""Benchmark history: longitudinal perf tracking and regression diffs.
+
+``BENCH_core.json`` is a snapshot — every ``bench_perf_core`` run
+overwrites it, so the repo's perf *trajectory* was invisible.  This
+module gives it a past: :func:`append_entry` condenses each benchmark
+document into one schema-versioned JSONL line in
+``benchmarks/history.jsonl`` (git sha, UTC timestamp and hostname
+stamped), and :func:`compare` diffs the newest entry against the best
+prior result per ``(algorithm, n_jobs)`` scenario, flagging any wall
+time above a configurable regression threshold.  The ``repro
+bench-compare`` subcommand prints that diff as a table; CI runs it
+non-blocking (``--strict`` turns regressions into a non-zero exit for
+local gating).
+
+Wall times are machine-dependent, so baselines prefer entries from the
+same host when any exist; cross-host entries are still kept — they
+carry the events/sec trend — but only used as a fallback baseline.
+
+>>> entry = condense({"schema": 2, "quick": True, "workers": 2,
+...     "scenarios": [{"algorithm": "EASY", "n_jobs": 50,
+...                    "wall_time_s": 0.1, "events_per_sec": 9000.0}],
+...     "pipeline": {"speedup": 1.7},
+...     "observability": {"traced_over_untraced": 1.02}},
+...     git_sha="abc1234", timestamp="2026-01-01T00:00:00Z", host="ci")
+>>> slower = dict(entry, scenarios=[dict(entry["scenarios"][0],
+...                                      wall_time_s=0.25)])
+>>> report = compare(slower, [entry], threshold=2.0)
+>>> report.regressions
+['EASY x50: 0.25s vs 0.1s baseline (2.50x > 2x threshold)']
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Version tag of each history line; bump on breaking shape changes.
+HISTORY_SCHEMA = "repro.bench-history/1"
+
+#: Default location (repo layout: benchmarks/history.jsonl).
+DEFAULT_HISTORY = Path(__file__).resolve().parents[3] / "benchmarks" / "history.jsonl"
+
+#: A scenario's wall time must exceed baseline × threshold to count
+#: as a regression (wall clocks are noisy; 1.5x is well past jitter).
+DEFAULT_THRESHOLD = 1.5
+
+
+def git_sha() -> str:
+    """Short HEAD sha of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def utc_now() -> str:
+    """Current UTC time as a compact ISO-8601 string."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def condense(
+    document: Mapping[str, Any],
+    *,
+    git_sha: str,
+    timestamp: str,
+    host: str,
+) -> Dict[str, Any]:
+    """One history line from a full ``bench_perf_core`` document.
+
+    Keeps exactly what longitudinal comparison needs: per-scenario
+    wall time and events/sec, the pipeline speedup, the observability
+    overhead ratio — plus provenance (sha, time, host, quick flag).
+    """
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": timestamp,
+        "git_sha": git_sha,
+        "host": host,
+        "quick": bool(document.get("quick", False)),
+        "workers": int(document.get("workers", 0)),
+        "scenarios": [
+            {
+                "algorithm": s["algorithm"],
+                "n_jobs": int(s["n_jobs"]),
+                "wall_time_s": float(s["wall_time_s"]),
+                "events_per_sec": float(s.get("events_per_sec", 0.0)),
+            }
+            for s in document.get("scenarios", [])
+        ],
+        "pipeline": {
+            "speedup": float(document.get("pipeline", {}).get("speedup", 0.0))
+        },
+        "observability": {
+            "traced_over_untraced": float(
+                document.get("observability", {}).get("traced_over_untraced", 0.0)
+            )
+        },
+    }
+
+
+def append_entry(
+    document: Mapping[str, Any],
+    history: "Path | str" = DEFAULT_HISTORY,
+) -> Dict[str, Any]:
+    """Stamp, condense and append one benchmark run to the history.
+
+    Creates the file (and parent directory) on first use; returns the
+    appended entry.
+    """
+    import platform
+
+    entry = condense(
+        document,
+        git_sha=git_sha(),
+        timestamp=utc_now(),
+        host=platform.node() or "unknown",
+    )
+    path = Path(history)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def read_history(history: "Path | str" = DEFAULT_HISTORY) -> List[Dict[str, Any]]:
+    """All history entries in file (= chronological) order.
+
+    Blank lines are skipped; entries with an unrecognized ``schema``
+    are skipped too (forward compatibility), malformed JSON raises.
+    """
+    path = Path(history)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: malformed history line: {exc}")
+        if isinstance(entry, dict) and entry.get("schema") == HISTORY_SCHEMA:
+            entries.append(entry)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+#: A scenario's identity across entries.
+_Key = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ScenarioDiff:
+    """Latest vs. baseline for one ``(algorithm, n_jobs)`` scenario."""
+
+    algorithm: str
+    n_jobs: int
+    latest_wall_s: float
+    baseline_wall_s: Optional[float]
+    baseline_sha: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """latest / baseline wall time (None without a baseline)."""
+        if self.baseline_wall_s is None or self.baseline_wall_s <= 0:
+            return None
+        return self.latest_wall_s / self.baseline_wall_s
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Result of :func:`compare`: per-scenario diffs plus verdicts."""
+
+    diffs: List[ScenarioDiff]
+    threshold: float
+    n_history: int
+    regressions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """The diff as a monospace table plus a verdict line."""
+        from repro.metrics.report import format_table
+
+        rows: List[List[object]] = []
+        for diff in self.diffs:
+            ratio = diff.ratio
+            rows.append([
+                diff.algorithm,
+                diff.n_jobs,
+                diff.latest_wall_s,
+                diff.baseline_wall_s if diff.baseline_wall_s is not None else "-",
+                f"{ratio:.2f}x" if ratio is not None else "-",
+                diff.baseline_sha or "-",
+                ("REGRESSION" if ratio is not None and ratio > self.threshold
+                 else "ok" if ratio is not None else "no baseline"),
+            ])
+        table = format_table(
+            ["algorithm", "n_jobs", "latest (s)", "baseline (s)",
+             "ratio", "baseline sha", "status"],
+            rows,
+        )
+        verdict = (
+            f"bench-compare: OK — no scenario above {self.threshold:g}x "
+            f"of its baseline ({self.n_history} history entries)"
+            if self.ok
+            else f"bench-compare: {len(self.regressions)} regression(s) "
+            f"above {self.threshold:g}x"
+        )
+        return f"{table}\n{verdict}"
+
+
+def _scenario_map(entry: Mapping[str, Any]) -> Dict[_Key, Dict[str, Any]]:
+    return {
+        (s["algorithm"], int(s["n_jobs"])): s
+        for s in entry.get("scenarios", [])
+    }
+
+
+def compare(
+    latest: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Diff ``latest`` against the best prior run of each scenario.
+
+    The baseline for a scenario is the *fastest* prior wall time,
+    taken from same-host entries when the history has any (wall clocks
+    don't compare across machines), otherwise from the whole history.
+    Scenarios absent from history get no verdict.
+    """
+    host = latest.get("host")
+    same_host = [e for e in history if e.get("host") == host]
+    pool = same_host if same_host else list(history)
+
+    best: Dict[_Key, Tuple[float, str]] = {}
+    for entry in pool:
+        for key, scenario in _scenario_map(entry).items():
+            wall = float(scenario["wall_time_s"])
+            if key not in best or wall < best[key][0]:
+                best[key] = (wall, str(entry.get("git_sha", "")))
+
+    diffs: List[ScenarioDiff] = []
+    regressions: List[str] = []
+    for key, scenario in _scenario_map(latest).items():
+        algorithm, n_jobs = key
+        latest_wall = float(scenario["wall_time_s"])
+        baseline = best.get(key)
+        diff = ScenarioDiff(
+            algorithm=algorithm,
+            n_jobs=n_jobs,
+            latest_wall_s=latest_wall,
+            baseline_wall_s=baseline[0] if baseline else None,
+            baseline_sha=baseline[1] if baseline else "",
+        )
+        diffs.append(diff)
+        ratio = diff.ratio
+        if ratio is not None and ratio > threshold:
+            regressions.append(
+                f"{algorithm} x{n_jobs}: {latest_wall:g}s vs "
+                f"{baseline[0]:g}s baseline "
+                f"({ratio:.2f}x > {threshold:g}x threshold)"
+            )
+    return BenchComparison(
+        diffs=diffs,
+        threshold=threshold,
+        n_history=len(history),
+        regressions=regressions,
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI: ``repro bench-compare``
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``repro bench-compare`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench-compare",
+        description="Diff the newest benchmark history entry against the "
+        "best prior run per scenario (benchmarks/history.jsonl; appended "
+        "by benchmarks/bench_perf_core.py).",
+    )
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY), metavar="FILE",
+        help=f"history JSONL file (default: {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="X",
+        help="flag scenarios slower than X times their baseline "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any regression (default: report only — the CI "
+        "job runs non-blocking)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro bench-compare``; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        entries = read_history(args.history)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no benchmark history at {args.history} — run "
+              "'python -m benchmarks.bench_perf_core' to record one")
+        return 0
+    latest, prior = entries[-1], entries[:-1]
+    print(
+        f"latest: {latest.get('git_sha', '?')} at "
+        f"{latest.get('timestamp', '?')} on {latest.get('host', '?')} "
+        f"(quick={latest.get('quick')})"
+    )
+    if not prior:
+        print("only one history entry — nothing to compare against yet")
+        return 0
+    result = compare(latest, prior, threshold=args.threshold)
+    print(result.render())
+    if args.strict and not result.ok:
+        return 1
+    return 0
+
+
+__all__ = [
+    "BenchComparison",
+    "DEFAULT_HISTORY",
+    "DEFAULT_THRESHOLD",
+    "HISTORY_SCHEMA",
+    "ScenarioDiff",
+    "append_entry",
+    "compare",
+    "condense",
+    "git_sha",
+    "main",
+    "read_history",
+]

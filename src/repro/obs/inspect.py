@@ -165,7 +165,15 @@ def check_trace(
       most one ``arrive``,
     - with ``machine_size``: the sum of running jobs' ``num`` never
       exceeds it (``start`` allocates; ``finish``/``job-fail``
-      release).
+      release),
+    - elastic-policy invariants (on traces whose ``ecc`` records carry
+      the post-command ``num``): every applied expand/shrink maps to a
+      matching allocation delta — ``EP`` never shrinks a job, ``RP``
+      never grows one, time-dimension commands (``ET``/``RT``) never
+      change size, resource commands never apply to a *running* job,
+      and a job starts/releases exactly its traced size — no job ever
+      exceeds ``machine_size``, and a ``terminated-job`` outcome is
+      followed by that job's ``finish`` at the same instant.
     """
     return _check(records, machine_size).findings
 
@@ -184,45 +192,148 @@ def _check(
 
     # Per-job lifecycle state machine: absent -> waiting -> running.
     state: Dict[int, str] = {}
+    # Elastic invariants: traced size per job (arrive num, updated by
+    # applied ECCs), processors actually held, pending terminations.
+    size: Dict[int, int] = {}
+    held: Dict[int, int] = {}
+    must_finish_at: Dict[int, float] = {}
     occupancy = 0
     peak = 0
     for record in records:
         job = _job_of(record)
         kind = record.kind
+        time = record.time
         if job is None:
             continue
         if kind == "arrive":
             if job in state:
                 findings.append(
-                    f"job {job}: 'arrive' at t={record.time:g} but job was already seen"
+                    f"job {job}: 'arrive' at t={time:g} but job was already seen"
                 )
             state.setdefault(job, "waiting")
+            if "num" in record.data:
+                size[job] = int(record.data["num"])
         elif kind in _WAIT_KINDS:  # requeue / promote
             state[job] = "waiting"
         elif kind == "start":
             if state.get(job) != "waiting":
                 findings.append(
-                    f"job {job}: 'start' at t={record.time:g} but job is not waiting"
+                    f"job {job}: 'start' at t={time:g} but job is not waiting"
                 )
             state[job] = "running"
-            occupancy += int(record.data.get("num", 0))
+            num = int(record.data.get("num", 0))
+            if job in size and num != size[job]:
+                findings.append(
+                    f"job {job}: starts with {num} procs at t={time:g} but its "
+                    f"traced size (arrive + applied ECCs) is {size[job]}"
+                )
+            held[job] = num
+            occupancy += num
             peak = max(peak, occupancy)
             if machine_size is not None and occupancy > machine_size:
                 findings.append(
-                    f"t={record.time:g}: traced occupancy {occupancy} exceeds "
+                    f"t={time:g}: traced occupancy {occupancy} exceeds "
                     f"machine size {machine_size}"
                 )
         elif kind in _RELEASE_KINDS:
             if state.get(job) != "running":
                 findings.append(
-                    f"job {job}: {kind!r} at t={record.time:g} but job is not running"
+                    f"job {job}: {kind!r} at t={time:g} but job is not running"
                 )
             else:
-                occupancy -= int(record.data.get("num", 0))
+                num = int(record.data.get("num", 0))
+                allocated = held.pop(job, num)
+                if num != allocated:
+                    findings.append(
+                        f"job {job}: releases {num} procs at t={time:g} "
+                        f"but held {allocated}"
+                    )
+                occupancy -= allocated
             state[job] = "done" if kind == "finish" else "failed"
+            if kind == "finish" and job in must_finish_at:
+                expected = must_finish_at.pop(job)
+                if time != expected:
+                    findings.append(
+                        f"job {job}: terminated by an ECC at t={expected:g} "
+                        f"but finished at t={time:g}"
+                    )
         elif kind == "cancel" and record.data.get("was") == "queued":
             state[job] = "cancelled"
+        elif kind == "ecc":
+            findings.extend(
+                _check_ecc(record, job, state, size, machine_size, must_finish_at)
+            )
+    for job, expected in sorted(must_finish_at.items()):
+        findings.append(
+            f"job {job}: terminated by an ECC at t={expected:g} but never finished"
+        )
     return TraceCheck(findings=findings, n_records=len(records), peak_occupancy=peak)
+
+
+#: ECC outcomes that actually modified the target job.
+_ECC_APPLIED = {"applied-queued", "applied-running", "terminated-job"}
+#: Resource (processor-dimension) vs. time-dimension command tags.
+_ECC_RESOURCE = {"EP", "RP"}
+_ECC_TIME = {"ET", "RT", "S"}
+
+
+def _check_ecc(
+    record: TraceRecord,
+    job: int,
+    state: Dict[int, str],
+    size: Dict[int, int],
+    machine_size: Optional[int],
+    must_finish_at: Dict[int, float],
+) -> List[str]:
+    """Elastic-policy invariants for one applied ``ecc`` record.
+
+    Skips silently when the record predates the post-command ``num``
+    field (older traces) — the size-delta checks need it.
+    """
+    data = record.data
+    outcome = str(data.get("outcome", ""))
+    if outcome == "terminated-job":
+        must_finish_at[job] = record.time
+    if outcome not in _ECC_APPLIED:
+        return []
+    ecc_kind = str(data.get("ecc_kind", "?"))
+    new_num = data.get("num")
+    if new_num is None:
+        # Legacy trace: the job's size is no longer known after an
+        # applied resource command — stop checking it for this job.
+        if ecc_kind in _ECC_RESOURCE:
+            size.pop(job, None)
+        return []
+    new_num = int(new_num)
+    findings: List[str] = []
+    old_num = size.get(job)
+    at = f"at t={record.time:g}"
+    if old_num is not None:
+        if ecc_kind == "EP" and new_num < old_num:
+            findings.append(
+                f"job {job}: applied EP {at} shrank size {old_num} -> {new_num}"
+            )
+        elif ecc_kind == "RP" and new_num > old_num:
+            findings.append(
+                f"job {job}: applied RP {at} grew size {old_num} -> {new_num}"
+            )
+        elif ecc_kind in _ECC_TIME and new_num != old_num:
+            findings.append(
+                f"job {job}: time-dimension {ecc_kind} {at} changed size "
+                f"{old_num} -> {new_num}"
+            )
+    if ecc_kind in _ECC_RESOURCE and state.get(job) == "running":
+        findings.append(
+            f"job {job}: resource ECC {ecc_kind} applied {at} while the job "
+            "is running (sizes are fixed once started)"
+        )
+    if machine_size is not None and new_num > machine_size:
+        findings.append(
+            f"job {job}: ECC {at} grows size to {new_num}, exceeding "
+            f"machine size {machine_size}"
+        )
+    size[job] = new_num
+    return findings
 
 
 # ----------------------------------------------------------------------

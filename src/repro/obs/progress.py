@@ -203,9 +203,60 @@ class ProgressReporter:
         self.stream.flush()
 
 
+class ProgressSummary:
+    """Silently collects events into end-of-batch totals.
+
+    The CLI always installs one of these (optionally forwarding to a
+    :class:`ProgressReporter` when ``--progress`` is on), so the final
+    sweep summary — cached vs. simulated runs, serial retries, cache
+    hit rate — is printed even on otherwise-quiet runs.
+
+    >>> summary = ProgressSummary()
+    >>> summary(ProgressEvent("hit", 1, 3, 1, 0, 0, 0.0, None))
+    >>> summary(ProgressEvent("run", 2, 3, 1, 1, 0, 2.0, 2.0))
+    >>> summary(ProgressEvent("retry", 3, 3, 1, 2, 1, 4.0, 0.0))
+    >>> summary.render()
+    'sweep: 3 runs in 4.0s (1 cached, 2 simulated, 1 serial-retried; 33% cache hit rate)'
+    """
+
+    def __init__(
+        self, forward: Optional[Callable[[ProgressEvent], None]] = None
+    ) -> None:
+        self.last: Optional[ProgressEvent] = None
+        self._forward = forward
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.last = event
+        if self._forward is not None:
+            self._forward(event)
+
+    def render(self, hit_rate: Optional[float] = None) -> str:
+        """The end-of-sweep summary line.
+
+        Args:
+            hit_rate: Cache hit rate to report; defaults to
+                ``cached / done`` from the events (pass
+                ``CacheStats.hit_rate`` for the cache's own view,
+                which also counts lookups outside this batch).
+        """
+        event = self.last
+        if event is None:
+            return "sweep: no runs"
+        if hit_rate is None:
+            hit_rate = event.cached / event.done if event.done else 0.0
+        parts = [f"{event.cached} cached", f"{event.fresh} simulated"]
+        if event.retried:
+            parts.append(f"{event.retried} serial-retried")
+        return (
+            f"sweep: {event.done} runs in {format_duration(event.elapsed_s)} "
+            f"({', '.join(parts)}; {hit_rate:.0%} cache hit rate)"
+        )
+
+
 __all__ = [
     "ProgressEvent",
     "ProgressReporter",
+    "ProgressSummary",
     "ProgressTracker",
     "format_duration",
     "format_event",

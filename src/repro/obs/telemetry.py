@@ -90,6 +90,48 @@ class TelemetrySnapshot:
         return columns
 
 
+def format_snapshot(snapshot: TelemetrySnapshot) -> str:
+    """One snapshot as a monospace table (counters, timers, peaks).
+
+    The single rendering used everywhere telemetry reaches a terminal
+    — ``repro-sim --telemetry`` and ``tools/profile_simulation.py`` —
+    so the two can't drift apart.
+
+    >>> print(format_snapshot(TelemetrySnapshot(
+    ...     counters={"sched_passes": 12},
+    ...     timers={"run_wall_s": 0.25},
+    ...     series={"queue_depth": ((0.0, 1.0), (5.0, 4.0))})))
+    kind     name           value
+    -------  ------------  ------
+    counter  sched_passes      12
+    timer    run_wall_s    0.250s
+    peak     queue_depth        4
+    """
+    from repro.metrics.report import format_table
+
+    rows: List[List[object]] = []
+    for name in sorted(snapshot.counters):
+        rows.append(["counter", name, snapshot.counters[name]])
+    for name in sorted(snapshot.timers):
+        rows.append(["timer", name, f"{snapshot.timers[name]:.3f}s"])
+    for name in sorted(snapshot.series):
+        rows.append(["peak", name, f"{snapshot.series_max(name):g}"])
+    if not rows:
+        return "(empty telemetry snapshot)"
+    table = format_table(["kind", "name", "value"], rows)
+    # format_table right-justifies; the first two columns read better
+    # left-justified for a key/value listing.
+    lines = table.splitlines()
+    widths = [len(part) for part in lines[1].split("  ")]
+    out = []
+    for line in lines:
+        kind = line[: widths[0]].strip()
+        name = line[widths[0] + 2 : widths[0] + 2 + widths[1]].strip()
+        value = line[widths[0] + widths[1] + 4 :]
+        out.append(f"{kind:<{widths[0]}}  {name:<{widths[1]}}  {value}")
+    return "\n".join(out)
+
+
 class _Series:
     """Bounded timeseries with deterministic stride decimation."""
 
@@ -199,4 +241,5 @@ __all__ = [
     "activated",
     "bump",
     "current",
+    "format_snapshot",
 ]

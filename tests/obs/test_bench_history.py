@@ -1,0 +1,169 @@
+"""Benchmark history: append/read round-trip and the regression diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import repro_main
+from repro.obs.bench_history import (
+    HISTORY_SCHEMA,
+    append_entry,
+    compare,
+    condense,
+    main as bench_compare_main,
+    read_history,
+)
+
+
+def _document(wall: float = 0.1, host_scenarios=None) -> dict:
+    scenarios = host_scenarios or [
+        {"algorithm": "EASY", "n_jobs": 50, "wall_time_s": wall,
+         "events_per_sec": 9000.0},
+        {"algorithm": "LOS", "n_jobs": 50, "wall_time_s": 2 * wall,
+         "events_per_sec": 4000.0},
+    ]
+    return {
+        "schema": 2,
+        "quick": True,
+        "workers": 2,
+        "scenarios": scenarios,
+        "pipeline": {"speedup": 1.7},
+        "observability": {"traced_over_untraced": 1.02},
+    }
+
+
+class TestAppendRead:
+    def test_two_runs_two_distinct_entries(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        first = append_entry(_document(0.10), history)
+        second = append_entry(_document(0.12), history)
+        entries = read_history(history)
+        assert len(entries) == 2
+        assert entries[0] != entries[1]
+        assert entries == [first, second]
+        for entry in entries:
+            assert entry["schema"] == HISTORY_SCHEMA
+            assert entry["git_sha"]
+            assert entry["timestamp"].endswith("Z")
+            assert entry["host"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_unknown_schema_lines_skipped(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(), history)
+        with history.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"schema": "repro.bench-history/999"}) + "\n")
+            handle.write("\n")  # blank lines tolerated too
+        assert len(read_history(history)) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        history.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_history(history)
+
+
+class TestCompare:
+    def test_flags_injected_2x_slowdown(self):
+        baseline = condense(_document(0.10), git_sha="aaa", timestamp="t0", host="ci")
+        slow = condense(_document(0.20), git_sha="bbb", timestamp="t1", host="ci")
+        result = compare(slow, [baseline], threshold=1.5)
+        assert not result.ok
+        assert len(result.regressions) == 2  # both scenarios doubled
+        assert "2.00x" in result.regressions[0]
+        assert "REGRESSION" in result.render()
+
+    def test_within_threshold_is_ok(self):
+        baseline = condense(_document(0.10), git_sha="aaa", timestamp="t0", host="ci")
+        same = condense(_document(0.11), git_sha="bbb", timestamp="t1", host="ci")
+        result = compare(same, [baseline], threshold=1.5)
+        assert result.ok
+        assert "bench-compare: OK" in result.render()
+
+    def test_baseline_is_best_prior(self):
+        entries = [
+            condense(_document(wall), git_sha=sha, timestamp="t", host="ci")
+            for wall, sha in ((0.30, "old-slow"), (0.10, "best"), (0.25, "mid"))
+        ]
+        latest = condense(_document(0.16), git_sha="new", timestamp="t", host="ci")
+        result = compare(latest, entries, threshold=1.5)
+        easy = next(d for d in result.diffs if d.algorithm == "EASY")
+        assert easy.baseline_wall_s == 0.10
+        assert easy.baseline_sha == "best"
+        assert not result.ok  # 0.16 / 0.10 = 1.6x > 1.5x
+
+    def test_prefers_same_host_baselines(self):
+        other = condense(_document(0.01), git_sha="x", timestamp="t", host="beefy")
+        mine = condense(_document(0.10), git_sha="y", timestamp="t", host="laptop")
+        latest = condense(_document(0.12), git_sha="z", timestamp="t", host="laptop")
+        result = compare(latest, [other, mine], threshold=1.5)
+        assert result.ok  # judged against laptop's 0.10, not beefy's 0.01
+
+    def test_no_baseline_scenarios_get_no_verdict(self):
+        baseline = condense(_document(), git_sha="a", timestamp="t", host="ci")
+        latest = condense(
+            _document(host_scenarios=[
+                {"algorithm": "SJF", "n_jobs": 99, "wall_time_s": 5.0,
+                 "events_per_sec": 1.0},
+            ]),
+            git_sha="b", timestamp="t", host="ci",
+        )
+        result = compare(latest, [baseline])
+        assert result.ok
+        [diff] = result.diffs
+        assert diff.ratio is None
+        assert "no baseline" in result.render()
+
+
+class TestCli:
+    def test_empty_history_exits_0(self, tmp_path, capsys):
+        rc = bench_compare_main(["--history", str(tmp_path / "none.jsonl")])
+        assert rc == 0
+        assert "no benchmark history" in capsys.readouterr().out
+
+    def test_single_entry_exits_0(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(), history)
+        assert bench_compare_main(["--history", str(history)]) == 0
+        assert "only one history entry" in capsys.readouterr().out
+
+    def test_regression_nonblocking_by_default(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(0.10), history)
+        append_entry(_document(0.25), history)
+        assert bench_compare_main(["--history", str(history)]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_strict_exits_1_on_regression(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(0.10), history)
+        append_entry(_document(0.25), history)
+        assert bench_compare_main(["--history", str(history), "--strict"]) == 1
+        # A generous threshold clears the same history.
+        assert bench_compare_main(
+            ["--history", str(history), "--strict", "--threshold", "4.0"]
+        ) == 0
+
+    def test_umbrella_subcommand(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(), history)
+        assert repro_main(["bench-compare", "--history", str(history)]) == 0
+
+
+def test_run_bench_history_is_opt_in(tmp_path, monkeypatch):
+    """run_bench(history=None) must never touch the tracked file."""
+    import benchmarks.bench_perf_core as bench
+
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "8")
+    tracked = tmp_path / "tracked.jsonl"
+    bench.run_bench(quick=True, jobs=1, output=tmp_path / "a.json")
+    assert not tracked.exists()
+    bench.run_bench(quick=True, jobs=1, output=tmp_path / "b.json", history=tracked)
+    bench.run_bench(quick=True, jobs=1, output=tmp_path / "c.json", history=tracked)
+    entries = read_history(tracked)
+    assert len(entries) == 2
+    assert entries[0] != entries[1]

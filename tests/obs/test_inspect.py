@@ -131,3 +131,134 @@ class TestCli:
     def test_repro_unknown_subcommand(self, capsys):
         assert repro_main(["frobnicate"]) == 2
         assert "unknown subcommand" in capsys.readouterr().err
+
+
+class TestElasticInvariants:
+    """The --check elastic-policy invariants (post-command ``num``)."""
+
+    def _elastic(self, job: int = 1, num: int = 8):
+        return [
+            TraceRecord(0.0, "arrive", {"job": job, "num": num}),
+            TraceRecord(
+                1.0, "ecc",
+                {"job": job, "ecc_kind": "EP", "amount": 8,
+                 "outcome": "applied-queued", "num": num + 8},
+            ),
+            TraceRecord(2.0, "start", {"job": job, "num": num + 8}),
+            TraceRecord(60.0, "finish", {"job": job, "num": num + 8}),
+        ]
+
+    def test_consistent_expand_passes(self):
+        assert check_trace(self._elastic(), machine_size=320) == []
+
+    def test_ep_shrinking_flagged(self):
+        records = self._elastic()
+        records[1] = TraceRecord(
+            1.0, "ecc",
+            {"job": 1, "ecc_kind": "EP", "amount": 8,
+             "outcome": "applied-queued", "num": 4},
+        )
+        findings = check_trace(records, machine_size=320)
+        assert any("EP" in f and "shrank" in f for f in findings)
+
+    def test_rp_growing_flagged(self):
+        records = self._elastic()
+        records[1] = TraceRecord(
+            1.0, "ecc",
+            {"job": 1, "ecc_kind": "RP", "amount": 8,
+             "outcome": "applied-queued", "num": 16},
+        )
+        findings = check_trace(records, machine_size=320)
+        assert any("RP" in f and "grew" in f for f in findings)
+
+    def test_start_must_match_traced_size(self):
+        records = self._elastic()
+        # Start with the pre-ECC size: the allocation delta is missing.
+        records[2] = TraceRecord(2.0, "start", {"job": 1, "num": 8})
+        records[3] = TraceRecord(60.0, "finish", {"job": 1, "num": 8})
+        findings = check_trace(records, machine_size=320)
+        assert any("traced size" in f for f in findings)
+
+    def test_release_must_match_allocation(self):
+        records = self._elastic()
+        records[3] = TraceRecord(60.0, "finish", {"job": 1, "num": 12})
+        findings = check_trace(records, machine_size=320)
+        assert any("releases" in f for f in findings)
+
+    def test_size_above_machine_flagged(self):
+        records = self._elastic()
+        records[1] = TraceRecord(
+            1.0, "ecc",
+            {"job": 1, "ecc_kind": "EP", "amount": 999,
+             "outcome": "applied-queued", "num": 400},
+        )
+        findings = check_trace(records, machine_size=320)
+        assert any("exceeding" in f for f in findings)
+
+    def test_resource_ecc_while_running_flagged(self):
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 8}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 8}),
+            TraceRecord(
+                2.0, "ecc",
+                {"job": 1, "ecc_kind": "EP", "amount": 8,
+                 "outcome": "applied-running", "num": 16},
+            ),
+            TraceRecord(60.0, "finish", {"job": 1, "num": 8}),
+        ]
+        findings = check_trace(records, machine_size=320)
+        assert any("while the job" in f for f in findings)
+
+    def test_time_dimension_must_not_change_size(self):
+        records = self._elastic()
+        records[1] = TraceRecord(
+            1.0, "ecc",
+            {"job": 1, "ecc_kind": "ET", "amount": 600,
+             "outcome": "applied-queued", "num": 99},
+        )
+        findings = check_trace(records, machine_size=320)
+        assert any("time-dimension" in f for f in findings)
+
+    def test_terminated_job_must_finish_at_that_instant(self):
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 8}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 8}),
+            TraceRecord(
+                10.0, "ecc",
+                {"job": 1, "ecc_kind": "RT", "amount": -999,
+                 "outcome": "terminated-job", "num": 8},
+            ),
+            TraceRecord(50.0, "finish", {"job": 1, "num": 8}),
+        ]
+        findings = check_trace(records, machine_size=320)
+        assert any("terminated by an ECC" in f for f in findings)
+        # Same-instant finish passes.
+        records[3] = TraceRecord(10.0, "finish", {"job": 1, "num": 8})
+        assert check_trace(records, machine_size=320) == []
+
+    def test_terminated_job_never_finishing_flagged(self):
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 8}),
+            TraceRecord(1.0, "start", {"job": 1, "num": 8}),
+            TraceRecord(
+                10.0, "ecc",
+                {"job": 1, "ecc_kind": "RT", "amount": -999,
+                 "outcome": "terminated-job", "num": 8},
+            ),
+        ]
+        findings = check_trace(records, machine_size=320)
+        assert any("never finished" in f for f in findings)
+
+    def test_legacy_traces_without_num_still_pass(self):
+        """Pre-analytics ecc records (no num field) skip size checks."""
+        records = [
+            TraceRecord(0.0, "arrive", {"job": 1, "num": 8}),
+            TraceRecord(
+                1.0, "ecc",
+                {"job": 1, "ecc_kind": "EP", "amount": 8,
+                 "outcome": "applied-queued"},
+            ),
+            TraceRecord(2.0, "start", {"job": 1, "num": 16}),
+            TraceRecord(60.0, "finish", {"job": 1, "num": 16}),
+        ]
+        assert check_trace(records, machine_size=320) == []

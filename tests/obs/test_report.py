@@ -1,0 +1,110 @@
+"""``repro report``: trace files/sweep directories to Markdown/HTML."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import repro_main
+from repro.experiments.parallel import RunSpec, execute_spec
+from repro.obs.report import (
+    analyze_trace,
+    build_report,
+    collect_traces,
+    comparison_table,
+    main as report_main,
+)
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    """A sweep directory: two traced runs of the same workload."""
+    directory = tmp_path_factory.mktemp("sweep")
+    config = GeneratorConfig(n_jobs=25, p_extend=0.3, p_reduce=0.1)
+    workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(3))
+    for name in ("EASY", "LOS-E"):
+        execute_spec(
+            RunSpec(
+                workload=workload,
+                algorithm=name,
+                trace_out=str(directory / f"run.{name}.jsonl"),
+            )
+        )
+    return directory
+
+
+class TestCollect:
+    def test_directory_globs_jsonl(self, sweep_dir):
+        files = collect_traces([str(sweep_dir)])
+        assert len(files) == 2
+        assert files == sorted(files)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            collect_traces(["/nonexistent/trace.jsonl"])
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            collect_traces([str(tmp_path)])
+
+
+class TestMarkdown:
+    def test_report_is_self_contained(self, sweep_dir):
+        report = build_report([str(sweep_dir)])
+        assert report.startswith("# Trace analytics report")
+        # Both traces, the comparison table and per-trace metrics.
+        assert "## Comparison" in report
+        assert "## EASY" in report
+        assert "## LOS-E" in report
+        assert "utilization" in report
+        assert "bounded_slowdown" in report
+        assert "invariants: OK" in report
+
+    def test_elastic_episodes_reported(self, sweep_dir):
+        section = analyze_trace(str(sweep_dir / "run.LOS-E.jsonl"))
+        report = build_report([str(sweep_dir / "run.LOS-E.jsonl")])
+        if section.result.ecc_episodes:
+            assert "ECC episodes" in report
+
+    def test_comparison_table_one_row_per_trace(self, sweep_dir):
+        sections = [analyze_trace(p) for p in collect_traces([str(sweep_dir)])]
+        table = comparison_table(sections)
+        assert len(table.splitlines()) == 2 + len(sections)
+
+
+class TestHtml:
+    def test_single_file_with_inline_svg(self, sweep_dir):
+        html = build_report([str(sweep_dir)], html=True, title="My sweep")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<title>My sweep</title>" in html
+        assert "<svg" in html  # inline charts, no external assets
+        assert "http://" not in html and "https://" not in html
+        assert "LOS-E" in html
+
+
+class TestCli:
+    def test_writes_output_file(self, sweep_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert report_main([str(sweep_dir), "-o", str(out)]) == 0
+        assert out.exists()
+        assert "# Trace analytics report" in out.read_text(encoding="utf-8")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_html_flag(self, sweep_dir, tmp_path):
+        out = tmp_path / "report.html"
+        assert report_main([str(sweep_dir), "--html", "-o", str(out)]) == 0
+        assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_stdout_default(self, sweep_dir, capsys):
+        assert report_main([str(sweep_dir)]) == 0
+        assert "## Comparison" in capsys.readouterr().out
+
+    def test_bad_input_exits_2(self, capsys):
+        assert report_main(["/nonexistent/trace.jsonl"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_umbrella_subcommand(self, sweep_dir, tmp_path):
+        out = tmp_path / "via_umbrella.md"
+        assert repro_main(["report", str(sweep_dir), "-o", str(out)]) == 0
+        assert out.exists()

@@ -15,6 +15,8 @@ import repro.core.dp
 import repro.experiments.cache
 import repro.metrics.stats
 import repro.metrics.timeline
+import repro.obs.analytics
+import repro.obs.bench_history
 import repro.obs.inspect
 import repro.obs.progress
 import repro.obs.telemetry
@@ -28,6 +30,8 @@ MODULES = [
     repro.experiments.cache,
     repro.metrics.stats,
     repro.metrics.timeline,
+    repro.obs.analytics,
+    repro.obs.bench_history,
     repro.obs.inspect,
     repro.obs.progress,
     repro.obs.telemetry,

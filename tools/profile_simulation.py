@@ -9,6 +9,11 @@ anyone "optimizes" anything:
     python tools/profile_simulation.py                       # Delayed-LOS, 500 jobs
     python tools/profile_simulation.py --algorithm LOS --jobs 2000
     python tools/profile_simulation.py --sort tottime --top 30
+
+Output goes through the same monospace table formatting as
+``repro-sim --telemetry`` (:func:`repro.obs.telemetry.format_snapshot`
+and :func:`repro.metrics.report.format_table`), so profiling sessions
+and telemetry dumps read alike.
 """
 
 from __future__ import annotations
@@ -17,13 +22,35 @@ import argparse
 import cProfile
 import pstats
 import sys
+from typing import List
 
 import numpy as np
 
 from repro.core.registry import ALGORITHMS, make_scheduler
 from repro.experiments.runner import SimulationRunner
+from repro.metrics.report import format_table
+from repro.obs.telemetry import format_snapshot
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
 from repro.workload.twostage import TwoStageSizeConfig
+
+#: pstats sort key -> index into its per-function stat tuple
+#: ``(call_count, n_calls, tottime, cumtime, callers)``.
+_SORT_INDEX = {"ncalls": 1, "tottime": 2, "cumulative": 3}
+
+
+def profile_table(stats: pstats.Stats, sort: str, top: int) -> str:
+    """The top-``top`` profile rows as a monospace table."""
+    entries = []
+    for (filename, line, function), stat in stats.stats.items():  # type: ignore[attr-defined]
+        call_count, n_calls, tottime, cumtime = stat[:4]
+        where = f"{filename.rsplit('/', 1)[-1]}:{line}({function})"
+        entries.append((n_calls, tottime, cumtime, where))
+    entries.sort(key=lambda e: e[_SORT_INDEX[sort] - 1], reverse=True)
+    rows: List[List[object]] = [
+        [n_calls, f"{tottime:.4f}s", f"{cumtime:.4f}s", where]
+        for n_calls, tottime, cumtime, where in entries[:top]
+    ]
+    return format_table(["ncalls", "tottime", "cumtime", "function"], rows)
 
 
 def main() -> int:
@@ -32,7 +59,7 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=500)
     parser.add_argument("--p-small", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--sort", default="cumulative", choices=sorted(_SORT_INDEX))
     parser.add_argument("--top", type=int, default=25)
     parser.add_argument("--output", default=None, help="also save raw stats to this file")
     args = parser.parse_args()
@@ -51,10 +78,15 @@ def main() -> int:
 
     print(
         f"{args.algorithm}: {metrics.n_jobs} jobs, utilization "
-        f"{metrics.utilization:.3f}, mean wait {metrics.mean_wait:.0f}s\n"
+        f"{metrics.utilization:.3f}, mean wait {metrics.mean_wait:.0f}s"
     )
-    stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if metrics.telemetry is not None:
+        print(f"\n--- telemetry: {args.algorithm} ---")
+        print(format_snapshot(metrics.telemetry))
+
+    stats = pstats.Stats(profiler)
+    print(f"\n--- profile: top {args.top} by {args.sort} ---")
+    print(profile_table(stats, args.sort, args.top))
     if args.output:
         stats.dump_stats(args.output)
         print(f"raw stats saved to {args.output} (view with snakeviz/pstats)")
