@@ -69,12 +69,18 @@ _NO_CACHE = RunCache.disabled()
 
 
 def scenario_scales(quick: bool) -> Sequence[int]:
-    """The two workload sizes benchmarked per algorithm."""
+    """The workload sizes benchmarked per algorithm.
+
+    Full mode covers three scales — half, base, and double — so the
+    trajectory captures how throughput holds up as queues deepen (the
+    regime the DP memoization layer targets), not just the paper-scale
+    point.
+    """
     if quick:
         base = int(os.environ.get("REPRO_BENCH_JOBS", "50"))
         return (base, 2 * base)
     base = int(os.environ.get("REPRO_BENCH_JOBS", "500"))
-    return (max(100, base // 2), base)
+    return (max(100, base // 2), base, 2 * base)
 
 
 def _batch_workload(n_jobs: int, seed: int) -> Workload:
@@ -124,7 +130,10 @@ def run_bench(
     """
     scales = scenario_scales(quick)
     workers = resolve_jobs(jobs)
-    repeats = 1 if quick else 2
+    # Scenario wall times are tens of milliseconds, where scheduler
+    # jitter dominates; best-of-5 estimates the interference-free
+    # minimum the history comparisons need.
+    repeats = 1 if quick else 5
 
     scenarios: List[Dict] = []
     for n_jobs in scales:
@@ -142,8 +151,10 @@ def run_bench(
 
     # Pipeline shootout: the same batch of independent runs, dispatched
     # serially vs. over the pool.  Two seeds widen the batch beyond the
-    # algorithm count so there is enough fan-out to measure.
-    pipeline_scale = scales[-1]
+    # algorithm count so there is enough fan-out to measure.  Pinned to
+    # the base scale (not the new double-scale point) so entries stay
+    # comparable across the recorded history.
+    pipeline_scale = scales[1] if len(scales) > 2 else scales[-1]
     pipeline_specs = [
         RunSpec(_batch_workload(pipeline_scale, seed=seed), algorithm)
         for seed in (11, 29)

@@ -35,27 +35,31 @@ class UtilizationTracker:
     one simulation instant.
     """
 
+    # Internally the step function lives in two parallel lists (times,
+    # levels): observe() runs on every allocation/release event, and
+    # appending plain floats/ints there is measurably cheaper than
+    # instantiating a dataclass per observation.  samples() materializes
+    # the UtilizationSample view on demand.
     def __init__(self, start_time: float = 0.0, level: int = 0) -> None:
-        self._samples: List[UtilizationSample] = [
-            UtilizationSample(float(start_time), int(level))
-        ]
+        self._times: List[float] = [float(start_time)]
+        self._levels: List[int] = [int(level)]
         self._busy_area = 0.0  # processor-seconds integrated so far
 
     # ------------------------------------------------------------------
     @property
     def start_time(self) -> float:
         """Time of the first observation."""
-        return self._samples[0].time
+        return self._times[0]
 
     @property
     def last_time(self) -> float:
         """Time of the most recent observation."""
-        return self._samples[-1].time
+        return self._times[-1]
 
     @property
     def current_level(self) -> int:
         """Busy level after the most recent observation."""
-        return self._samples[-1].level
+        return self._levels[-1]
 
     def observe(self, time: float, level: int) -> None:
         """Record that the busy level became ``level`` at ``time``.
@@ -63,18 +67,20 @@ class UtilizationTracker:
         Raises:
             ValueError: when ``time`` precedes the last observation.
         """
-        last = self._samples[-1]
-        if time < last.time:
-            raise ValueError(
-                f"utilization observations must be time-ordered: {time} < {last.time}"
-            )
-        if time == last.time:
+        times = self._times
+        last_time = times[-1]
+        if time == last_time:
             # Collapse same-instant transitions: only the final level at
             # an instant occupies any measure of time.
-            self._samples[-1] = UtilizationSample(time, int(level))
+            self._levels[-1] = int(level)
             return
-        self._busy_area += last.level * (time - last.time)
-        self._samples.append(UtilizationSample(float(time), int(level)))
+        if time < last_time:
+            raise ValueError(
+                f"utilization observations must be time-ordered: {time} < {last_time}"
+            )
+        self._busy_area += self._levels[-1] * (time - last_time)
+        times.append(float(time))
+        self._levels.append(int(level))
 
     # ------------------------------------------------------------------
     def busy_area(self, until: Optional[float] = None) -> float:
@@ -83,19 +89,22 @@ class UtilizationTracker:
         ``until`` defaults to the last observation; it may extend past
         it, in which case the current level is assumed to persist.
         """
-        last = self._samples[-1]
-        horizon = last.time if until is None else float(until)
-        if horizon < last.time:
+        last_time = self._times[-1]
+        horizon = last_time if until is None else float(until)
+        if horizon < last_time:
             # Re-integrate the prefix; rare (tests only), so clarity
             # beats speed here.
             area = 0.0
-            for cur, nxt in zip(self._samples, self._samples[1:]):
-                if nxt.time >= horizon:
-                    area += cur.level * (horizon - cur.time)
+            for index in range(len(self._times) - 1):
+                cur_time = self._times[index]
+                nxt_time = self._times[index + 1]
+                level = self._levels[index]
+                if nxt_time >= horizon:
+                    area += level * (horizon - cur_time)
                     return area
-                area += cur.level * (nxt.time - cur.time)
+                area += level * (nxt_time - cur_time)
             return area
-        return self._busy_area + last.level * (horizon - last.time)
+        return self._busy_area + self._levels[-1] * (horizon - last_time)
 
     def mean_utilization(self, total: int, until: Optional[float] = None) -> float:
         """Mean fraction of ``total`` processors busy over the window.
@@ -110,11 +119,14 @@ class UtilizationTracker:
 
     def samples(self) -> Tuple[UtilizationSample, ...]:
         """Immutable view of the recorded step function."""
-        return tuple(self._samples)
+        return tuple(
+            UtilizationSample(time, level)
+            for time, level in zip(self._times, self._levels)
+        )
 
     def peak_level(self) -> int:
         """Maximum busy level observed."""
-        return max(s.level for s in self._samples)
+        return max(self._levels)
 
 
 __all__ = ["UtilizationSample", "UtilizationTracker"]

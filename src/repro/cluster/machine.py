@@ -81,6 +81,7 @@ class Machine:
         )
         self._unit_of: Dict[Hashable, List[int]] = {}
         self._offline: Set[int] = set()
+        self._offline_procs = 0
         # Degraded-time integral: accumulated seconds with >= 1 pset
         # offline, plus the open segment's start (None when healthy).
         self._degraded_accum = 0.0
@@ -96,13 +97,19 @@ class Machine:
 
     @property
     def offline(self) -> int:
-        """Processors currently offline due to failed psets (0 when healthy)."""
-        return len(self._offline) * self.granularity
+        """Processors currently offline due to failed psets (0 when healthy).
+
+        Kept as a plain counter (updated by fail/repair) rather than
+        ``len(set) * granularity``: schedulers read free/available on
+        every cycle pass, making this one of the hottest attributes in
+        a simulation.
+        """
+        return self._offline_procs
 
     @property
     def available(self) -> int:
         """Processors not offline (``total`` on a healthy machine)."""
-        return self.total - self.offline
+        return self.total - self._offline_procs
 
     @property
     def degraded(self) -> bool:
@@ -116,7 +123,7 @@ class Machine:
         Offline psets are neither free nor used: ``free = total −
         offline − used``.
         """
-        return self.total - self.offline - self._used
+        return self.total - self._offline_procs - self._used
 
     @property
     def units(self) -> int:
@@ -260,6 +267,7 @@ class Machine:
         if not self._offline:
             self._degraded_since = time
         self._offline.add(index)
+        self._offline_procs += self.granularity
         return evicted
 
     def repair_unit(self, index: int, time: float = 0.0) -> None:
@@ -272,6 +280,7 @@ class Machine:
         if index not in self._offline:
             raise AllocationError(f"pset {index} is not offline")
         self._offline.remove(index)
+        self._offline_procs -= self.granularity
         if not self._offline:
             assert self._degraded_since is not None
             self._degraded_accum += max(0.0, time - self._degraded_since)
@@ -290,6 +299,10 @@ class Machine:
             self._used,
             self.offline,
             self.total,
+        )
+        assert self._offline_procs == len(self._offline) * self.granularity, (
+            self._offline_procs,
+            self._offline,
         )
         assert self._used == sum(self._allocations.values())
         for alloc_id, num in self._allocations.items():

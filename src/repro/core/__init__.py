@@ -26,12 +26,19 @@ from repro.core.base import CycleDecision, Scheduler, SchedulerContext
 from repro.core.conservative import ConservativeBackfill
 from repro.core.dedicated import EasyBackfillDedicated, LOSDedicated
 from repro.core.delayed_los import DelayedLOS
-from repro.core.dp import basic_dp, reservation_dp
+from repro.core.dp import (
+    DPSelection,
+    basic_dp,
+    basic_dp_select,
+    reservation_dp,
+    reservation_dp_select,
+)
 from repro.core.easy import EasyBackfill
 from repro.core.elastic import ECCProcessor, ECCResult
 from repro.core.fcfs import FCFS
 from repro.core.hybrid_los import HybridLOS
 from repro.core.los import LOS
+from repro.core.memo import clear_caches, memo_enabled
 from repro.core.registry import ALGORITHMS, make_scheduler
 from repro.core.selector import AdaptiveSelector
 
@@ -42,6 +49,7 @@ __all__ = [
     "AuditingScheduler",
     "ConservativeBackfill",
     "CycleDecision",
+    "DPSelection",
     "DelayedLOS",
     "ECCProcessor",
     "ECCResult",
@@ -54,6 +62,10 @@ __all__ = [
     "Scheduler",
     "SchedulerContext",
     "basic_dp",
+    "basic_dp_select",
+    "clear_caches",
     "make_scheduler",
+    "memo_enabled",
     "reservation_dp",
+    "reservation_dp_select",
 ]

@@ -29,7 +29,7 @@ from repro.queues.dedicated_queue import DedicatedQueue
 from repro.workload.job import Job
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerContext:
     """Scheduler-visible snapshot at one scheduling instant.
 
@@ -49,6 +49,14 @@ class SchedulerContext:
     dedicated_queue: DedicatedQueue
     active: ActiveList
     allow_scount_increment: bool = True
+    #: Snapshot of :func:`repro.core.memo.memo_enabled` for this run;
+    #: set by the runner so hot paths (``dedicated_freeze``) never
+    #: re-read the environment mid-run.
+    memo: bool = field(default=True, repr=False, compare=False)
+    #: Memoized ``free``; policies read it several times per pass and
+    #: the runner reuses one context across passes, resetting this
+    #: after applying a decision (see :meth:`invalidate_free`).
+    _free: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def free(self) -> int:
@@ -56,15 +64,24 @@ class SchedulerContext:
 
         Computed as ``M - offline - Σ a_i.num`` (Algorithm 1 line 1,
         with ``M`` shrunk by psets currently failed under fault
-        injection — zero on the fault-free path); asserted equal to
-        the machine's own bookkeeping.
+        injection — zero on the fault-free path); the machine's own
+        bookkeeping agrees by the allocation invariants
+        (``Machine.check_invariants``).  Cached: capacity cannot
+        change while a pass is deciding, and the runner invalidates
+        between passes.
         """
-        m = self.machine.available - self.active.total_used
-        assert m == self.machine.free, (m, self.machine.free)
+        m = self._free
+        if m is None:
+            m = self.machine.available - self.active.total_used
+            self._free = m
         return m
 
+    def invalidate_free(self) -> None:
+        """Drop the cached ``free`` after capacity changed (runner use)."""
+        self._free = None
 
-@dataclass
+
+@dataclass(slots=True)
 class CycleDecision:
     """What one scheduler pass wants done.
 
@@ -117,6 +134,18 @@ class Scheduler(abc.ABC):
         Must be side-effect free except for ``scount`` bookkeeping on
         queued jobs (guarded by ``ctx.allow_scount_increment``).
         """
+
+    def memo_token(self) -> object:
+        """Hashable digest of policy-internal mutable state.
+
+        The runner folds this into its cycle-elision fingerprint
+        (docs/performance.md): two cycles may only be treated as
+        equivalent when the policy would decide from the same internal
+        state.  Policies are stateless by design, so the default is a
+        constant; stateful subclasses (:class:`~repro.core.selector.
+        AdaptiveSelector`'s hysteresis) must override.
+        """
+        return None
 
     def on_job_failure(self, job: Job, now: float, permanent: bool) -> None:
         """Notification hook: ``job`` failed or was evicted at ``now``.

@@ -30,7 +30,7 @@ class ConservativeBackfill(Scheduler):
         # Plan against the *available* capacity: offline psets (fault
         # injection) must not be promised to future reservations.
         profile = CapacityProfile.from_active(
-            ctx.machine.available, ctx.now, ctx.active
+            ctx.machine.available, ctx.now, ctx.active, memo=ctx.memo
         )
         starts = []
         for job in queue:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.base import CycleDecision, Scheduler, SchedulerContext
-from repro.core.dp import DEFAULT_LOOKAHEAD, basic_dp, reservation_dp
+from repro.core.dp import DEFAULT_LOOKAHEAD, basic_dp_select, reservation_dp_select
 from repro.core.freeze import batch_head_freeze
 
 
@@ -67,32 +67,31 @@ class DelayedLOS(Scheduler):
 
         if head.num <= m:
             # Lines 6-11: pack for maximum instantaneous utilization.
-            selected = basic_dp(
-                ctx.batch_queue.jobs(),
+            selection = basic_dp_select(
+                ctx.batch_queue,
                 m,
                 granularity=ctx.machine.granularity,
                 lookahead=self.lookahead,
+                memo=ctx.memo,
             )
-            if (
-                ctx.allow_scount_increment
-                and all(job.job_id != head.job_id for job in selected)
-            ):
+            if ctx.allow_scount_increment and not selection.head_selected:
                 head.scount += 1
-            return CycleDecision(starts=selected)
+            return CycleDecision(starts=selection.jobs)
 
         # Lines 12-20: head cannot fit; reserve it at the freeze end
         # time and fill the holes without overrunning the reservation.
         freeze = batch_head_freeze(ctx, head)
-        selected = reservation_dp(
-            ctx.batch_queue.jobs(),
+        selection = reservation_dp_select(
+            ctx.batch_queue,
             m,
             freeze_capacity=freeze.frec,
             freeze_time=freeze.fret,
             now=ctx.now,
             granularity=ctx.machine.granularity,
             lookahead=self.lookahead,
+            memo=ctx.memo,
         )
-        return CycleDecision(starts=selected)
+        return CycleDecision(starts=selection.jobs)
 
 
 __all__ = ["DelayedLOS"]

@@ -16,14 +16,27 @@ maximizing *instantaneous utilization* (the sum of selected job sizes):
 Exactness is affordable because capacities shrink by the allocation
 granularity (10 units on the 320-processor BlueGene/P with 32-processor
 psets) and the lookahead is bounded (50 jobs in [7]).  The 2-D table is
-vectorized with NumPy — the per-job update is a shifted ``maximum`` —
-and the selected set is reconstructed by an *incremental backtrack*:
-each candidate records only the cells it improved (and their previous
-values), and the backtrack undoes those deltas one candidate at a time
-to recover the before-table it needs.  This is exactly equivalent to
-the snapshot-per-candidate formulation but stores sparse deltas
-instead of full table copies, which matters because the DP runs once
-per scheduling cycle on the hot path.
+vectorized with NumPy — the per-job update touches only the reachable
+sub-rectangle ``dp[size:, fsize:]`` (the shifted cells a candidate can
+improve), never the full table — and the selected set is reconstructed
+by an *incremental backtrack*: each candidate records only the cells it
+improved (and their previous values), and the backtrack undoes those
+deltas one candidate at a time to recover the before-table it needs.
+This is exactly equivalent to the snapshot-per-candidate formulation
+but stores sparse deltas instead of full table copies, which matters
+because the DP runs once per scheduling cycle on the hot path.
+
+On top of the solver sits the memoization layer of
+:mod:`repro.core.memo`: each call canonicalizes its instance —
+``(capacity, ((size, value), ...))`` for ``basic_dp``, ``(cap_now,
+cap_freeze, ((size, fsize, value), ...))`` for ``reservation_dp`` —
+and consults an LRU cache of previously solved instances.  The cached
+value is the tuple of selected candidate *indices*, mapped back onto
+the live :class:`Job` candidates of the calling cycle, so hits are
+correct by construction (the DP is a pure function of the key).
+``dp_invocations``/``dp_cells`` count actual solves only; hits and
+misses surface as ``dp_cache_hits``/``dp_cache_misses``.  Disable with
+``REPRO_NO_MEMO=1``.
 
 Tie-breaking: when several sets achieve maximal utilization, the
 reconstruction prefers jobs *closer to the head of the queue* (a later
@@ -34,10 +47,16 @@ which keeps the policies as FCFS-faithful as packing allows.
 from __future__ import annotations
 
 from itertools import islice
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.core.memo import (
+    BASIC_CACHE,
+    RESERVATION_CACHE,
+    lookup,
+    memo_enabled,
+)
 from repro.obs.telemetry import bump
 from repro.workload.job import Job
 
@@ -47,7 +66,25 @@ from repro.workload.job import Job
 DEFAULT_LOOKAHEAD = 50
 
 
-def _eligible(jobs: Sequence[Job], free: int, lookahead: Optional[int]) -> List[Job]:
+class DPSelection(NamedTuple):
+    """A DP decision plus head metadata the policies need.
+
+    Attributes:
+        jobs: The selected set in queue order (empty when nothing fits).
+        head_selected: Whether the queue's head job is in the set.
+            Computed here (the head, when eligible, is candidate 0) so
+            policies don't re-scan the set for head membership on every
+            pass.
+    """
+
+    jobs: List[Job]
+    head_selected: bool
+
+
+_EMPTY = DPSelection([], False)
+
+
+def _eligible(jobs: Iterable[Job], free: int, lookahead: Optional[int]) -> List[Job]:
     """Candidate set: the first ``lookahead`` queued jobs that fit ``m``.
 
     Single pass over the (bounded) window — no intermediate copies of
@@ -57,8 +94,277 @@ def _eligible(jobs: Sequence[Job], free: int, lookahead: Optional[int]) -> List[
     return [job for job in window if job.num <= free]
 
 
+# ----------------------------------------------------------------------
+# Solvers (pure functions of the canonical instance)
+# ----------------------------------------------------------------------
+def _proportional_ratio(sizes: List[int], values: List[int]) -> Optional[int]:
+    """The common ``value / size`` ratio, or ``None`` when there is none.
+
+    Machine-validated workloads always have one (``num`` is a positive
+    multiple of the granularity, so ``value == size * granularity``),
+    which turns the value-maximizing knapsack into a subset-sum over
+    sizes — solvable on integer bitsets instead of a value table.
+    """
+    if not sizes or sizes[0] <= 0 or values[0] % sizes[0]:
+        return None
+    ratio = values[0] // sizes[0]
+    for size, value in zip(sizes, values):
+        if size <= 0 or value != size * ratio:
+            return None
+    return ratio
+
+
+def _solve_basic(capacity: int, entries: Tuple[Tuple[int, int], ...]) -> Tuple[int, ...]:
+    """Solve one ``basic_dp`` instance; returns selected indices.
+
+    ``entries`` is the canonical ``((size, value), ...)`` tuple (sizes
+    and ``capacity`` in granularity units) — exactly the memo key's
+    payload, so cached and fresh results are interchangeable.
+    Dispatches to the bitset subset-sum solver when values are
+    proportional to sizes (always true under the machine's granularity
+    invariant); the value-table solver is the general fallback and the
+    reference the property tests compare against.
+    """
+    if _proportional_ratio([s for s, _ in entries], [v for _, v in entries]) is not None:
+        return _solve_basic_bitset(capacity, entries)
+    return _solve_basic_table(capacity, entries)
+
+
+def _solve_basic_bitset(
+    capacity: int, entries: Tuple[Tuple[int, int], ...]
+) -> Tuple[int, ...]:
+    """Subset-sum formulation on one Python integer per prefix.
+
+    Bit ``s`` of the running integer means "some subset of the
+    candidates seen so far occupies exactly ``s`` units".  With values
+    proportional to sizes, the utilization-maximal set is the highest
+    reachable bit, and the FCFS tie-break of the table solver ("skip a
+    later job whenever the same value is achievable without it") maps
+    to a prefix-reachability test per candidate.  ``dp_cells`` counts
+    newly-reachable sums here (the bitset analogue of improved cells).
+    """
+    full = (1 << (capacity + 1)) - 1
+    bits = 1
+    prefixes: List[int] = []
+    cells_touched = 0
+    for size, _ in entries:
+        prefixes.append(bits)
+        grown = (bits | (bits << size)) & full
+        cells_touched += (grown ^ bits).bit_count()
+        bits = grown
+    bump("dp_cells", cells_touched)
+    bump("dp_invocations")
+
+    selected: List[int] = []
+    remaining = bits.bit_length() - 1  # the best achievable total size
+    for index in range(len(entries) - 1, -1, -1):
+        if (prefixes[index] >> remaining) & 1:
+            continue  # same total achievable without this (later) job
+        selected.append(index)
+        remaining -= entries[index][0]
+    assert remaining == 0, "bitset backtrack corrupted"
+    selected.reverse()
+    return tuple(selected)
+
+
+def _solve_basic_table(capacity: int, entries: Tuple[Tuple[int, int], ...]) -> Tuple[int, ...]:
+    """General value-table solver (arbitrary size/value combinations)."""
+    dp = np.zeros(capacity + 1, dtype=np.int64)
+    # Per candidate: the cells it improved and their previous values,
+    # so the backtrack can undo updates instead of copying the table.
+    undo: List[Tuple[np.ndarray, np.ndarray]] = []
+    cells_touched = 0
+    _no_cells = np.empty(0, dtype=np.intp)
+    for size, value in entries:
+        if size > capacity:
+            # Unselectable candidate (callers filter these; kept for
+            # robustness on raw solver input).
+            undo.append((_no_cells, _no_cells))
+            continue
+        # Only cells >= size are reachable; comparing the shifted
+        # prefix against the tail touches exactly those, instead of
+        # sentinel-filling the whole table per candidate.
+        shifted = dp[: capacity + 1 - size] + value
+        better = np.nonzero(shifted > dp[size:])[0]
+        cells_touched += better.size
+        new_values = shifted[better]
+        improved = better + size
+        undo.append((improved, dp[improved]))
+        dp[improved] = new_values
+    bump("dp_cells", int(cells_touched))
+    bump("dp_invocations")
+
+    selected: List[int] = []
+    c = capacity
+    v = int(dp[c])
+    for index in range(len(entries) - 1, -1, -1):
+        cells, previous = undo[index]
+        dp[cells] = previous  # dp is now the table *before* this candidate
+        if int(dp[c]) == v:
+            continue  # same value achievable without this (later) job
+        selected.append(index)
+        c -= entries[index][0]
+        v -= entries[index][1]
+        assert c >= 0 and int(dp[c]) == v, "DP backtrack corrupted"
+    selected.reverse()
+    return tuple(selected)
+
+
+def _solve_reservation(
+    cap_now: int, cap_freeze: int, entries: Tuple[Tuple[int, int, int], ...]
+) -> Tuple[int, ...]:
+    """Solve one ``reservation_dp`` instance; returns selected indices.
+
+    Same dispatch as :func:`_solve_basic`: bitset subset-sum over the
+    two capacity dimensions when values are proportional to sizes,
+    value-table fallback otherwise.
+    """
+    if (
+        _proportional_ratio([s for s, _, _ in entries], [v for _, _, v in entries])
+        is not None
+    ):
+        return _solve_reservation_bitset(cap_now, cap_freeze, entries)
+    return _solve_reservation_table(cap_now, cap_freeze, entries)
+
+
+def _solve_reservation_bitset(
+    cap_now: int, cap_freeze: int, entries: Tuple[Tuple[int, int, int], ...]
+) -> Tuple[int, ...]:
+    """2-D subset-sum on one wide integer per prefix.
+
+    State ``(now-units r, freeze-units c)`` lives at bit ``r*W + c``;
+    the row width ``W`` is padded past ``cap_freeze`` by the largest
+    freeze size so a candidate's shift ``size*W + fsize`` can never
+    carry a column into the next row before the validity mask prunes
+    it.  The best set maximizes the row index; the backtrack skips a
+    later candidate whenever its row total is prefix-reachable within
+    the remaining freeze budget (the exact tie-break of the table
+    solver, restated on reachability).
+    """
+    width = cap_freeze + 1 + max((fsize for _, fsize, _ in entries), default=0)
+    column_mask = (1 << (cap_freeze + 1)) - 1
+    valid = 0
+    for row in range(cap_now + 1):
+        valid |= column_mask << (row * width)
+    bits = 1
+    prefixes: List[int] = []
+    cells_touched = 0
+    for size, fsize, _ in entries:
+        prefixes.append(bits)
+        grown = (bits | (bits << (size * width + fsize))) & valid
+        cells_touched += (grown ^ bits).bit_count()
+        bits = grown
+    bump("dp_cells", cells_touched)
+    bump("dp_invocations")
+
+    selected: List[int] = []
+    remaining = (bits.bit_length() - 1) // width  # best total now-units
+    freeze_budget = cap_freeze
+    for index in range(len(entries) - 1, -1, -1):
+        row = (prefixes[index] >> (remaining * width)) & (
+            (1 << (freeze_budget + 1)) - 1
+        )
+        if row:
+            continue  # same total achievable without this (later) job
+        size, fsize, _ = entries[index]
+        selected.append(index)
+        remaining -= size
+        freeze_budget -= fsize
+    assert remaining == 0 and freeze_budget >= 0, "bitset backtrack corrupted"
+    selected.reverse()
+    return tuple(selected)
+
+
+def _solve_reservation_table(
+    cap_now: int, cap_freeze: int, entries: Tuple[Tuple[int, int, int], ...]
+) -> Tuple[int, ...]:
+    """General value-table solver (arbitrary size/value combinations)."""
+    dp = np.zeros((cap_now + 1, cap_freeze + 1), dtype=np.int64)
+    # Sparse per-candidate deltas for the incremental backtrack (see
+    # module docstring) — no full 2-D table copies on the hot path.
+    undo: List[Tuple[Tuple[np.ndarray, np.ndarray], np.ndarray]] = []
+    cells_touched = 0
+    _no_cells = np.empty(0, dtype=np.intp)
+    for size, fsize, value in entries:
+        if size > cap_now or fsize > cap_freeze:
+            # Unselectable candidate (callers filter these; kept for
+            # robustness on raw solver input).
+            undo.append(((_no_cells, _no_cells), _no_cells))
+            continue
+        # The reachable region is the sub-rectangle dp[size:, fsize:];
+        # everything outside it kept the old value by definition, so
+        # the L-shaped remainder never needs a sentinel.
+        shifted = dp[: cap_now + 1 - size, : cap_freeze + 1 - fsize] + value
+        rows, cols = np.nonzero(shifted > dp[size:, fsize:])
+        cells_touched += rows.size
+        new_values = shifted[rows, cols]
+        improved = (rows + size, cols + fsize)
+        undo.append((improved, dp[improved]))
+        dp[improved] = new_values
+    bump("dp_cells", int(cells_touched))
+    bump("dp_invocations")
+
+    selected: List[int] = []
+    c1, c2 = cap_now, cap_freeze
+    v = int(dp[c1, c2])
+    for index in range(len(entries) - 1, -1, -1):
+        cells, previous = undo[index]
+        dp[cells] = previous  # dp is now the table *before* this candidate
+        if int(dp[c1, c2]) == v:
+            continue
+        size, fsize, value = entries[index]
+        selected.append(index)
+        c1 -= size
+        c2 -= fsize
+        v -= value
+        assert c1 >= 0 and c2 >= 0 and int(dp[c1, c2]) == v, (
+            "DP backtrack corrupted"
+        )
+    selected.reverse()
+    return tuple(selected)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def basic_dp_select(
+    jobs: Iterable[Job],
+    free: int,
+    granularity: int = 1,
+    lookahead: Optional[int] = DEFAULT_LOOKAHEAD,
+    memo: Optional[bool] = None,
+) -> DPSelection:
+    """Memoized ``Basic_DP`` with head metadata (see :func:`basic_dp`).
+
+    ``memo`` short-circuits the per-call environment read: policies
+    pass the runner's per-run snapshot (``ctx.memo``); ``None`` falls
+    back to consulting :func:`repro.core.memo.memo_enabled` directly.
+    """
+    if free <= 0:
+        return _EMPTY
+    candidates = _eligible(jobs, free, lookahead)
+    if not candidates:
+        return _EMPTY
+    capacity = free // granularity
+    entries = tuple((job.num // granularity, job.num) for job in candidates)
+
+    indices: Optional[Tuple[int, ...]] = None
+    key = None
+    if memo_enabled() if memo is None else memo:
+        key = (capacity, entries)
+        indices = lookup(BASIC_CACHE, key)
+    if indices is None:
+        indices = _solve_basic(capacity, entries)
+        if key is not None:
+            BASIC_CACHE.put(key, indices)
+
+    selected = [candidates[i] for i in indices]
+    head_selected = bool(selected) and selected[0].job_id == next(iter(jobs)).job_id
+    return DPSelection(selected, head_selected)
+
+
 def basic_dp(
-    jobs: Sequence[Job],
+    jobs: Iterable[Job],
     free: int,
     granularity: int = 1,
     lookahead: Optional[int] = DEFAULT_LOOKAHEAD,
@@ -81,49 +387,66 @@ def basic_dp(
     >>> [job.num for job in basic_dp(queue, free=10)]   # Figure 2: {4, 6}
     [4, 6]
     """
+    return basic_dp_select(jobs, free, granularity, lookahead).jobs
+
+
+def reservation_dp_select(
+    jobs: Iterable[Job],
+    free: int,
+    freeze_capacity: int,
+    freeze_time: float,
+    now: float,
+    granularity: int = 1,
+    lookahead: Optional[int] = DEFAULT_LOOKAHEAD,
+    memo: Optional[bool] = None,
+) -> DPSelection:
+    """Memoized ``Reservation_DP`` with head metadata
+    (see :func:`reservation_dp`).
+
+    ``memo`` short-circuits the per-call environment read: policies
+    pass the runner's per-run snapshot (``ctx.memo``); ``None`` falls
+    back to consulting :func:`repro.core.memo.memo_enabled` directly.
+    """
     if free <= 0:
-        return []
+        return _EMPTY
     candidates = _eligible(jobs, free, lookahead)
     if not candidates:
-        return []
-    capacity = free // granularity
-    sizes = [job.num // granularity for job in candidates]
-    values = [job.num for job in candidates]
+        return _EMPTY
+    freeze_capacity = max(0, int(freeze_capacity))
 
-    dp = np.zeros(capacity + 1, dtype=np.int64)
-    shifted = np.empty_like(dp)
-    # Per candidate: the cells it improved and their previous values,
-    # so the backtrack can undo updates instead of copying the table.
-    undo: List[Tuple[np.ndarray, np.ndarray]] = []
-    cells_touched = 0
-    for size, value in zip(sizes, values):
-        shifted.fill(-1)
-        np.add(dp[: capacity + 1 - size], value, out=shifted[size:])
-        improved = np.nonzero(shifted > dp)[0]
-        cells_touched += improved.size
-        undo.append((improved, dp[improved]))
-        dp[improved] = shifted[improved]
-    bump("dp_cells", int(cells_touched))
-    bump("dp_invocations")
+    cap_now = free // granularity
+    cap_freeze = freeze_capacity // granularity
+    entry_jobs: List[Job] = []
+    entries: List[Tuple[int, int, int]] = []
+    for job in candidates:
+        # Algorithm 1 line 16 (strict <): jobs ending before the freeze
+        # end time do not occupy freeze capacity.
+        frenum = 0 if now + job.estimate < freeze_time else job.num
+        if frenum // granularity > cap_freeze:
+            continue  # can never be selected: would overrun the reservation
+        entry_jobs.append(job)
+        entries.append((job.num // granularity, frenum // granularity, job.num))
+    if not entries:
+        return _EMPTY
+    instance = tuple(entries)
 
-    selected: List[Job] = []
-    c = capacity
-    v = int(dp[c])
-    for index in range(len(candidates) - 1, -1, -1):
-        cells, previous = undo[index]
-        dp[cells] = previous  # dp is now the table *before* this candidate
-        if int(dp[c]) == v:
-            continue  # same value achievable without this (later) job
-        selected.append(candidates[index])
-        c -= sizes[index]
-        v -= values[index]
-        assert c >= 0 and int(dp[c]) == v, "DP backtrack corrupted"
-    selected.reverse()
-    return selected
+    indices: Optional[Tuple[int, ...]] = None
+    key = None
+    if memo_enabled() if memo is None else memo:
+        key = (cap_now, cap_freeze, instance)
+        indices = lookup(RESERVATION_CACHE, key)
+    if indices is None:
+        indices = _solve_reservation(cap_now, cap_freeze, instance)
+        if key is not None:
+            RESERVATION_CACHE.put(key, indices)
+
+    selected = [entry_jobs[i] for i in indices]
+    head_selected = bool(selected) and selected[0].job_id == next(iter(jobs)).job_id
+    return DPSelection(selected, head_selected)
 
 
 def reservation_dp(
-    jobs: Sequence[Job],
+    jobs: Iterable[Job],
     free: int,
     freeze_capacity: int,
     freeze_time: float,
@@ -153,64 +476,16 @@ def reservation_dp(
     Returns:
         The selected set ``S_f`` in queue order.
     """
-    if free <= 0:
-        return []
-    candidates = _eligible(jobs, free, lookahead)
-    if not candidates:
-        return []
-    freeze_capacity = max(0, int(freeze_capacity))
-
-    cap_now = free // granularity
-    cap_freeze = freeze_capacity // granularity
-    entries = []
-    for job in candidates:
-        # Algorithm 1 line 16 (strict <): jobs ending before the freeze
-        # end time do not occupy freeze capacity.
-        frenum = 0 if now + job.estimate < freeze_time else job.num
-        if frenum // granularity > cap_freeze:
-            continue  # can never be selected: would overrun the reservation
-        entries.append((job, job.num // granularity, frenum // granularity, job.num))
-    if not entries:
-        return []
-
-    dp = np.zeros((cap_now + 1, cap_freeze + 1), dtype=np.int64)
-    shifted = np.empty_like(dp)
-    # Sparse per-candidate deltas for the incremental backtrack (see
-    # module docstring) — no full 2-D table copies on the hot path.
-    undo: List[Tuple[Tuple[np.ndarray, np.ndarray], np.ndarray]] = []
-    cells_touched = 0
-    for _, size, fsize, value in entries:
-        shifted.fill(-1)
-        np.add(
-            dp[: cap_now + 1 - size, : cap_freeze + 1 - fsize],
-            value,
-            out=shifted[size:, fsize:],
-        )
-        improved = np.nonzero(shifted > dp)
-        cells_touched += improved[0].size
-        undo.append((improved, dp[improved]))
-        dp[improved] = shifted[improved]
-    bump("dp_cells", int(cells_touched))
-    bump("dp_invocations")
-
-    selected: List[Job] = []
-    c1, c2 = cap_now, cap_freeze
-    v = int(dp[c1, c2])
-    for index in range(len(entries) - 1, -1, -1):
-        cells, previous = undo[index]
-        dp[cells] = previous  # dp is now the table *before* this candidate
-        if int(dp[c1, c2]) == v:
-            continue
-        job, size, fsize, value = entries[index]
-        selected.append(job)
-        c1 -= size
-        c2 -= fsize
-        v -= value
-        assert c1 >= 0 and c2 >= 0 and int(dp[c1, c2]) == v, (
-            "DP backtrack corrupted"
-        )
-    selected.reverse()
-    return selected
+    return reservation_dp_select(
+        jobs, free, freeze_capacity, freeze_time, now, granularity, lookahead
+    ).jobs
 
 
-__all__ = ["DEFAULT_LOOKAHEAD", "basic_dp", "reservation_dp"]
+__all__ = [
+    "DEFAULT_LOOKAHEAD",
+    "DPSelection",
+    "basic_dp",
+    "basic_dp_select",
+    "reservation_dp",
+    "reservation_dp_select",
+]

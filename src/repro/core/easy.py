@@ -32,11 +32,11 @@ class EasyBackfill(Scheduler):
     name = "EASY"
 
     def cycle(self, ctx: SchedulerContext) -> CycleDecision:
-        queue = ctx.batch_queue.jobs()
-        if not queue:
+        queue = ctx.batch_queue
+        head = queue.head
+        if head is None:
             return CycleDecision.nothing()
         m = ctx.free
-        head = queue[0]
         if head.num <= m:
             return CycleDecision(starts=[head])
         if len(queue) == 1 or m <= 0:
@@ -45,8 +45,11 @@ class EasyBackfill(Scheduler):
         shadow = batch_head_freeze(ctx, head)
         # Telemetry is accumulated locally and reported once per cycle:
         # a bump() per scanned candidate would dominate this tight loop.
+        # Iterates the queue in place — no per-pass snapshot copy.
         scanned = 0
-        for job in queue[1:]:
+        tail = iter(queue)
+        next(tail)  # skip the head
+        for job in tail:
             scanned += 1
             if job.num > m:
                 continue

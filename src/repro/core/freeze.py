@@ -117,9 +117,11 @@ def dedicated_freeze(ctx: SchedulerContext) -> FreezeSpec:
 
     # Lines 9–15: capacity free at the requested start.
     if last is not None and start <= ctx.now + last.residual(ctx.now):
-        still_running = sum(
-            job.num for job in ctx.active if ctx.now + job.residual(ctx.now) >= start
-        )
+        # A running job's kill-by never precedes the clock, so
+        # "t + res >= start" is exactly "kill_by >= start" here
+        # (start > t is checked above) — answerable from the active
+        # list's aggregated release steps without scanning every job.
+        still_running = ctx.active.used_at(start, rebuild=not ctx.memo)
         frec = machine_size - still_running
     else:
         frec = machine_size

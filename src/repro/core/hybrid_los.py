@@ -31,7 +31,7 @@ from typing import Optional
 
 from repro.core.base import CycleDecision, SchedulerContext
 from repro.core.delayed_los import DelayedLOS
-from repro.core.dp import DEFAULT_LOOKAHEAD, reservation_dp
+from repro.core.dp import DEFAULT_LOOKAHEAD, reservation_dp_select
 from repro.core.freeze import dedicated_freeze
 
 
@@ -107,23 +107,24 @@ class HybridLOS(DelayedLOS):
         head = ctx.batch_queue.head
         assert head is not None
         freeze = dedicated_freeze(ctx)
-        selected = reservation_dp(
-            ctx.batch_queue.jobs(),
+        selection = reservation_dp_select(
+            ctx.batch_queue,
             ctx.free,
             freeze_capacity=freeze.frec,
             freeze_time=freeze.fret,
             now=ctx.now,
             granularity=ctx.machine.granularity,
             lookahead=self.lookahead,
+            memo=ctx.memo,
         )
         if (
             bump_scount
             and ctx.allow_scount_increment
-            and all(job.job_id != head.job_id for job in selected)
+            and not selection.head_selected
         ):
             # Lines 22 / 30: skipping the batch head counts.
             head.scount += 1
-        return CycleDecision(starts=selected)
+        return CycleDecision(starts=selection.jobs)
 
 
 __all__ = ["HybridLOS"]

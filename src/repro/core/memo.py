@@ -1,0 +1,161 @@
+"""Hot-path memoization for the scheduling dynamic programs.
+
+The runner re-enters the scheduler on every simulation event and loops
+each cycle to fix-point, so ``basic_dp``/``reservation_dp`` dominate
+wall time — while the knapsack *instances* they solve (candidate sizes
+× capacity) repeat heavily across consecutive cycles.  Both DPs are
+pure functions of a canonical instance key:
+
+``basic_dp``
+    ``(capacity, ((size, value), ...))`` — capacity and sizes in
+    granularity units, value in processors.
+
+``reservation_dp``
+    ``(cap_now, cap_freeze, ((size, fsize, value), ...))`` — the
+    two-dimensional instance after ``frenum`` folding, so the wall
+    clock (``now``/``freeze_time``) never enters the key.
+
+The cached result is the tuple of **selected candidate indices**, not
+job objects: indices map back onto the live :class:`~repro.workload.job.Job`
+candidates of the calling cycle, so a hit can never leak stale jobs
+across runs.  Correctness is by construction — two calls with equal
+keys describe the same mathematical knapsack and the DP is
+deterministic.  The caches are module-level (no plumbing through
+policy signatures) but the runner clears them at run start: telemetry
+counters must be a pure function of the run, never of what else the
+process simulated before (the determinism suite compares them across
+serial, parallel, and repeated runs).
+
+Every lookup reports through the :func:`repro.obs.telemetry.bump` hook
+(``dp_cache_hits`` / ``dp_cache_misses``), so ``--telemetry`` and the
+trace schema carry the hit rate unchanged.
+
+Set ``REPRO_NO_MEMO=1`` to disable the whole memoization layer — the
+DP result cache, the runner's schedule-cycle elision and the
+incremental capacity profile — for debugging; the transparency suite
+asserts byte-identical traces either way (docs/performance.md).
+
+>>> cache = LRUCache(capacity=2)
+>>> cache.put("a", (0,)); cache.put("b", (1,))
+>>> cache.get("a")
+(0,)
+>>> cache.put("c", (2,))     # evicts "b", the least recently used
+>>> cache.get("b") is None
+True
+>>> len(cache)
+2
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.obs.telemetry import bump
+
+#: Environment switch: any truthy value disables the memoization layer
+#: (DP result cache, cycle elision, incremental capacity profile).
+ENV_NO_MEMO = "REPRO_NO_MEMO"
+
+#: Entries kept per DP cache.  Sized for the working set of one long
+#: sweep (distinct instances per run are typically a few hundred — see
+#: the dp_cache_* counters) while bounding memory: values are small
+#: index tuples, so even full caches stay a few MiB.
+DEFAULT_CACHE_SIZE = 8192
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def memo_enabled() -> bool:
+    """Whether the memoization layer is active (``REPRO_NO_MEMO`` unset).
+
+    Checked per call-site entry (one environment lookup) so tests and
+    debugging sessions can flip the switch between runs without
+    re-importing anything.
+    """
+    return os.environ.get(ENV_NO_MEMO, "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    )
+
+
+class LRUCache(Generic[K, V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    Plain :class:`~collections.OrderedDict` machinery — ``move_to_end``
+    on hit, ``popitem(last=False)`` past capacity — kept free of any
+    telemetry so the DP caches can report hits/misses with their own
+    counter names.
+    """
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value for ``key`` (refreshing it), or ``None``."""
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Store ``key -> value``, evicting the LRU entry past capacity."""
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (tests; never required for correctness)."""
+        self._data.clear()
+
+
+#: Key/value shapes of the two DP caches (documentation aliases).
+BasicKey = Tuple[int, Tuple[Tuple[int, int], ...]]
+ReservationKey = Tuple[int, int, Tuple[Tuple[int, int, int], ...]]
+Selection = Tuple[int, ...]
+
+#: The two dynamic programs' caches.  Module-level so instrumented
+#: policies need no plumbing; reset by the runner at run start so a
+#: run's hit/miss counters never depend on prior runs in the process.
+BASIC_CACHE: LRUCache[BasicKey, Selection] = LRUCache()
+RESERVATION_CACHE: LRUCache[ReservationKey, Selection] = LRUCache()
+
+
+def lookup(cache: LRUCache[K, Selection], key: K) -> Optional[Selection]:
+    """Cache probe with ``dp_cache_hits``/``dp_cache_misses`` telemetry."""
+    selection = cache.get(key)
+    if selection is not None:
+        bump("dp_cache_hits")
+    else:
+        bump("dp_cache_misses")
+    return selection
+
+
+def clear_caches() -> None:
+    """Empty both DP caches (test isolation for counter assertions)."""
+    BASIC_CACHE.clear()
+    RESERVATION_CACHE.clear()
+
+
+__all__ = [
+    "BASIC_CACHE",
+    "DEFAULT_CACHE_SIZE",
+    "ENV_NO_MEMO",
+    "LRUCache",
+    "RESERVATION_CACHE",
+    "clear_caches",
+    "lookup",
+    "memo_enabled",
+]

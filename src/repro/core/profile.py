@@ -13,6 +13,7 @@ import bisect
 import math
 from typing import List, Tuple
 
+from repro.core.memo import memo_enabled
 from repro.queues.active_list import ActiveList
 
 
@@ -34,15 +35,39 @@ class CapacityProfile:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_active(cls, total: int, now: float, active: ActiveList) -> "CapacityProfile":
-        """Profile implied by the running jobs' kill-by times."""
+    def from_active(
+        cls,
+        total: int,
+        now: float,
+        active: ActiveList,
+        memo: "bool | None" = None,
+    ) -> "CapacityProfile":
+        """Profile implied by the running jobs' kill-by times.
+
+        Consumes the active list's incrementally-maintained release
+        breakpoints and builds the step function with one cumulative
+        pass — O(breakpoints) instead of the O(A²) repeated
+        ``_add_delta`` construction.  Releases at or before ``now``
+        (over-estimate jobs still draining) fold into the initial free
+        capacity, exactly as the old ``max(now, kill_by)`` clamp did.
+        With ``REPRO_NO_MEMO`` set the breakpoints are rebuilt from the
+        job list on every call (each rebuild counted by the
+        ``profile_rebuilds`` telemetry counter).  ``memo`` takes the
+        runner's per-run snapshot (``ctx.memo``); ``None`` consults the
+        environment directly.
+        """
         profile = cls(total, now, total - active.total_used)
-        releases: dict[float, int] = {}
-        for job in active:
-            kill_by = max(now, job.kill_by())
-            releases[kill_by] = releases.get(kill_by, 0) + job.num
-        for time in sorted(releases):
-            profile._add_delta(time, releases[time])
+        if memo is None:
+            memo = memo_enabled()
+        times, nums = active.release_breakpoints(rebuild=not memo)
+        running = profile._free[0]
+        for time, num in zip(times, nums):
+            running += num
+            if time <= now:
+                profile._free[0] = running
+            else:
+                profile._times.append(time)
+                profile._free.append(running)
         return profile
 
     def _add_delta(self, time: float, delta: int) -> None:

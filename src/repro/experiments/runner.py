@@ -29,6 +29,7 @@ from repro.cluster.accounting import UtilizationTracker
 from repro.cluster.machine import Machine
 from repro.core.base import CycleDecision, Scheduler, SchedulerContext
 from repro.core.elastic import ECCOutcome, ECCProcessor
+from repro.core.memo import clear_caches, memo_enabled
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.queue_stats import QueueTracker
@@ -157,9 +158,29 @@ class SimulationRunner:
             machine_size=self.machine.total,
         )
         self._dropped_eccs = 0
+        # One context object serves every cycle; _run_cycle re-stamps
+        # the clock and resets the free-capacity cache per cycle/pass.
+        self._ctx = SchedulerContext(
+            now=start,
+            machine=self.machine,
+            batch_queue=self.batch_queue,
+            dedicated_queue=self.dedicated_queue,
+            active=self.active,
+        )
         self._cancelled_while_running: set[int] = set()
         self._finish_events: Dict[int, Event] = {}
         self._pending_cycle_time: Optional[float] = None
+        # Cycle elision (docs/performance.md): fingerprint of the one
+        # cycle proven side-effect free, plus a counter covering job
+        # mutations the queue/active versions can't see (applied ECCs).
+        self._elidable_token: Optional[tuple] = None
+        self._jobs_version = 0
+        # Snapshot of repro.core.memo.memo_enabled(); refreshed at the
+        # top of run() so the env var is read once per run, not per
+        # cycle.  Mirrored onto the context for policy-side hot paths
+        # (dedicated_freeze).
+        self._memo_on = memo_enabled()
+        self._ctx.memo = self._memo_on
         self.failed_records: List[FailureRecord] = []
         self._lost_work = 0.0
         self._lost_by_job: Dict[int, float] = {}
@@ -324,6 +345,7 @@ class SimulationRunner:
         elif result.outcome is ECCOutcome.TERMINATED_JOB:
             self._reschedule_finish(job, now)
         if result.outcome.applied:
+            self._jobs_version += 1
             if job.state is JobState.RUNNING:
                 self.active.resort()
             self._request_cycle()
@@ -456,29 +478,75 @@ class SimulationRunner:
             name="cycle",
         )
 
+    def _elision_token(self) -> tuple:
+        """O(1) fingerprint of the decision-relevant state at ``now``.
+
+        Every input a policy can read is covered: the clock, queue and
+        active-list mutation versions (membership, order, kill-by
+        times), the job-mutation counter (applied ECCs), the machine's
+        free/available capacity (fault and repair events move it), the
+        batch head's skip count (the one field policies themselves
+        mutate), and the policy's own :meth:`~repro.core.base.Scheduler
+        .memo_token`.
+        """
+        head = self.batch_queue.head
+        return (
+            self.sim.now,
+            self.batch_queue.version,
+            self.dedicated_queue.version,
+            self.active.version,
+            self._jobs_version,
+            self.machine.free,
+            self.machine.available,
+            None if head is None else (head.job_id, head.scount),
+            self.scheduler.memo_token(),
+        )
+
     def _run_cycle(self) -> None:
         now = self.sim.now
         if self._pending_cycle_time == now:
             self._pending_cycle_time = None
         telemetry = self.telemetry
+        token: Optional[tuple] = None
+        if self._memo_on:
+            token = self._elision_token()
+            if token == self._elidable_token:
+                # This exact state already produced an empty, mutation-
+                # free first pass at this instant; re-running the policy
+                # would be the identity.
+                telemetry.count("cycles_elided")
+                return
         telemetry.count("schedule_cycles")
         started = perf_counter()
+        ctx = self._ctx
+        ctx.now = now
+        ctx.invalidate_free()
+        pass_index = 0
         try:
             for pass_index in range(MAX_CYCLE_PASSES):
-                telemetry.count("schedule_passes")
-                ctx = SchedulerContext(
-                    now=now,
-                    machine=self.machine,
-                    batch_queue=self.batch_queue,
-                    dedicated_queue=self.dedicated_queue,
-                    active=self.active,
-                    allow_scount_increment=(pass_index == 0),
-                )
+                ctx.allow_scount_increment = pass_index == 0
                 decision = self.scheduler.cycle(ctx)
                 if decision.is_empty():
+                    if pass_index == 0 and token is not None:
+                        # A policy touches nothing but the batch head's
+                        # scount and its own internal state during an
+                        # empty pass (queues, machine and clock are
+                        # runner-owned), so only those two fingerprint
+                        # components need re-checking.
+                        head = self.batch_queue.head
+                        if token[7] == (
+                            None if head is None else (head.job_id, head.scount)
+                        ) and token[8] == self.scheduler.memo_token():
+                            # Empty on the *first* pass (so scount
+                            # rules matched a fresh cycle) and nothing
+                            # mutated: a repeat at this instant is
+                            # safe to skip.
+                            self._elidable_token = token
                     return
                 self._apply(decision)
+                ctx.invalidate_free()
         finally:
+            telemetry.count("schedule_passes", pass_index + 1)
             telemetry.add_time("schedule_wall_s", perf_counter() - started)
         raise SimulationError(
             f"scheduler {self.scheduler.name} did not reach a fix-point "
@@ -523,6 +591,12 @@ class SimulationRunner:
 
             writer = TraceWriter(self._trace_out, meta=self._trace_meta())
             self.trace.sink = writer.write
+        # Each run starts with cold DP caches so the dp_cache_* /
+        # dp_invocations counters are a pure function of the run —
+        # identical serial, parallel, or repeated in one process.
+        clear_caches()
+        self._memo_on = memo_enabled()
+        self._ctx.memo = self._memo_on
         try:
             # The active registry lets instrumented library code
             # (repro.core.dp, repro.core.easy) report without plumbing

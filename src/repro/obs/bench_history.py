@@ -9,8 +9,8 @@ stamped), and :func:`compare` diffs the newest entry against the best
 prior result per ``(algorithm, n_jobs)`` scenario, flagging any wall
 time above a configurable regression threshold.  The ``repro
 bench-compare`` subcommand prints that diff as a table; CI runs it
-non-blocking (``--strict`` turns regressions into a non-zero exit for
-local gating).
+with ``--strict --threshold 2.0``, so a scenario slower than 2x its
+best same-host baseline fails the build.
 
 Wall times are machine-dependent, so baselines prefer entries from the
 same host when any exist; cross-host entries are still kept — they
@@ -310,8 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="exit 1 on any regression (default: report only — the CI "
-        "job runs non-blocking)",
+        help="exit 1 on any regression (default: report only; the CI "
+        "job passes --strict --threshold 2.0)",
     )
     return parser
 

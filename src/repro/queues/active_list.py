@@ -6,13 +6,30 @@ shrink at the same rate, so ordering by the absolute *kill-by* time
 (``start + estimate``) is equivalent and stable between events — until
 an ECC changes a kill-by time, which is why :meth:`resort` exists and
 is called by the ECC processor after every applied command.
+
+Alongside the ordering, the list maintains two derived quantities
+incrementally so the scheduling hot path never re-scans it:
+
+- ``total_used`` — the processor sum ``Σ a_i.num``, updated O(1) on
+  add/remove (``ctx.free`` reads it every scheduler pass);
+- the aggregated *release breakpoints* — sorted ``(kill_by, Σ num)``
+  steps feeding :meth:`repro.core.profile.CapacityProfile.from_active`
+  — updated by bisect on add/remove, with a dirty flag forcing a full
+  rebuild after :meth:`resort` (an ECC moved a kill-by time we no
+  longer know).  Full rebuilds are counted by the ``profile_rebuilds``
+  telemetry counter.
+
+``version`` increments on every mutation; the runner folds it into its
+cycle-elision fingerprint so any active-set change invalidates elision
+in O(1) (docs/performance.md).
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
+from repro.obs.telemetry import bump
 from repro.workload.job import Job, JobState
 
 
@@ -21,6 +38,15 @@ class ActiveList:
 
     def __init__(self) -> None:
         self._jobs: List[Job] = []
+        self._total_used = 0
+        self._version = 0
+        # Aggregated releases: sorted unique kill-by times and the
+        # processors freed at each.  Maintained incrementally while
+        # clean; `_releases_dirty` means kill-by times moved under us
+        # (ECC) and the next reader must rebuild.
+        self._release_times: List[float] = []
+        self._release_nums: List[int] = []
+        self._releases_dirty = False
 
     # ------------------------------------------------------------------
     def _key(self, job: Job) -> tuple:
@@ -44,8 +70,13 @@ class ActiveList:
 
     @property
     def total_used(self) -> int:
-        """Processors held by running jobs (``Σ a_i.num``)."""
-        return sum(job.num for job in self._jobs)
+        """Processors held by running jobs (``Σ a_i.num``), O(1)."""
+        return self._total_used
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (add/remove/resort each bump it)."""
+        return self._version
 
     def residuals(self, now: float) -> List[float]:
         """Residual runtimes at ``now``, in list order (non-decreasing)."""
@@ -65,9 +96,13 @@ class ActiveList:
         if job.start_time is None:
             raise ValueError(f"job {job.job_id} has no start time")
         job.state = JobState.RUNNING
-        keys = [self._key(j) for j in self._jobs]
-        index = bisect.bisect_right(keys, self._key(job))
+        key = self._key(job)
+        index = bisect.bisect_right(self._jobs, key, key=self._key)
         self._jobs.insert(index, job)
+        self._total_used += job.num
+        self._version += 1
+        if not self._releases_dirty:
+            self._shift_release(job.kill_by(), job.num)
 
     def remove(self, job: Job) -> None:
         """Remove a finishing job.
@@ -78,18 +113,94 @@ class ActiveList:
         for index, active in enumerate(self._jobs):
             if active.job_id == job.job_id:
                 del self._jobs[index]
+                self._total_used -= active.num
+                self._version += 1
+                if not self._releases_dirty:
+                    self._shift_release(active.kill_by(), -active.num)
                 return
         raise ValueError(f"job {job.job_id} is not active")
 
     def resort(self) -> None:
-        """Re-establish ordering after kill-by times changed (ECCs)."""
+        """Re-establish ordering after kill-by times changed (ECCs).
+
+        The old kill-by times are gone, so the aggregated releases can
+        no longer be patched in place — mark them dirty and let the
+        next :meth:`release_breakpoints` rebuild.
+        """
         self._jobs.sort(key=self._key)
+        self._version += 1
+        self._releases_dirty = True
+
+    # ------------------------------------------------------------------
+    def _shift_release(self, time: float, delta: int) -> None:
+        """Add ``delta`` processors to the release step at ``time``."""
+        times = self._release_times
+        index = bisect.bisect_left(times, time)
+        if index < len(times) and times[index] == time:
+            self._release_nums[index] += delta
+            if self._release_nums[index] == 0:
+                del times[index]
+                del self._release_nums[index]
+        elif delta > 0:
+            times.insert(index, time)
+            self._release_nums.insert(index, delta)
+        else:
+            # Removing a step we never recorded: only reachable if a
+            # kill-by moved without resort() — fall back to a rebuild.
+            self._releases_dirty = True
+
+    def _rebuild_releases(self) -> None:
+        releases: dict[float, int] = {}
+        for job in self._jobs:
+            kill_by = job.kill_by()
+            releases[kill_by] = releases.get(kill_by, 0) + job.num
+        self._release_times = sorted(releases)
+        self._release_nums = [releases[time] for time in self._release_times]
+        self._releases_dirty = False
+        bump("profile_rebuilds")
+
+    def release_breakpoints(self, rebuild: bool = False) -> Tuple[List[float], List[int]]:
+        """Aggregated ``(kill-by times, processors released)`` steps.
+
+        Sorted ascending, one entry per distinct kill-by time.  Served
+        from the incrementally-maintained structure; rebuilt from the
+        job list (and counted as a ``profile_rebuilds``) when dirty or
+        when the caller forces it (``REPRO_NO_MEMO``).  Callers must
+        not mutate the returned lists.
+        """
+        if rebuild or self._releases_dirty:
+            self._rebuild_releases()
+        return self._release_times, self._release_nums
+
+    def used_at(self, time: float, rebuild: bool = False) -> int:
+        """Processors held by jobs still scheduled to run at ``time``.
+
+        ``Σ a_i.num`` over jobs with ``kill_by >= time`` — a bisect over
+        the aggregated release steps plus a short tail sum, instead of
+        a full scan of the active list (the dedicated-freeze hot path).
+        ``rebuild`` forces the from-scratch path like
+        :meth:`release_breakpoints` (``REPRO_NO_MEMO``).
+        """
+        if rebuild or self._releases_dirty:
+            self._rebuild_releases()
+        index = bisect.bisect_left(self._release_times, time)
+        return sum(self._release_nums[index:])
 
     # ------------------------------------------------------------------
     def check_invariants(self, now: Optional[float] = None) -> None:
-        """Assert ordering and state invariants (property tests)."""
+        """Assert ordering, state and derived-quantity invariants."""
         keys = [self._key(j) for j in self._jobs]
         assert keys == sorted(keys), "active list out of residual order"
+        assert self._total_used == sum(job.num for job in self._jobs)
+        if not self._releases_dirty:
+            expected: dict[float, int] = {}
+            for job in self._jobs:
+                kill_by = job.kill_by()
+                expected[kill_by] = expected.get(kill_by, 0) + job.num
+            assert self._release_times == sorted(expected), "release times drifted"
+            assert self._release_nums == [
+                expected[time] for time in self._release_times
+            ], "release sums drifted"
         for job in self._jobs:
             assert job.state is JobState.RUNNING, (job.job_id, job.state)
             if now is not None:

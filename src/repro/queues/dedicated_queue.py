@@ -23,6 +23,13 @@ class DedicatedQueue:
 
     def __init__(self) -> None:
         self._jobs: List[Job] = []
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (push/pop/remove bump it); feeds
+        the runner's cycle-elision fingerprint."""
+        return self._version
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -53,9 +60,9 @@ class DedicatedQueue:
         if not job.is_dedicated:
             raise ValueError(f"job {job.job_id} is not dedicated")
         job.state = JobState.QUEUED
-        keys = [_key(j) for j in self._jobs]
-        index = bisect.bisect_right(keys, _key(job))
+        index = bisect.bisect_right(self._jobs, _key(job), key=_key)
         self._jobs.insert(index, job)
+        self._version += 1
 
     def pop_head(self) -> Job:
         """Remove and return ``w_1^d``.
@@ -63,7 +70,9 @@ class DedicatedQueue:
         Raises:
             IndexError: when empty.
         """
-        return self._jobs.pop(0)
+        job = self._jobs.pop(0)
+        self._version += 1
+        return job
 
     def remove(self, job: Job) -> None:
         """Remove a specific dedicated job.
@@ -74,25 +83,40 @@ class DedicatedQueue:
         for index, queued in enumerate(self._jobs):
             if queued.job_id == job.job_id:
                 del self._jobs[index]
+                self._version += 1
                 return
         raise ValueError(f"job {job.job_id} is not in the dedicated queue")
 
     # ------------------------------------------------------------------
     def due(self, now: float) -> List[Job]:
-        """Jobs whose requested start time has been reached."""
-        return [j for j in self._jobs if j.requested_start is not None and j.requested_start <= now]
+        """Jobs whose requested start time has been reached.
+
+        The queue is sorted by requested start, so the due jobs are
+        exactly a prefix — the walk stops at the first future start.
+        """
+        out: List[Job] = []
+        for job in self._jobs:
+            if job.requested_start is None or job.requested_start > now:
+                break
+            out.append(job)
+        return out
 
     def cohead_group(self) -> List[Job]:
         """All queued dedicated jobs sharing the head's start time.
 
         This is the set Algorithm 2 sums as ``tot_start_num``
         (lines 16–17): dedicated jobs with *identical* start times must
-        be reserved together.
+        be reserved together.  Sorted order makes the group a prefix,
+        so the walk stops at the first different start.
         """
-        if not self._jobs:
-            return []
-        head_start = self._jobs[0].requested_start
-        return [j for j in self._jobs if j.requested_start == head_start]
+        group: List[Job] = []
+        if self._jobs:
+            head_start = self._jobs[0].requested_start
+            for job in self._jobs:
+                if job.requested_start != head_start:
+                    break
+                group.append(job)
+        return group
 
     def check_invariants(self) -> None:
         """Assert start-time ordering (property tests)."""

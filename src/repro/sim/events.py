@@ -50,7 +50,7 @@ class EventPriority(IntEnum):
 _seq_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """A single scheduled occurrence inside a :class:`Simulator`.
 

@@ -1,0 +1,180 @@
+"""Tests for the DP memoization layer (repro.core.memo).
+
+Covers the cache mechanics (LRU bound, hit/miss counters), the env
+kill-switch, and the load-bearing equivalence properties:
+
+- memoized selections are identical to unmemoized ones (the cache maps
+  solved indices back onto live jobs),
+- the bitset subset-sum solvers agree with the general value-table
+  solvers on every instance the machine invariant can produce,
+  including the FCFS tie-break.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dp import (
+    basic_dp_select,
+    reservation_dp_select,
+)
+from repro.core.dp import (
+    _solve_basic_bitset,
+    _solve_basic_table,
+    _solve_reservation_bitset,
+    _solve_reservation_table,
+)
+from repro.core.memo import (
+    BASIC_CACHE,
+    ENV_NO_MEMO,
+    LRUCache,
+    clear_caches,
+    memo_enabled,
+)
+from tests.conftest import batch_job
+
+
+def _jobs(sizes, estimates=None):
+    estimates = estimates or [100.0] * len(sizes)
+    return [
+        batch_job(i + 1, submit=float(i), num=size, estimate=est)
+        for i, (size, est) in enumerate(zip(sizes, estimates))
+    ]
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", (1,))
+        assert cache.get("a") == (1,)
+        assert cache.get("b") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", (1,))
+        cache.put("b", (2,))
+        cache.get("a")  # refresh "a"; "b" becomes the eviction victim
+        cache.put("c", (3,))
+        assert cache.get("a") == (1,)
+        assert cache.get("b") is None
+        assert cache.get("c") == (3,)
+
+    def test_bounded_size(self):
+        cache = LRUCache(capacity=8)
+        for i in range(100):
+            cache.put(i, (i,))
+        assert len(cache) == 8
+
+
+class TestMemoEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv(ENV_NO_MEMO, raising=False)
+        assert memo_enabled()
+
+    def test_kill_switch_values(self, monkeypatch):
+        for value in ("1", "true", "yes", "on", "TRUE"):
+            monkeypatch.setenv(ENV_NO_MEMO, value)
+            assert not memo_enabled(), value
+        for value in ("", "0", "false", "off"):
+            monkeypatch.setenv(ENV_NO_MEMO, value)
+            assert memo_enabled(), value
+
+
+sizes_strategy = st.lists(st.integers(1, 12), min_size=1, max_size=8)
+
+
+@contextmanager
+def _memo_disabled():
+    """Flip the kill-switch for one call (hypothesis-safe: no
+    function-scoped fixtures inside @given bodies)."""
+    saved = os.environ.get(ENV_NO_MEMO)
+    os.environ[ENV_NO_MEMO] = "1"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ[ENV_NO_MEMO]
+        else:
+            os.environ[ENV_NO_MEMO] = saved
+
+
+class TestMemoizedEquivalence:
+    """Memoized results must be indistinguishable from fresh solves."""
+
+    @given(sizes=sizes_strategy, free=st.integers(1, 24))
+    @settings(max_examples=200, deadline=None)
+    def test_basic_memo_on_off_identical(self, sizes, free):
+        jobs = _jobs([s * 32 for s in sizes])
+        with _memo_disabled():
+            plain = basic_dp_select(jobs, free * 32, granularity=32)
+        clear_caches()
+        cold = basic_dp_select(jobs, free * 32, granularity=32)
+        warm = basic_dp_select(jobs, free * 32, granularity=32)  # cache hit
+        assert plain == cold == warm
+
+    @given(
+        sizes=sizes_strategy,
+        estimates=st.lists(st.floats(1.0, 500.0), min_size=8, max_size=8),
+        free=st.integers(1, 24),
+        frec=st.integers(0, 12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_reservation_memo_on_off_identical(
+        self, sizes, estimates, free, frec
+    ):
+        jobs = _jobs([s * 32 for s in sizes], estimates[: len(sizes)])
+        args = dict(
+            free=free * 32, freeze_capacity=frec * 32, freeze_time=250.0,
+            now=0.0, granularity=32,
+        )
+        with _memo_disabled():
+            plain = reservation_dp_select(jobs, **args)
+        clear_caches()
+        cold = reservation_dp_select(jobs, **args)
+        warm = reservation_dp_select(jobs, **args)
+        assert plain == cold == warm
+
+    def test_hit_returns_indices_remapped_to_live_jobs(self):
+        clear_caches()
+        first = _jobs([64, 128, 96])
+        second = _jobs([64, 128, 96])  # distinct objects, same instance
+        a = basic_dp_select(first, 224, granularity=32)
+        b = basic_dp_select(second, 224, granularity=32)
+        assert [j.num for j in a.jobs] == [j.num for j in b.jobs]
+        assert all(x in second for x in b.jobs)  # not the cached objects
+        assert len(BASIC_CACHE) == 1
+
+
+class TestBitsetMatchesTable:
+    """The subset-sum bitset solvers must reproduce the value-table
+    solvers exactly, selected indices included (FCFS tie-break)."""
+
+    @given(sizes=st.lists(st.integers(1, 10), min_size=1, max_size=10),
+           capacity=st.integers(1, 32))
+    @settings(max_examples=300, deadline=None)
+    def test_basic(self, sizes, capacity):
+        entries = tuple((s, s * 32) for s in sizes)
+        assert _solve_basic_bitset(capacity, entries) == _solve_basic_table(
+            capacity, entries
+        )
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(1, 8), st.booleans()), min_size=1, max_size=8
+        ),
+        cap_now=st.integers(1, 16),
+        cap_freeze=st.integers(0, 10),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_reservation(self, pairs, cap_now, cap_freeze):
+        # frenum is 0 or the full size in real instances (Algorithm 1
+        # line 16); the solver itself accepts any fsize <= size.
+        entries = tuple(
+            (size, size if holds else 0, size * 32) for size, holds in pairs
+        )
+        assert _solve_reservation_bitset(
+            cap_now, cap_freeze, entries
+        ) == _solve_reservation_table(cap_now, cap_freeze, entries)

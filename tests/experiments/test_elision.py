@@ -1,0 +1,121 @@
+"""Regression tests for the runner's memoization hot paths.
+
+Two behaviours are pinned here (docs/performance.md):
+
+- *schedule-cycle elision*: a cycle whose fingerprint already produced
+  an empty, mutation-free first pass at the same instant is skipped
+  entirely (``cycles_elided``).  Same-start dedicated groups are the
+  canonical trigger — each group member schedules its own start timer,
+  so one instant sees several cycle invocations.
+- *DP result caching*: on a high-load canned workload the number of
+  actual DP solves (``dp_invocations``) strictly drops versus
+  ``REPRO_NO_MEMO=1`` while every scheduling outcome stays identical.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.experiments.calibrate import calibrate_beta_arr
+from repro.experiments.runner import simulate
+from repro.workload.generator import GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+from tests.conftest import batch_job, dedicated_job, make_workload
+
+
+@contextmanager
+def _memo_disabled():
+    saved = os.environ.get("REPRO_NO_MEMO")
+    os.environ["REPRO_NO_MEMO"] = "1"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["REPRO_NO_MEMO"]
+        else:
+            os.environ["REPRO_NO_MEMO"] = saved
+
+
+def _dedicated_group_workload():
+    """Three dedicated jobs sharing one requested start, plus batch
+    filler: the identical start timers all fire at t=100, producing
+    repeat cycle invocations at one instant."""
+    jobs = [
+        dedicated_job(i, submit=0.0, num=32, estimate=50.0, requested_start=100.0)
+        for i in (1, 2, 3)
+    ]
+    jobs += [batch_job(10 + i, submit=0.0, num=64, estimate=200.0) for i in range(4)]
+    return make_workload(jobs)
+
+
+def _high_load_workload():
+    config = GeneratorConfig(n_jobs=120, size=TwoStageSizeConfig(p_small=0.5))
+    return calibrate_beta_arr(config, 0.9, seed=7).workload
+
+
+class TestCycleElision:
+    def test_elides_repeat_cycles_at_same_instant(self):
+        metrics = simulate(_dedicated_group_workload(), make_scheduler("Hybrid-LOS"))
+        assert metrics.telemetry.counters["cycles_elided"] > 0
+
+    def test_elision_changes_no_outcome(self):
+        workload = _dedicated_group_workload()
+        memo = simulate(workload, make_scheduler("Hybrid-LOS"))
+        with _memo_disabled():
+            plain = simulate(workload, make_scheduler("Hybrid-LOS"))
+        assert "cycles_elided" not in plain.telemetry.counters
+        assert memo.records == plain.records
+        assert memo.utilization == plain.utilization
+        assert memo.makespan == plain.makespan
+
+    def test_elided_plus_run_cycles_cover_baseline(self):
+        """Elision skips work, never events: elided + executed cycles
+        must equal the unmemoized cycle count."""
+        workload = _dedicated_group_workload()
+        memo = simulate(workload, make_scheduler("Hybrid-LOS"))
+        with _memo_disabled():
+            plain = simulate(workload, make_scheduler("Hybrid-LOS"))
+        executed = memo.telemetry.counters["schedule_cycles"]
+        elided = memo.telemetry.counters["cycles_elided"]
+        assert executed + elided == plain.telemetry.counters["schedule_cycles"]
+
+
+class TestDPCacheRegression:
+    def test_dp_invocations_strictly_drop_under_memo(self):
+        workload = _high_load_workload()
+        memo = simulate(workload, make_scheduler("Delayed-LOS"))
+        with _memo_disabled():
+            plain = simulate(workload, make_scheduler("Delayed-LOS"))
+
+        assert memo.telemetry.counters["dp_cache_hits"] > 0
+        assert (
+            memo.telemetry.counters["dp_invocations"]
+            < plain.telemetry.counters["dp_invocations"]
+        )
+        # Hits + misses account for every DP entry that reached the
+        # cache layer; misses are exactly the solves.
+        assert (
+            memo.telemetry.counters["dp_cache_misses"]
+            == memo.telemetry.counters["dp_invocations"]
+        )
+        assert memo.records == plain.records
+
+    @pytest.mark.parametrize("algorithm", ["LOS", "Delayed-LOS", "Hybrid-LOS-E"])
+    def test_memo_on_off_metrics_identical(self, algorithm):
+        config = GeneratorConfig(
+            n_jobs=80,
+            size=TwoStageSizeConfig(p_small=0.5),
+            p_dedicated=0.2 if algorithm == "Hybrid-LOS-E" else 0.0,
+            p_extend=0.2 if algorithm.endswith("-E") else 0.0,
+        )
+        workload = calibrate_beta_arr(config, 0.9, seed=3).workload
+        memo = simulate(workload, make_scheduler(algorithm))
+        with _memo_disabled():
+            plain = simulate(workload, make_scheduler(algorithm))
+        assert memo.records == plain.records
+        assert memo.utilization == plain.utilization
+        assert memo.ecc_stats == plain.ecc_stats

@@ -57,5 +57,7 @@ def test_quick_bench_document(tmp_path):
 
 def test_cli_quick_exits_clean(tmp_path):
     output = tmp_path / "cli.json"
-    assert main(["--quick", "--jobs", "1", "--output", str(output)]) == 0
+    assert main(
+        ["--quick", "--jobs", "1", "--output", str(output), "--no-history"]
+    ) == 0
     assert output.exists()
