@@ -16,13 +16,21 @@ the repository root, so performance changes are visible across PRs:
   trace export enabled (``trace_out``), reported as a ratio against
   the untraced wall time (docs/observability.md budgets this at ≤5%
   with tracing *disabled* — telemetry alone — and the traced ratio
-  documents the full cost of streaming the JSONL file).
+  documents the full cost of streaming the JSONL file),
+- (opt-in, ``--scale-tier``) streaming-scale runs: 100k- and
+  1M-job synthetic streams plus an archive-shaped SWF replay, each
+  executed in a subprocess with ``online=True, retain_records=False``
+  so peak RSS measures the O(1)-memory path honestly.  The headline
+  number is the RSS ratio of the 10x-larger tier over the smaller —
+  flat (~1x) means memory is bounded by the live job set, not the
+  workload length (docs/scaling.md).
 
 Usage::
 
     python -m benchmarks.bench_perf_core            # full (paper scale)
     python -m benchmarks.bench_perf_core --quick    # CI smoke (~seconds)
     python -m benchmarks.bench_perf_core --jobs 4 --output /tmp/b.json
+    python -m benchmarks.bench_perf_core --scale-tier   # + million-job tier
 
 Wall times are machine-dependent by nature; compare entries produced
 on the same machine.  The run cache is bypassed here — this benchmark
@@ -64,6 +72,15 @@ TARGET_LOAD = 0.9
 
 BATCH_ALGORITHMS = ("EASY", "LOS", "Delayed-LOS")
 ELASTIC_ALGORITHM = "Hybrid-LOS-E"
+
+#: Policy for the streaming scale tier: EASY keeps per-event cost low
+#: so the tier measures the engine + streaming machinery, not DP depth.
+SCALE_ALGORITHM = "EASY"
+SCALE_SEED = 17
+#: Jobs used to calibrate β_arr for the scale tier.  The Lublin
+#: arrival model is stationary in the load knob, so one cheap
+#: calibration transfers to the 100k/1M streams.
+SCALE_CALIBRATION_JOBS = 2000
 
 _NO_CACHE = RunCache.disabled()
 
@@ -116,11 +133,188 @@ def _time_spec(spec: RunSpec, repeats: int) -> Dict[str, float]:
     }
 
 
+# ----------------------------------------------------------------------
+# Streaming scale tier (--scale-tier)
+# ----------------------------------------------------------------------
+def scale_tier_sizes(quick: bool) -> Sequence[int]:
+    """The two synthetic stream sizes, 10x apart so RSS flatness shows."""
+    if quick:
+        return (10_000, 100_000)
+    return (100_000, 1_000_000)
+
+
+def _scale_config(n_jobs: int, beta_arr: float) -> GeneratorConfig:
+    return GeneratorConfig(
+        n_jobs=n_jobs, size=TwoStageSizeConfig(p_small=0.5)
+    ).with_beta_arr(beta_arr)
+
+
+def _write_replay_swf(path: Path, n_jobs: int, beta_arr: float, seed: int) -> None:
+    """Stream-write a synthetic workload as an archive-shaped SWF log.
+
+    One job at a time, generator to file — the log is produced without
+    ever materializing the workload, same as it will be consumed.
+    """
+    from repro.workload.streaming import SyntheticWorkloadStream
+    from repro.workload.swf import SWFRecord
+
+    stream = SyntheticWorkloadStream(_scale_config(n_jobs, beta_arr), seed=seed).stream()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"; MaxProcs: {stream.machine_size}\n")
+        for job in stream:
+            fh.write(SWFRecord.from_job(job).to_line() + "\n")
+
+
+def _scale_child(payload: str) -> int:
+    """Subprocess entry: run one streaming scenario, print one JSON line.
+
+    Runs in a fresh interpreter so ``ru_maxrss`` reflects this scenario
+    alone (the parent's own allocations never inflate it).  The payload
+    is a JSON object: ``kind`` ("synthetic" | "swf") plus its
+    parameters, ``algorithm``, and an optional ``rlimit_mb`` hard
+    address-space cap (used by the CI memory-budget smoke).
+    """
+    import resource
+
+    params = json.loads(payload)
+    rlimit_mb = params.get("rlimit_mb")
+    if rlimit_mb:
+        limit = int(rlimit_mb) * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+    from repro.core.registry import make_scheduler
+    from repro.experiments.runner import SimulationRunner
+    from repro.workload.streaming import SyntheticWorkloadStream, stream_swf_workload
+
+    if params["kind"] == "synthetic":
+        config = _scale_config(int(params["n_jobs"]), float(params["beta_arr"]))
+        stream = SyntheticWorkloadStream(config, seed=int(params["seed"])).stream()
+    elif params["kind"] == "swf":
+        stream = stream_swf_workload(
+            params["path"], machine_size=params.get("machine_size")
+        )
+    else:  # pragma: no cover - protocol misuse
+        raise ValueError(f"unknown scale scenario kind {params['kind']!r}")
+
+    runner = SimulationRunner(
+        stream,
+        make_scheduler(params["algorithm"]),
+        online=True,
+        retain_records=False,
+    )
+    started = time.perf_counter()
+    metrics = runner.run()
+    elapsed = time.perf_counter() - started
+    # Linux reports ru_maxrss in KiB.
+    peak_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    online = metrics.online
+    print(json.dumps({
+        "events": metrics.events_processed,
+        "wall_time_s": round(elapsed, 6),
+        "events_per_sec": (
+            round(metrics.events_processed / elapsed, 1) if elapsed > 0 else 0.0
+        ),
+        "n_jobs_done": online.n_jobs if online is not None else 0,
+        "mean_wait": round(online.mean_wait, 6) if online is not None else 0.0,
+        "utilization": round(metrics.utilization, 6),
+        "offered_load": round(metrics.offered_load, 4),
+        "peak_rss_kb": peak_kb,
+    }))
+    return 0
+
+
+def _run_scale_child(params: Dict) -> Dict:
+    """Launch :func:`_scale_child` in a subprocess and parse its line."""
+    import subprocess
+
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    pythonpath = [str(repo_root), str(repo_root / "src")]
+    if env.get("PYTHONPATH"):
+        pythonpath.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(pythonpath)
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_perf_core",
+         "--scale-child", json.dumps(params)],
+        capture_output=True, text=True, env=env, cwd=str(repo_root),
+    )
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or proc.stdout.strip()
+        raise RuntimeError(f"scale child failed ({params.get('kind')}): {detail}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_scale_tier(quick: bool = False, rlimit_mb: Optional[int] = None) -> Dict:
+    """Run the streaming scale tier and return its document section.
+
+    Calibrates β_arr once at a small scale, then streams each tier in
+    its own subprocess.  The archive replay stream-writes the smaller
+    tier to a temporary SWF file and streams it back through the lazy
+    reader, exercising the file-ingestion path at scale.
+    """
+    calibration = calibrate_beta_arr(
+        GeneratorConfig(
+            n_jobs=SCALE_CALIBRATION_JOBS, size=TwoStageSizeConfig(p_small=0.5)
+        ),
+        TARGET_LOAD,
+        seed=SCALE_SEED,
+    )
+    beta_arr = calibration.beta_arr
+
+    scenarios: List[Dict] = []
+    for n_jobs in scale_tier_sizes(quick):
+        params: Dict = {
+            "kind": "synthetic", "n_jobs": n_jobs, "beta_arr": beta_arr,
+            "seed": SCALE_SEED, "algorithm": SCALE_ALGORITHM,
+        }
+        if rlimit_mb:
+            params["rlimit_mb"] = rlimit_mb
+        result = _run_scale_child(params)
+        scenarios.append({
+            "scenario": "synthetic-stream", "algorithm": SCALE_ALGORITHM,
+            "n_jobs": n_jobs, **result,
+        })
+
+    replay_jobs = scale_tier_sizes(quick)[0]
+    with tempfile.TemporaryDirectory() as tmp:
+        swf_path = Path(tmp) / "replay.swf"
+        _write_replay_swf(swf_path, replay_jobs, beta_arr, seed=SCALE_SEED)
+        params = {
+            "kind": "swf", "path": str(swf_path), "machine_size": 320,
+            "algorithm": SCALE_ALGORITHM,
+        }
+        if rlimit_mb:
+            params["rlimit_mb"] = rlimit_mb
+        result = _run_scale_child(params)
+    scenarios.append({
+        "scenario": "swf-replay", "algorithm": SCALE_ALGORITHM,
+        "n_jobs": replay_jobs, **result,
+    })
+
+    small, large = scenarios[0], scenarios[1]
+    rss_ratio = (
+        round(large["peak_rss_kb"] / small["peak_rss_kb"], 3)
+        if small["peak_rss_kb"] > 0
+        else 0.0
+    )
+    return {
+        "algorithm": SCALE_ALGORITHM,
+        "tiers": list(scale_tier_sizes(quick)),
+        "beta_arr": round(beta_arr, 6),
+        "calibrated_load": round(calibration.achieved_load, 4),
+        "scenarios": scenarios,
+        # The acceptance metric: peak RSS of the 10x-larger synthetic
+        # tier over the smaller.  ~1.0 = streaming memory is flat.
+        "peak_rss_ratio_large_over_small": rss_ratio,
+    }
+
+
 def run_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
     output: Optional[Path] = None,
     history: Optional[Path] = None,
+    scale_tier: bool = False,
 ) -> Dict:
     """Run the full benchmark and write/return the JSON document.
 
@@ -195,7 +389,7 @@ def run_bench(
     }
 
     document = {
-        "schema": 2,
+        "schema": 3,
         "benchmark": "benchmarks.bench_perf_core",
         "quick": quick,
         "workers": workers,
@@ -212,6 +406,8 @@ def run_bench(
         },
         "observability": observability,
     }
+    if scale_tier:
+        document["scale"] = run_scale_tier(quick)
 
     target = Path(output) if output is not None else DEFAULT_OUTPUT
     target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
@@ -247,6 +443,21 @@ def _print_summary(document: Dict) -> None:
         f"({obs['traced_over_untraced']:.2f}x, "
         f"{obs['trace_bytes']} trace bytes)"
     )
+    scale = document.get("scale")
+    if scale:
+        print(f"scale tier ({scale['algorithm']}, streaming, online metrics):")
+        print(f"{'scenario':<18} {'n_jobs':>9} {'wall (s)':>10} "
+              f"{'events/s':>12} {'peak RSS (MiB)':>15}")
+        for entry in scale["scenarios"]:
+            print(
+                f"{entry['scenario']:<18} {entry['n_jobs']:>9} "
+                f"{entry['wall_time_s']:>10.2f} {entry['events_per_sec']:>12.0f} "
+                f"{entry['peak_rss_kb'] / 1024:>15.1f}"
+            )
+        print(
+            f"scale: peak RSS ratio ({scale['tiers'][1]} vs {scale['tiers'][0]} "
+            f"jobs) = {scale['peak_rss_ratio_large_over_small']:.2f}x"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -276,12 +487,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-history", action="store_true",
         help="skip the history append (snapshot JSON only)",
     )
+    parser.add_argument(
+        "--scale-tier", action="store_true",
+        help="also run the streaming scale tier (100k + 1M jobs "
+        "full, 10k + 100k quick) with peak-RSS measurement",
+    )
+    parser.add_argument(
+        "--scale-child", type=str, default=None, help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
+    if args.scale_child is not None:
+        return _scale_child(args.scale_child)
     document = run_bench(
         quick=args.quick,
         jobs=args.jobs,
         output=Path(args.output) if args.output else None,
         history=None if args.no_history else Path(args.history),
+        scale_tier=args.scale_tier,
     )
     _print_summary(document)
     if not args.no_history:

@@ -1,16 +1,37 @@
-"""Exact utilization accounting.
+"""Exact utilization accounting in bounded memory.
 
 Mean system utilization — the paper's headline metric — is the integral
 of busy processors over time divided by ``M * T``.  Because the busy
 level is a step function that only changes at allocation events, the
 integral is computed exactly (no sampling error) by accumulating
 ``level * dt`` between consecutive observations.
+
+The running integral, the current/peak level and the observation
+horizon are all O(1) state, so the headline numbers stay exact at any
+scale.  The *step-function view* (:meth:`UtilizationTracker.samples`
+and prefix-horizon :meth:`UtilizationTracker.busy_area` queries) is
+kept in a bounded buffer: past :data:`MAX_SAMPLES` retained points the
+buffer is decimated — every other point dropped, retention stride
+doubled — exactly like the telemetry series
+(:mod:`repro.obs.telemetry`).  Decimation is a pure function of the
+observation sequence, so it is deterministic across runs.  Up to the
+cap every observation is retained and prefix queries are exact; past
+it a prefix query interpolates from the nearest retained point (the
+cumulative area stored *at* each retained point stays exact, so the
+error never compounds).  Suffix/horizon-extension queries — the ones
+every end-of-run metric uses — are always exact.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+#: Retained step-function points per tracker; above it the buffer is
+#: decimated (stride doubling), bounding memory at million-job scale
+#: while the integral itself stays exact (docs/scaling.md).
+MAX_SAMPLES = 4096
 
 
 @dataclass(frozen=True)
@@ -35,31 +56,67 @@ class UtilizationTracker:
     one simulation instant.
     """
 
-    # Internally the step function lives in two parallel lists (times,
-    # levels): observe() runs on every allocation/release event, and
-    # appending plain floats/ints there is measurably cheaper than
-    # instantiating a dataclass per observation.  samples() materializes
-    # the UtilizationSample view on demand.
+    # All headline state is scalar; the parallel lists hold only the
+    # bounded, decimated step-function view (samples() and prefix
+    # busy_area queries).  observe() runs on every allocation/release
+    # event, so the fast path is: commit area, maybe retain a point.
+    __slots__ = (
+        "_start_time",
+        "_last_time",
+        "_last_level",
+        "_busy_area",
+        "_peak_committed",
+        "_times",
+        "_levels",
+        "_areas",
+        "_stride",
+        "_skip",
+        "_dropped",
+    )
+
     def __init__(self, start_time: float = 0.0, level: int = 0) -> None:
-        self._times: List[float] = [float(start_time)]
-        self._levels: List[int] = [int(level)]
+        t = float(start_time)
+        lvl = int(level)
+        self._start_time = t
+        self._last_time = t
+        self._last_level = lvl
         self._busy_area = 0.0  # processor-seconds integrated so far
+        # Peak over levels that either occupied time or are current;
+        # levels overwritten within one instant never count, matching
+        # the same-instant collapse below.
+        self._peak_committed = 0
+        self._times: List[float] = [t]
+        self._levels: List[int] = [lvl]
+        self._areas: List[float] = [0.0]  # cumulative area at each point
+        self._stride = 1
+        self._skip = 0
+        self._dropped = 0
 
     # ------------------------------------------------------------------
     @property
     def start_time(self) -> float:
         """Time of the first observation."""
-        return self._times[0]
+        return self._start_time
 
     @property
     def last_time(self) -> float:
         """Time of the most recent observation."""
-        return self._times[-1]
+        return self._last_time
 
     @property
     def current_level(self) -> int:
         """Busy level after the most recent observation."""
-        return self._levels[-1]
+        return self._last_level
+
+    @property
+    def samples_dropped(self) -> int:
+        """Observations absent from the bounded :meth:`samples` view.
+
+        Counts both stride-skipped observations and points discarded by
+        decimation passes.  Zero until the series outgrows
+        :data:`MAX_SAMPLES`; the integral is unaffected either way.
+        """
+        return self._dropped
 
     def observe(self, time: float, level: int) -> None:
         """Record that the busy level became ``level`` at ``time``.
@@ -67,20 +124,42 @@ class UtilizationTracker:
         Raises:
             ValueError: when ``time`` precedes the last observation.
         """
-        times = self._times
-        last_time = times[-1]
+        last_time = self._last_time
         if time == last_time:
             # Collapse same-instant transitions: only the final level at
             # an instant occupies any measure of time.
-            self._levels[-1] = int(level)
+            lvl = int(level)
+            self._last_level = lvl
+            if self._times[-1] == time:
+                self._levels[-1] = lvl
             return
         if time < last_time:
             raise ValueError(
                 f"utilization observations must be time-ordered: {time} < {last_time}"
             )
-        self._busy_area += self._levels[-1] * (time - last_time)
+        prev_level = self._last_level
+        self._busy_area += prev_level * (time - last_time)
+        if prev_level > self._peak_committed:
+            self._peak_committed = prev_level
+        self._last_time = time
+        self._last_level = int(level)
+        # Bounded step-function view (stride retention + decimation).
+        if self._skip:
+            self._skip -= 1
+            self._dropped += 1
+            return
+        times = self._times
         times.append(float(time))
         self._levels.append(int(level))
+        self._areas.append(self._busy_area)
+        if len(times) >= MAX_SAMPLES:
+            dropped = len(times) // 2
+            del times[1::2]
+            del self._levels[1::2]
+            del self._areas[1::2]
+            self._dropped += dropped
+            self._stride *= 2
+        self._skip = self._stride - 1
 
     # ------------------------------------------------------------------
     def busy_area(self, until: Optional[float] = None) -> float:
@@ -88,45 +167,51 @@ class UtilizationTracker:
 
         ``until`` defaults to the last observation; it may extend past
         it, in which case the current level is assumed to persist.
+        Horizons *before* the last observation answer from the retained
+        step points — exact while every observation is retained (under
+        :data:`MAX_SAMPLES`), nearest-retained-point extrapolation
+        afterwards; the stored cumulative areas keep the error local.
         """
-        last_time = self._times[-1]
+        last_time = self._last_time
         horizon = last_time if until is None else float(until)
-        if horizon < last_time:
-            # Re-integrate the prefix; rare (tests only), so clarity
-            # beats speed here.
-            area = 0.0
-            for index in range(len(self._times) - 1):
-                cur_time = self._times[index]
-                nxt_time = self._times[index + 1]
-                level = self._levels[index]
-                if nxt_time >= horizon:
-                    area += level * (horizon - cur_time)
-                    return area
-                area += level * (nxt_time - cur_time)
-            return area
-        return self._busy_area + self._levels[-1] * (horizon - last_time)
+        if horizon >= last_time:
+            return self._busy_area + self._last_level * (horizon - last_time)
+        index = bisect.bisect_right(self._times, horizon) - 1
+        if index < 0:
+            return 0.0
+        return self._areas[index] + self._levels[index] * (horizon - self._times[index])
 
     def mean_utilization(self, total: int, until: Optional[float] = None) -> float:
         """Mean fraction of ``total`` processors busy over the window.
 
         Returns 0.0 for a zero-length window (empty experiment).
         """
-        horizon = self.last_time if until is None else float(until)
-        span = horizon - self.start_time
+        horizon = self._last_time if until is None else float(until)
+        span = horizon - self._start_time
         if span <= 0 or total <= 0:
             return 0.0
         return self.busy_area(until=horizon) / (total * span)
 
     def samples(self) -> Tuple[UtilizationSample, ...]:
-        """Immutable view of the recorded step function."""
-        return tuple(
+        """Immutable (possibly decimated) view of the step function.
+
+        The most recent observation is always included, so the view
+        ends at :attr:`last_time` / :attr:`current_level` even when the
+        stride skipped it.
+        """
+        out = [
             UtilizationSample(time, level)
             for time, level in zip(self._times, self._levels)
-        )
+        ]
+        if self._times[-1] != self._last_time:
+            out.append(UtilizationSample(self._last_time, self._last_level))
+        return tuple(out)
 
     def peak_level(self) -> int:
-        """Maximum busy level observed."""
-        return max(self._levels)
+        """Maximum busy level observed (exact; never decimated away)."""
+        last = self._last_level
+        committed = self._peak_committed
+        return last if last > committed else committed
 
 
-__all__ = ["UtilizationSample", "UtilizationTracker"]
+__all__ = ["MAX_SAMPLES", "UtilizationSample", "UtilizationTracker"]

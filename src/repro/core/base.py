@@ -72,7 +72,8 @@ class SchedulerContext:
         """
         m = self._free
         if m is None:
-            m = self.machine.available - self.active.total_used
+            machine = self.machine
+            m = machine.total - machine._offline_procs - self.active.total_used
             self._free = m
         return m
 
@@ -103,8 +104,17 @@ class CycleDecision:
 
     @staticmethod
     def nothing() -> "CycleDecision":
-        """The empty decision (terminates the runner's cycle loop)."""
-        return CycleDecision()
+        """The empty decision (terminates the runner's cycle loop).
+
+        Returns a shared instance — callers must treat it (and its
+        lists) as read-only.  Policies reach a fix-point on every
+        scheduling event, so this is the single most-constructed
+        decision.
+        """
+        return _NOTHING
+
+
+_NOTHING = CycleDecision()
 
 
 class Scheduler(abc.ABC):

@@ -55,20 +55,20 @@ class DelayedLOS(Scheduler):
     def cycle(self, ctx: SchedulerContext) -> CycleDecision:
         """One pass of Algorithm 1 (the runner loops to fix-point)."""
         m = ctx.free
-        if m <= 0 or not ctx.batch_queue:
+        batch = ctx.batch_queue
+        if m <= 0 or not batch:
             return CycleDecision.nothing()
-        head = ctx.batch_queue.head
+        head = batch.head
         assert head is not None
 
-        if head.num <= m and head.scount >= self.max_skip_count:
-            # Lines 3-5: the head has been skipped C_s times; bound its
-            # waiting time by activating it right away.
-            return CycleDecision(starts=[head])
-
         if head.num <= m:
+            if head.scount >= self.max_skip_count:
+                # Lines 3-5: the head has been skipped C_s times; bound
+                # its waiting time by activating it right away.
+                return CycleDecision(starts=[head])
             # Lines 6-11: pack for maximum instantaneous utilization.
             selection = basic_dp_select(
-                ctx.batch_queue,
+                batch,
                 m,
                 granularity=ctx.machine.granularity,
                 lookahead=self.lookahead,

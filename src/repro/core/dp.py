@@ -342,11 +342,35 @@ def basic_dp_select(
     """
     if free <= 0:
         return _EMPTY
-    candidates = _eligible(jobs, free, lookahead)
+    # One fused pass over the lookahead window builds the candidate
+    # list, the canonical memo entries, and notes the queue head —
+    # this runs every scheduling cycle, so the separate _eligible /
+    # entry-comprehension / next(iter(...)) passes it replaces were
+    # measurable overhead.
+    head_id: Optional[int] = None
+    candidates: List[Job] = []
+    append_candidate = candidates.append
+    entry_list: List[Tuple[int, int]] = []
+    append_entry = entry_list.append
+    total = 0
+    window = jobs if lookahead is None else islice(jobs, lookahead)
+    for job in window:
+        if head_id is None:
+            head_id = job.job_id
+        num = job.num
+        if num <= free:
+            append_candidate(job)
+            append_entry((num // granularity, num))
+            total += num
     if not candidates:
         return _EMPTY
+    if total <= free:
+        # Every candidate fits at once: taking all of them is the
+        # unique DP optimum (values are positive), so the memo probe
+        # and the solve are skipped entirely.
+        return DPSelection(candidates, candidates[0].job_id == head_id)
     capacity = free // granularity
-    entries = tuple((job.num // granularity, job.num) for job in candidates)
+    entries = tuple(entry_list)
 
     indices: Optional[Tuple[int, ...]] = None
     key = None
@@ -359,7 +383,7 @@ def basic_dp_select(
             BASIC_CACHE.put(key, indices)
 
     selected = [candidates[i] for i in indices]
-    head_selected = bool(selected) and selected[0].job_id == next(iter(jobs)).job_id
+    head_selected = bool(selected) and selected[0].job_id == head_id
     return DPSelection(selected, head_selected)
 
 
@@ -409,26 +433,45 @@ def reservation_dp_select(
     """
     if free <= 0:
         return _EMPTY
-    candidates = _eligible(jobs, free, lookahead)
-    if not candidates:
-        return _EMPTY
     freeze_capacity = max(0, int(freeze_capacity))
-
     cap_now = free // granularity
     cap_freeze = freeze_capacity // granularity
+
+    # Fused eligibility + canonicalization pass (see basic_dp_select):
+    # one walk over the lookahead window computes fit, frenum folding
+    # and the memo entries together.
+    head_id: Optional[int] = None
     entry_jobs: List[Job] = []
-    entries: List[Tuple[int, int, int]] = []
-    for job in candidates:
+    append_job = entry_jobs.append
+    entry_list: List[Tuple[int, int, int]] = []
+    append_entry = entry_list.append
+    tot_size = 0
+    tot_fsize = 0
+    window = jobs if lookahead is None else islice(jobs, lookahead)
+    for job in window:
+        if head_id is None:
+            head_id = job.job_id
+        num = job.num
+        if num > free:
+            continue
         # Algorithm 1 line 16 (strict <): jobs ending before the freeze
         # end time do not occupy freeze capacity.
-        frenum = 0 if now + job.estimate < freeze_time else job.num
-        if frenum // granularity > cap_freeze:
+        fsize = 0 if now + job.estimate < freeze_time else num // granularity
+        if fsize > cap_freeze:
             continue  # can never be selected: would overrun the reservation
-        entry_jobs.append(job)
-        entries.append((job.num // granularity, frenum // granularity, job.num))
-    if not entries:
+        size = num // granularity
+        append_job(job)
+        append_entry((size, fsize, num))
+        tot_size += size
+        tot_fsize += fsize
+    if not entry_list:
         return _EMPTY
-    instance = tuple(entries)
+    if tot_size <= cap_now and tot_fsize <= cap_freeze:
+        # Every candidate fits inside both budgets at once: taking all
+        # of them is the unique DP optimum (values are positive), so
+        # the memo probe and the solve are skipped entirely.
+        return DPSelection(entry_jobs, entry_jobs[0].job_id == head_id)
+    instance = tuple(entry_list)
 
     indices: Optional[Tuple[int, ...]] = None
     key = None
@@ -441,7 +484,7 @@ def reservation_dp_select(
             RESERVATION_CACHE.put(key, indices)
 
     selected = [entry_jobs[i] for i in indices]
-    head_selected = bool(selected) and selected[0].job_id == next(iter(jobs)).job_id
+    head_selected = bool(selected) and selected[0].job_id == head_id
     return DPSelection(selected, head_selected)
 
 

@@ -99,37 +99,40 @@ def dedicated_freeze(ctx: SchedulerContext) -> FreezeSpec:
 
     Requires a non-empty dedicated queue with a future head start.
     """
-    head = ctx.dedicated_queue.head
+    dedicated = ctx.dedicated_queue
+    now = ctx.now
+    head = dedicated.head
     if head is None:
         raise ValueError("dedicated queue is empty")
-    assert head.requested_start is not None
-    if head.requested_start <= ctx.now:
+    start = head.requested_start
+    assert start is not None
+    if start <= now:
         raise ValueError(
             f"dedicated head {head.job_id} is already due "
-            f"(start={head.requested_start} <= t={ctx.now}); promote it instead"
+            f"(start={start} <= t={now}); promote it instead"
         )
 
     # Offline psets (fault injection) are unavailable to reservations;
     # optimistically assuming their repair would overcommit the freeze.
     machine_size = ctx.machine.available
-    start = head.requested_start
-    last = ctx.active.last()
+    active = ctx.active
+    last = active.last()
 
     # Lines 9–15: capacity free at the requested start.
-    if last is not None and start <= ctx.now + last.residual(ctx.now):
+    if last is not None and start <= now + last.residual(now):
         # A running job's kill-by never precedes the clock, so
         # "t + res >= start" is exactly "kill_by >= start" here
         # (start > t is checked above) — answerable from the active
         # list's aggregated release steps without scanning every job.
-        still_running = ctx.active.used_at(start, rebuild=not ctx.memo)
+        still_running = active.used_at(start, rebuild=not ctx.memo)
         frec = machine_size - still_running
     else:
         frec = machine_size
 
     # Lines 16–17: the whole identical-start head group is reserved
     # together.
-    group = ctx.dedicated_queue.cohead_group()
-    tot_start_num = sum(job.num for job in group)
+    group = dedicated.cohead_group()
+    tot_start_num = group[0].num if len(group) == 1 else sum(job.num for job in group)
 
     if tot_start_num <= frec:
         # Lines 18–22: reservation honoured on time.

@@ -52,8 +52,6 @@ import os
 from collections import OrderedDict
 from typing import Generic, Hashable, Optional, Tuple, TypeVar
 
-from repro.obs.telemetry import bump
-
 #: Environment switch: any truthy value disables the memoization layer
 #: (DP result cache, cycle elision, incremental capacity profile).
 ENV_NO_MEMO = "REPRO_NO_MEMO"
@@ -89,13 +87,18 @@ class LRUCache(Generic[K, V]):
     counter names.
     """
 
-    __slots__ = ("capacity", "_data")
+    __slots__ = ("capacity", "_data", "hits", "misses")
 
     def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self._data: "OrderedDict[K, V]" = OrderedDict()
+        #: Probe counters maintained by :func:`lookup`; the runner folds
+        #: them into the ``dp_cache_hits``/``dp_cache_misses`` telemetry
+        #: at the end of a run (cheaper than a registry bump per probe).
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -117,8 +120,10 @@ class LRUCache(Generic[K, V]):
             data.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry (tests; never required for correctness)."""
+        """Drop every entry and reset the probe counters."""
         self._data.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 #: Key/value shapes of the two DP caches (documentation aliases).
@@ -134,12 +139,18 @@ RESERVATION_CACHE: LRUCache[ReservationKey, Selection] = LRUCache()
 
 
 def lookup(cache: LRUCache[K, Selection], key: K) -> Optional[Selection]:
-    """Cache probe with ``dp_cache_hits``/``dp_cache_misses`` telemetry."""
+    """Cache probe counted on the cache itself.
+
+    The counts surface as ``dp_cache_hits``/``dp_cache_misses``
+    telemetry when the runner folds them in at the end of a run —
+    probes happen on every scheduling pass, so they count on plain
+    attributes instead of going through the registry hook each time.
+    """
     selection = cache.get(key)
     if selection is not None:
-        bump("dp_cache_hits")
+        cache.hits += 1
     else:
-        bump("dp_cache_misses")
+        cache.misses += 1
     return selection
 
 

@@ -21,6 +21,8 @@ when tracing is on; tests assert event-level invariants on it.
 
 from __future__ import annotations
 
+import dataclasses
+from functools import partial
 from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional, Union
@@ -29,9 +31,15 @@ from repro.cluster.accounting import UtilizationTracker
 from repro.cluster.machine import Machine
 from repro.core.base import CycleDecision, Scheduler, SchedulerContext
 from repro.core.elastic import ECCOutcome, ECCProcessor
-from repro.core.memo import clear_caches, memo_enabled
+from repro.core.memo import (
+    BASIC_CACHE,
+    RESERVATION_CACHE,
+    clear_caches,
+    memo_enabled,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultConfig, RetryPolicy
+from repro.metrics.online import OnlineAggregator
 from repro.metrics.queue_stats import QueueTracker
 from repro.metrics.records import (
     CancellationRecord,
@@ -49,6 +57,7 @@ from repro.sim.trace import TraceLog
 from repro.workload.ecc import ECC, ECCKind
 from repro.workload.generator import Workload
 from repro.workload.job import Job, JobState
+from repro.workload.streaming import JobStream, StreamItem
 
 #: Hard cap on fix-point passes within one scheduling cycle; real
 #: cycles converge in a handful of passes, so hitting this means a
@@ -60,8 +69,30 @@ class SimulationRunner:
     """Simulates ``workload`` under ``scheduler`` on its machine.
 
     Args:
-        workload: The input workload (jobs are copied; the workload
-            object is reusable across runs and algorithms).
+        workload: The input workload.  A :class:`Workload` is eager
+            (jobs are copied; the object is reusable across runs and
+            algorithms); a :class:`~repro.workload.streaming.JobStream`
+            is consumed lazily as virtual time advances, holding only
+            ``stream_window`` upcoming items plus the live jobs in
+            memory (docs/scaling.md) — single-use, so build a fresh
+            stream per run.
+        online: Maintain an O(1)-memory
+            :class:`~repro.metrics.online.OnlineAggregator` over
+            completions and attach its summary as ``metrics.online``.
+            Means are bitwise-equal to the record-based ones; the p95
+            is a P² approximation.
+        retain_records: Keep the per-job :class:`JobRecord` list
+            (default).  ``False`` (requires ``online=True``) drops it
+            so metrics memory stays flat at archive scale.
+        stream_window: Upcoming stream items kept scheduled ahead of
+            the clock (streaming mode only).  Same-instant arrival
+            ordering caveat: streamed arrivals are enqueued as the
+            window slides, so an arrival sharing its exact instant and
+            priority with a dynamically scheduled event (a fault
+            requeue) may fire after it where the eager runner — which
+            pre-schedules every arrival first — fired it before.
+            Metrics under faults can therefore differ in such ties;
+            fault-free runs are unaffected.
         scheduler: The policy to drive.
         trace: Record a full in-memory :class:`TraceLog`
             (tests/debugging).
@@ -89,7 +120,7 @@ class SimulationRunner:
 
     def __init__(
         self,
-        workload: Workload,
+        workload: Union[Workload, JobStream],
         scheduler: Scheduler,
         *,
         trace: bool = False,
@@ -98,35 +129,88 @@ class SimulationRunner:
         allow_resource_eccs: bool = False,
         faults: Optional[FaultConfig] = None,
         retry: Optional[RetryPolicy] = None,
+        online: bool = False,
+        retain_records: bool = True,
+        stream_window: int = 64,
     ) -> None:
         self.workload = workload
         self.scheduler = scheduler
         self.retry = retry if retry is not None else RetryPolicy()
-        self.jobs: List[Job] = workload.fresh_jobs()
-        self._jobs_by_id: Dict[int, Job] = {job.job_id: job for job in self.jobs}
-        if len(self._jobs_by_id) != len(self.jobs):
-            raise ValueError("duplicate job ids in workload")
-
-        dedicated = [job for job in self.jobs if job.is_dedicated]
-        if dedicated and not scheduler.handles_dedicated:
+        if not retain_records and not online:
             raise ValueError(
-                f"workload has {len(dedicated)} dedicated jobs but "
-                f"{scheduler.name} handles batch jobs only (use a -D variant)"
+                "retain_records=False discards the per-job records; enable "
+                "online=True so the run still produces statistics"
             )
-
-        for ecc in workload.eccs:
-            target = self._jobs_by_id.get(ecc.job_id)
-            if target is None:
-                raise ValueError(f"ECC references unknown job {ecc.job_id}")
-            if ecc.issue_time < target.submit:
-                # ECCs modify "a previously submitted job" (§III-C):
-                # a command cannot precede its job's submission.
+        self._retain_records = retain_records
+        self._online = OnlineAggregator() if online else None
+        self._streaming = isinstance(workload, JobStream)
+        # Streaming bookkeeping (all zero/idle in eager mode): the
+        # admitted/retired counters replace scans over ``self.jobs``
+        # (which streaming keeps empty), and the span/work accumulators
+        # reproduce Workload.offered_load() from pristine pulls.
+        self._jobs_admitted = 0
+        self._jobs_retired = 0
+        self._stream_inflight = 0
+        self._stream_exhausted = True
+        self._stream_first: Optional[StreamItem] = None
+        self._span_start: Optional[float] = None
+        self._span_end = 0.0
+        self._work_sum = 0.0
+        if self._streaming:
+            if stream_window < 1:
                 raise ValueError(
-                    f"ECC for job {ecc.job_id} issued at t={ecc.issue_time} "
-                    f"before the job's submission at t={target.submit}"
+                    f"stream_window must be positive, got {stream_window}"
+                )
+            self.jobs: List[Job] = []
+            self._jobs_by_id: Dict[int, Job] = {}
+            self._stream_iter = iter(workload)
+            self._stream_window = stream_window
+            # The stream contract says submissions lead their commands,
+            # so a peek at the first item yields the simulation start
+            # time without materializing anything else.
+            first = next(self._stream_iter, None)
+            if first is None:
+                raise ValueError(
+                    "job stream yielded no items — streams are single-use; "
+                    "build a fresh JobStream for every run"
+                )
+            if isinstance(first, ECC):
+                raise ValueError(
+                    f"job stream starts with an ECC for job {first.job_id}; "
+                    "submissions must precede their commands"
+                )
+            self._stream_first = first
+            self._stream_exhausted = False
+            start = first.submit
+        else:
+            self.jobs = workload.fresh_jobs()
+            self._jobs_by_id = {job.job_id: job for job in self.jobs}
+            if len(self._jobs_by_id) != len(self.jobs):
+                raise ValueError("duplicate job ids in workload")
+
+            dedicated = [job for job in self.jobs if job.is_dedicated]
+            if dedicated and not scheduler.handles_dedicated:
+                raise ValueError(
+                    f"workload has {len(dedicated)} dedicated jobs but "
+                    f"{scheduler.name} handles batch jobs only (use a -D variant)"
                 )
 
-        start = min((job.submit for job in self.jobs), default=0.0)
+            for ecc in workload.eccs:
+                target = self._jobs_by_id.get(ecc.job_id)
+                if target is None:
+                    raise ValueError(f"ECC references unknown job {ecc.job_id}")
+                if ecc.issue_time < target.submit:
+                    # ECCs modify "a previously submitted job" (§III-C):
+                    # a command cannot precede its job's submission.
+                    raise ValueError(
+                        f"ECC for job {ecc.job_id} issued at t={ecc.issue_time} "
+                        f"before the job's submission at t={target.submit}"
+                    )
+
+            start = min((job.submit for job in self.jobs), default=0.0)
+        #: Latest completion instant, maintained incrementally by
+        #: ``_on_finish`` (the eager path used to re-scan the records).
+        self._last_finish = start
         self.tracker = UtilizationTracker(start_time=start)
         self.queue_tracker = QueueTracker(start_time=start)
         self.machine = Machine(
@@ -145,7 +229,19 @@ class SimulationRunner:
         self.trace = TraceLog(
             enabled=trace or self._trace_out is not None, store=trace
         )
+        # Cached so hot handlers can skip building the kwargs payload
+        # entirely on untraced runs (the common case in sweeps).
+        self._trace_on = self.trace.enabled
         self.telemetry = obs_telemetry.Telemetry()
+        self._depth_series = self.telemetry.series_handle("queue_depth")
+        # Cycle bookkeeping accumulated in plain attributes and folded
+        # into the telemetry registry at snapshot time: the counters'
+        # final values are identical, but the per-cycle dict updates
+        # disappear from the inner loop.
+        self._n_cycles = 0
+        self._n_cycles_elided = 0
+        self._n_passes = 0
+        self._sched_wall = 0.0
         self.batch_queue = BatchQueue()
         self.dedicated_queue = DedicatedQueue()
         self.active = ActiveList()
@@ -181,6 +277,12 @@ class SimulationRunner:
         # (dedicated_freeze).
         self._memo_on = memo_enabled()
         self._ctx.memo = self._memo_on
+        # Stateless policies (the default) keep memo_token() as the
+        # base-class constant; skipping the call on every cycle saves
+        # two method invocations per scheduling event.
+        self._static_memo_token = (
+            type(scheduler).memo_token is Scheduler.memo_token
+        )
         self.failed_records: List[FailureRecord] = []
         self._lost_work = 0.0
         self._lost_by_job: Dict[int, float] = {}
@@ -196,19 +298,25 @@ class SimulationRunner:
     # Wiring
     # ------------------------------------------------------------------
     def _wire_events(self) -> None:
+        if self._streaming:
+            if self._stream_first is not None:
+                self._admit_stream_item(self._stream_first)
+                self._stream_first = None
+                self._pump_stream()
+            return
         for job in self.jobs:
             self.sim.schedule_at(
                 job.submit,
-                lambda j=job: self._on_arrival(j),
+                partial(self._on_arrival, job),
                 priority=EventPriority.ARRIVAL,
-                name=f"arrive#{job.job_id}",
+                name="arrive",
             )
         for ecc in self.workload.eccs:
             self.sim.schedule_at(
                 ecc.issue_time,
-                lambda e=ecc: self._on_ecc(e),
+                partial(self._on_ecc, ecc),
                 priority=EventPriority.ECC,
-                name=f"ecc#{ecc.job_id}",
+                name="ecc",
             )
         for job in self.jobs:
             if job.cancel_at is not None:
@@ -217,31 +325,145 @@ class SimulationRunner:
                 # arrivals of the next batch of work).
                 self.sim.schedule_at(
                     job.cancel_at,
-                    lambda j=job: self._on_cancel(j),
+                    partial(self._on_cancel, job),
                     priority=EventPriority.ECC,
-                    name=f"cancel#{job.job_id}",
+                    name="cancel",
                 )
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion (docs/scaling.md)
+    # ------------------------------------------------------------------
+    def _pump_stream(self) -> None:
+        """Top the in-flight window back up to ``stream_window`` items.
+
+        Each admitted item carries exactly one *anchor* event (the
+        arrival or the command, at the item's stream time); auxiliary
+        events it spawns (cancellations, dedicated-start timers) don't
+        count against the window.  Anchors decrement the in-flight
+        count when they fire and pump one replacement, so the event
+        heap holds O(window + live jobs) entries regardless of the
+        stream's length.
+        """
+        while self._stream_inflight < self._stream_window:
+            item = next(self._stream_iter, None)
+            if item is None:
+                self._stream_exhausted = True
+                return
+            self._admit_stream_item(item)
+
+    def _admit_stream_item(self, item: StreamItem) -> None:
+        """Validate one pulled item and schedule its anchor event.
+
+        Jobs get the same admission checks the eager constructor runs
+        up front (machine fit, dedicated-handling capability,
+        duplicate ids — the last only against still-live jobs, since
+        retired ids have been reclaimed; the :class:`JobStream`
+        contract guarantees global uniqueness).  Commands trust the
+        contract that their job was streamed first: a target missing
+        from the live map is treated as retired when the command
+        fires, not as an error here.
+        """
+        if isinstance(item, ECC):
+            target = self._jobs_by_id.get(item.job_id)
+            if target is not None and item.issue_time < target.submit:
+                raise ValueError(
+                    f"ECC for job {item.job_id} issued at t={item.issue_time} "
+                    f"before the job's submission at t={target.submit}"
+                )
+            self.sim.schedule_at(
+                item.issue_time,
+                partial(self._on_stream_ecc, item),
+                priority=EventPriority.ECC,
+                name="ecc",
+            )
+        else:
+            job = item
+            if job.job_id in self._jobs_by_id:
+                raise ValueError(f"duplicate job ids in workload ({job.job_id})")
+            if job.is_dedicated and not self.scheduler.handles_dedicated:
+                raise ValueError(
+                    f"streamed dedicated job {job.job_id} but "
+                    f"{self.scheduler.name} handles batch jobs only "
+                    "(use a -D variant)"
+                )
+            self.machine.validate_request(job.num)
+            self._jobs_by_id[job.job_id] = job
+            self._jobs_admitted += 1
+            # Offered-load accumulation over the *pristine* job, before
+            # any ECC can touch it — the streaming replica of
+            # Workload.offered_load() (same left-to-right summation).
+            runtime = job.effective_runtime()
+            end = job.submit + runtime
+            if self._span_start is None:
+                self._span_start = job.submit
+            if end > self._span_end:
+                self._span_end = end
+            self._work_sum += job.num * runtime
+            self.sim.schedule_at(
+                job.submit,
+                partial(self._on_stream_arrival, job),
+                priority=EventPriority.ARRIVAL,
+                name="arrive",
+            )
+            if job.cancel_at is not None:
+                self.sim.schedule_at(
+                    job.cancel_at,
+                    partial(self._on_cancel, job),
+                    priority=EventPriority.ECC,
+                    name="cancel",
+                )
+        self._stream_inflight += 1
+
+    def _on_stream_arrival(self, job: Job) -> None:
+        self._stream_inflight -= 1
+        if not self._stream_exhausted:
+            self._pump_stream()
+        self._on_arrival(job)
+
+    def _on_stream_ecc(self, ecc: ECC) -> None:
+        self._stream_inflight -= 1
+        if not self._stream_exhausted:
+            self._pump_stream()
+        self._on_ecc(ecc)
+
+    def work_remains(self) -> bool:
+        """Whether any job may still need the machine.
+
+        Gates the fault injector's failure renewal chain.  Streaming
+        runs answer from the admitted/retired counters plus the stream
+        frontier; eager runs scan the (fully materialized) job list.
+        """
+        if self._streaming:
+            return (
+                not self._stream_exhausted
+                or self._jobs_retired < self._jobs_admitted
+            )
+        return any(
+            job.state in (JobState.PENDING, JobState.QUEUED, JobState.RUNNING)
+            for job in self.jobs
+        )
 
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
     def _sample_queue_depth(self, now: float) -> None:
         """Telemetry: waiting-job count after any queue transition."""
-        self.telemetry.sample(
-            "queue_depth", now, len(self.batch_queue) + len(self.dedicated_queue)
+        self._depth_series.add(
+            now, len(self.batch_queue) + len(self.dedicated_queue)
         )
 
     def _on_arrival(self, job: Job) -> None:
         now = self.sim.now
-        if job.is_dedicated:
-            self.trace.record(
-                now, "arrive", job=job.job_id, num=job.num,
-                job_kind=job.kind.value, requested_start=job.requested_start,
-            )
-        else:
-            self.trace.record(
-                now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value
-            )
+        if self._trace_on:
+            if job.is_dedicated:
+                self.trace.record(
+                    now, "arrive", job=job.job_id, num=job.num,
+                    job_kind=job.kind.value, requested_start=job.requested_start,
+                )
+            else:
+                self.trace.record(
+                    now, "arrive", job=job.job_id, num=job.num, job_kind=job.kind.value
+                )
         self.queue_tracker.on_enqueue(now, job.num * job.estimate)
         if job.is_dedicated:
             self.dedicated_queue.push(job)
@@ -251,7 +473,7 @@ class SimulationRunner:
                     job.requested_start,
                     self._request_cycle_now,
                     priority=EventPriority.TIMER,
-                    name=f"ded-start#{job.job_id}",
+                    name="ded-start",
                 )
         else:
             self.batch_queue.push(job)
@@ -269,11 +491,23 @@ class SimulationRunner:
         self._finish_events.pop(job.job_id, None)
         record = JobRecord.from_job(job)
         if job.job_id in self._cancelled_while_running:
-            import dataclasses
-
             record = dataclasses.replace(record, cancelled=True)
-        self.records.append(record)
-        self.trace.record(now, "finish", job=job.job_id, num=job.num)
+        if now > self._last_finish:
+            self._last_finish = now
+        if self._online is not None:
+            # Completion order matches records-append order, so the
+            # aggregator's running sums replay the exact float
+            # additions of the eager mean() — bitwise-equal results.
+            self._online.observe(record)
+        if self._retain_records:
+            self.records.append(record)
+        self._jobs_retired += 1
+        if self._streaming:
+            # Reclaim the Job object; late commands aimed at it resolve
+            # to DROPPED_FINISHED from the id lookup failing instead.
+            del self._jobs_by_id[job.job_id]
+        if self._trace_on:
+            self.trace.record(now, "finish", job=job.job_id, num=job.num)
         self._request_cycle()
 
     def _on_cancel(self, job: Job) -> None:
@@ -298,11 +532,17 @@ class SimulationRunner:
                     cancelled_at=now,
                 )
             )
-            self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="queued")
+            # Terminal for work_remains(); the Job object stays in
+            # _jobs_by_id so a late ECC still finds its real state
+            # (cancelled jobs are rare enough not to threaten memory).
+            self._jobs_retired += 1
+            if self._trace_on:
+                self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="queued")
             self._sample_queue_depth(now)
             self._request_cycle()
         elif job.state is JobState.RUNNING:
-            self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="running")
+            if self._trace_on:
+                self.trace.record(now, "cancel", job=job.job_id, num=job.num, was="running")
             job.killed = True
             self._cancelled_while_running.add(job.job_id)
             self._reschedule_finish(job, now)
@@ -316,10 +556,26 @@ class SimulationRunner:
             # Non-elastic policies have no ECC processor appended; the
             # command is silently dropped (recorded for diagnostics).
             self._dropped_eccs += 1
-            self.trace.record(now, "ecc-dropped", job=ecc.job_id, ecc_kind=ecc.kind.value)
+            if self._trace_on:
+                self.trace.record(now, "ecc-dropped", job=ecc.job_id, ecc_kind=ecc.kind.value)
             return
         job = self._jobs_by_id.get(ecc.job_id)
         if job is None:
+            if self._streaming:
+                # Streaming retires finished jobs from the live map, so
+                # a command outliving its job lands here; mirror the
+                # eager path's ECCProcessor verdict for FINISHED jobs.
+                self.ecc_processor.stats[ECCOutcome.DROPPED_FINISHED] += 1
+                if self._trace_on:
+                    self.trace.record(
+                        now,
+                        "ecc",
+                        job=ecc.job_id,
+                        ecc_kind=ecc.kind.value,
+                        amount=ecc.amount,
+                        outcome=ECCOutcome.DROPPED_FINISHED.value,
+                    )
+                return
             raise SimulationError(f"ECC references unknown job {ecc.job_id}")
         estimate_before = job.estimate
         result = self.ecc_processor.apply(ecc, job, now)
@@ -328,17 +584,18 @@ class SimulationRunner:
             self.queue_tracker.on_work_changed(
                 now, job.num * (job.estimate - estimate_before)
             )
-        self.trace.record(
-            now,
-            "ecc",
-            job=ecc.job_id,
-            ecc_kind=ecc.kind.value,
-            amount=ecc.amount,
-            outcome=result.outcome.value,
-            # Post-command size: lets trace analytics map EP/RP
-            # commands to allocation deltas (repro trace --check).
-            num=job.num,
-        )
+        if self._trace_on:
+            self.trace.record(
+                now,
+                "ecc",
+                job=ecc.job_id,
+                ecc_kind=ecc.kind.value,
+                amount=ecc.amount,
+                outcome=result.outcome.value,
+                # Post-command size: lets trace analytics map EP/RP
+                # commands to allocation deltas (repro trace --check).
+                num=job.num,
+            )
         if result.outcome is ECCOutcome.APPLIED_RUNNING:
             assert result.new_kill_by is not None
             self._reschedule_finish(job, result.new_kill_by)
@@ -356,9 +613,9 @@ class SimulationRunner:
             old.cancel()
         self._finish_events[job.job_id] = self.sim.schedule_at(
             when,
-            lambda j=job: self._on_finish(j),
+            partial(self._on_finish, job),
             priority=EventPriority.FINISH,
-            name=f"finish#{job.job_id}",
+            name="finish",
         )
 
     # ------------------------------------------------------------------
@@ -417,10 +674,11 @@ class SimulationRunner:
         lost = job.num * max(0.0, elapsed - preserved)
         self._lost_work += lost
         self._lost_by_job[job.job_id] = self._lost_by_job.get(job.job_id, 0.0) + lost
-        self.trace.record(
-            now, "job-fail", job=job.job_id, num=job.num,
-            reason=reason, attempt=attempt, lost=lost,
-        )
+        if self._trace_on:
+            self.trace.record(
+                now, "job-fail", job=job.job_id, num=job.num,
+                reason=reason, attempt=attempt, lost=lost,
+            )
         permanent = attempt > self.retry.max_retries
         if permanent:
             job.state = JobState.FAILED
@@ -437,13 +695,17 @@ class SimulationRunner:
                     reason=reason,
                 )
             )
-            self.trace.record(now, "job-failed-permanently", job=job.job_id, attempts=attempt)
+            if self._trace_on:
+                self.trace.record(now, "job-failed-permanently", job=job.job_id, attempts=attempt)
+            # Terminal for work_remains(); like cancelled jobs, the
+            # object stays in _jobs_by_id for late-ECC state checks.
+            self._jobs_retired += 1
         else:
             self.sim.schedule_in(
                 self.retry.delay(attempt),
-                lambda j=job: self._on_requeue(j),
+                partial(self._on_requeue, job),
                 priority=EventPriority.ARRIVAL,
-                name=f"requeue#{job.job_id}",
+                name="requeue",
             )
         self.scheduler.on_job_failure(job, now, permanent)
         self._request_cycle()
@@ -454,7 +716,8 @@ class SimulationRunner:
         self.batch_queue.push_requeue(job, now)
         self.queue_tracker.on_enqueue(now, job.num * job.estimate)
         self._requeue_count += 1
-        self.trace.record(now, "requeue", job=job.job_id, attempt=job.requeues)
+        if self._trace_on:
+            self.trace.record(now, "requeue", job=job.job_id, attempt=job.requeues)
         self._sample_queue_depth(now)
         self._request_cycle()
 
@@ -484,10 +747,15 @@ class SimulationRunner:
         Every input a policy can read is covered: the clock, queue and
         active-list mutation versions (membership, order, kill-by
         times), the job-mutation counter (applied ECCs), the machine's
-        free/available capacity (fault and repair events move it), the
-        batch head's skip count (the one field policies themselves
-        mutate), and the policy's own :meth:`~repro.core.base.Scheduler
-        .memo_token`.
+        used/offline counters (which, with ``total`` fixed, determine
+        free and available capacity; allocations, faults and repairs
+        all move them), the batch head's skip count (the one field
+        policies themselves mutate), and the policy's own
+        :meth:`~repro.core.base.Scheduler.memo_token` (skipped for
+        stateless policies that keep the base-class constant).
+
+        ``_run_cycle`` inlines this construction — keep the two in
+        sync.
         """
         head = self.batch_queue.head
         return (
@@ -496,47 +764,70 @@ class SimulationRunner:
             self.dedicated_queue.version,
             self.active.version,
             self._jobs_version,
-            self.machine.free,
-            self.machine.available,
+            self.machine._used,
+            self.machine._offline_procs,
             None if head is None else (head.job_id, head.scount),
-            self.scheduler.memo_token(),
+            None if self._static_memo_token else self.scheduler.memo_token(),
         )
 
     def _run_cycle(self) -> None:
         now = self.sim.now
         if self._pending_cycle_time == now:
             self._pending_cycle_time = None
-        telemetry = self.telemetry
         token: Optional[tuple] = None
+        batch_queue = self.batch_queue
+        scheduler = self.scheduler
         if self._memo_on:
-            token = self._elision_token()
+            # Inlined _elision_token() — this runs on every scheduling
+            # event, and the attribute walks dominate the method call.
+            # Components 5/6 use the machine's raw counters rather than
+            # the free/available properties: with ``total`` fixed,
+            # (used, offline) and (free, available) determine each
+            # other, so the fingerprint is equally tight.
+            machine = self.machine
+            head = batch_queue.head
+            token = (
+                now,
+                batch_queue.version,
+                self.dedicated_queue.version,
+                self.active.version,
+                self._jobs_version,
+                machine._used,
+                machine._offline_procs,
+                None if head is None else (head.job_id, head.scount),
+                None if self._static_memo_token else scheduler.memo_token(),
+            )
             if token == self._elidable_token:
                 # This exact state already produced an empty, mutation-
                 # free first pass at this instant; re-running the policy
                 # would be the identity.
-                telemetry.count("cycles_elided")
+                self._n_cycles_elided += 1
                 return
-        telemetry.count("schedule_cycles")
+        self._n_cycles += 1
         started = perf_counter()
         ctx = self._ctx
         ctx.now = now
-        ctx.invalidate_free()
+        ctx._free = None  # invalidate_free(), inlined for the hot loop
         pass_index = 0
         try:
             for pass_index in range(MAX_CYCLE_PASSES):
                 ctx.allow_scount_increment = pass_index == 0
-                decision = self.scheduler.cycle(ctx)
-                if decision.is_empty():
+                decision = scheduler.cycle(ctx)
+                if not (decision.starts or decision.promotions):
                     if pass_index == 0 and token is not None:
                         # A policy touches nothing but the batch head's
                         # scount and its own internal state during an
                         # empty pass (queues, machine and clock are
                         # runner-owned), so only those two fingerprint
                         # components need re-checking.
-                        head = self.batch_queue.head
+                        head = batch_queue.head
                         if token[7] == (
                             None if head is None else (head.job_id, head.scount)
-                        ) and token[8] == self.scheduler.memo_token():
+                        ) and token[8] == (
+                            None
+                            if self._static_memo_token
+                            else scheduler.memo_token()
+                        ):
                             # Empty on the *first* pass (so scount
                             # rules matched a fresh cycle) and nothing
                             # mutated: a repeat at this instant is
@@ -544,10 +835,10 @@ class SimulationRunner:
                             self._elidable_token = token
                     return
                 self._apply(decision)
-                ctx.invalidate_free()
+                ctx._free = None
         finally:
-            telemetry.count("schedule_passes", pass_index + 1)
-            telemetry.add_time("schedule_wall_s", perf_counter() - started)
+            self._n_passes += pass_index + 1
+            self._sched_wall += perf_counter() - started
         raise SimulationError(
             f"scheduler {self.scheduler.name} did not reach a fix-point "
             f"within {MAX_CYCLE_PASSES} passes at t={now}"
@@ -555,12 +846,14 @@ class SimulationRunner:
 
     def _apply(self, decision: CycleDecision) -> None:
         now = self.sim.now
+        trace_on = self._trace_on
         for job in decision.promotions:
             # Algorithm 3: the due dedicated head becomes the head of
             # the batch queue (scount was set by the policy).
             self.dedicated_queue.remove(job)
             self.batch_queue.push_head(job)
-            self.trace.record(now, "promote", job=job.job_id, scount=job.scount)
+            if trace_on:
+                self.trace.record(now, "promote", job=job.job_id, scount=job.scount)
         for job in decision.starts:
             self.batch_queue.remove(job)
             self.queue_tracker.on_dequeue(now, job.num * job.estimate)
@@ -571,7 +864,8 @@ class SimulationRunner:
             self._reschedule_finish(job, now + job.effective_runtime())
             if self.faults is not None:
                 self.faults.on_job_start(job)
-            self.trace.record(now, "start", job=job.job_id, num=job.num)
+            if trace_on:
+                self.trace.record(now, "start", job=job.job_id, num=job.num)
         if decision.starts:
             self._sample_queue_depth(now)
 
@@ -604,10 +898,28 @@ class SimulationRunner:
             with obs_telemetry.activated(self.telemetry):
                 with self.telemetry.timeit("run_wall_s"):
                     self.sim.run(until=until)
+                self._fold_dp_cache_telemetry()
         finally:
             if writer is not None:
                 self.trace.sink = None
                 writer.close()
+        if self._streaming:
+            # The live map holds queued/running jobs plus the (rare)
+            # cancelled/failed ones kept for late-ECC lookups; the
+            # counters tell them apart without a full-workload list.
+            leftover = self._jobs_admitted - self._jobs_retired
+            if leftover and until is None:
+                ids = [
+                    job_id
+                    for job_id, job in self._jobs_by_id.items()
+                    if job.state
+                    not in (JobState.FINISHED, JobState.CANCELLED, JobState.FAILED)
+                ][:10]
+                raise SimulationError(
+                    f"{self.scheduler.name} left {leftover} jobs unfinished "
+                    f"(first ids: {ids}); starvation or wiring bug"
+                )
+            return self._metrics()
         unfinished = [
             job
             for job in self.jobs
@@ -626,6 +938,20 @@ class SimulationRunner:
         """Header metadata for a streamed trace file."""
         from repro import __version__
 
+        if self._streaming:
+            hint = self.workload.n_jobs_hint
+            return {
+                "algorithm": self.scheduler.name,
+                "machine_size": self.machine.total,
+                "granularity": self.machine.granularity,
+                # Streams don't know their length up front; -1 marks
+                # "unknown" so readers never mistake it for an empty run.
+                "n_jobs": hint if hint is not None else -1,
+                "n_eccs": -1,
+                "streaming": True,
+                "faulty": self.faults is not None,
+                "repro_version": __version__,
+            }
         return {
             "algorithm": self.scheduler.name,
             "machine_size": self.machine.total,
@@ -636,8 +962,81 @@ class SimulationRunner:
             "repro_version": __version__,
         }
 
+    def _fold_dp_cache_telemetry(self) -> None:
+        """Fold the DP caches' probe counters into the registry.
+
+        :func:`repro.core.memo.lookup` counts probes on the caches
+        instead of bumping the registry per call; this folds (and
+        resets) those counts so repeated ``run(until=...)`` segments
+        accumulate exactly like the old per-probe counting did.
+        """
+        telemetry = self.telemetry
+        hits = BASIC_CACHE.hits + RESERVATION_CACHE.hits
+        misses = BASIC_CACHE.misses + RESERVATION_CACHE.misses
+        if hits:
+            telemetry.count("dp_cache_hits", hits)
+        if misses:
+            telemetry.count("dp_cache_misses", misses)
+        BASIC_CACHE.hits = BASIC_CACHE.misses = 0
+        RESERVATION_CACHE.hits = RESERVATION_CACHE.misses = 0
+
+    def _fold_cycle_telemetry(self) -> None:
+        """Fold the batched cycle counters into the registry.
+
+        The attributes are reset so repeated ``run(until=...)`` /
+        ``_metrics()`` calls accumulate instead of double-counting;
+        zero counters stay absent, exactly as with per-cycle counting.
+        """
+        telemetry = self.telemetry
+        if self._n_cycles:
+            telemetry.count("schedule_cycles", self._n_cycles)
+        if self._n_cycles_elided:
+            telemetry.count("cycles_elided", self._n_cycles_elided)
+        if self._n_passes:
+            telemetry.count("schedule_passes", self._n_passes)
+        if self._sched_wall:
+            telemetry.add_time("schedule_wall_s", self._sched_wall)
+        self._n_cycles = self._n_cycles_elided = self._n_passes = 0
+        self._sched_wall = 0.0
+
+    def _offered_load(self) -> float:
+        """The paper's Load of the input workload.
+
+        Streaming runs reproduce :func:`repro.workload.load.offered_load`
+        from the scalars accumulated at admission (pristine jobs, same
+        summation order — bitwise-equal to the eager value); eager runs
+        delegate to the workload object.
+        """
+        if not self._streaming:
+            return self.workload.offered_load()
+        if self._span_start is None:
+            return 0.0
+        span = self._span_end - self._span_start
+        if span <= 0:
+            return 0.0
+        return self._work_sum / (self.machine.total * span)
+
+    def _fold_sampling_telemetry(self) -> None:
+        """Surface bounded-buffer drop counts as telemetry counters.
+
+        Written as absolute values (not increments) so repeated
+        ``run(until=...)`` / ``_metrics()`` calls stay idempotent;
+        zero counts stay absent like every other counter.  The
+        queue-depth series reports its own drops via the registry
+        (``queue_depth_samples_dropped``).
+        """
+        counters = self.telemetry.counters
+        dropped = self.tracker.samples_dropped
+        if dropped:
+            counters["utilization_samples_dropped"] = dropped
+        dropped = self.queue_tracker.samples_dropped
+        if dropped:
+            counters["queue_length_samples_dropped"] = dropped
+
     def _metrics(self) -> RunMetrics:
-        last_finish = max((r.finish for r in self.records), default=self.tracker.start_time)
+        self._fold_cycle_telemetry()
+        self._fold_sampling_telemetry()
+        last_finish = self._last_finish
         ecc_stats = {
             outcome.value: count
             for outcome, count in self.ecc_processor.stats.items()
@@ -645,13 +1044,22 @@ class SimulationRunner:
         }
         if self._dropped_eccs:
             ecc_stats["dropped-not-elastic"] = self._dropped_eccs
+        utilization = self.tracker.mean_utilization(
+            self.machine.total, until=last_finish
+        )
+        makespan = last_finish - self.tracker.start_time
+        online_summary = None
+        if self._online is not None:
+            online_summary = self._online.summary(
+                utilization=utilization, makespan=makespan
+            )
         return RunMetrics(
             algorithm=self.scheduler.name,
             machine_size=self.machine.total,
             records=list(self.records),
-            utilization=self.tracker.mean_utilization(self.machine.total, until=last_finish),
-            makespan=last_finish - self.tracker.start_time,
-            offered_load=self.workload.offered_load(),
+            utilization=utilization,
+            makespan=makespan,
+            offered_load=self._offered_load(),
             ecc_stats=ecc_stats,
             events_processed=self.sim.processed_events,
             queue=self.queue_tracker.summary(until=last_finish),
@@ -662,11 +1070,12 @@ class SimulationRunner:
             degraded_time=self.machine.degraded_time(until=last_finish),
             node_failures=self.faults.node_failures if self.faults else 0,
             telemetry=self.telemetry.snapshot(),
+            online=online_summary,
         )
 
 
 def simulate(
-    workload: Workload,
+    workload: Union[Workload, JobStream],
     scheduler: Scheduler,
     *,
     trace: bool = False,
@@ -674,6 +1083,8 @@ def simulate(
     max_eccs_per_job: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
+    online: bool = False,
+    retain_records: bool = True,
 ) -> RunMetrics:
     """One-shot convenience wrapper around :class:`SimulationRunner`."""
     return SimulationRunner(
@@ -684,6 +1095,8 @@ def simulate(
         max_eccs_per_job=max_eccs_per_job,
         faults=faults,
         retry=retry,
+        online=online,
+        retain_records=retain_records,
     ).run()
 
 

@@ -82,11 +82,12 @@ class FaultInjector:
     # Node failure / repair chain
     # ------------------------------------------------------------------
     def _work_remains(self) -> bool:
-        """Whether any job may still need the machine."""
-        return any(
-            job.state in (JobState.PENDING, JobState.QUEUED, JobState.RUNNING)
-            for job in self.runner.jobs
-        )
+        """Whether any job may still need the machine.
+
+        Delegated to the runner, which knows whether the workload is
+        fully materialized or still streaming in.
+        """
+        return self.runner.work_remains()
 
     def _on_node_fail(self) -> None:
         if not self._work_remains():

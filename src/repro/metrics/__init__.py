@@ -8,6 +8,12 @@ simulation (:mod:`repro.metrics.records`), and format comparison
 tables (:mod:`repro.metrics.report`).
 """
 
+from repro.metrics.online import (
+    OnlineAggregator,
+    OnlineSummary,
+    P2Quantile,
+    cross_validate_online,
+)
 from repro.metrics.records import FailureRecord, JobRecord, RunMetrics
 from repro.metrics.stats import (
     bounded_slowdown,
@@ -22,8 +28,12 @@ from repro.metrics.report import format_comparison_table, format_metrics_table
 __all__ = [
     "FailureRecord",
     "JobRecord",
+    "OnlineAggregator",
+    "OnlineSummary",
+    "P2Quantile",
     "RunMetrics",
     "bounded_slowdown",
+    "cross_validate_online",
     "format_comparison_table",
     "format_metrics_table",
     "improvement_percent",

@@ -58,31 +58,51 @@ class QueueTracker:
     def on_enqueue(self, time: float, work: float) -> None:
         """A job entered the waiting queue (``work`` = num × estimate)."""
         self._advance(time)
-        self._current_length += 1
-        self._max_length = max(self._max_length, self._current_length)
-        self._backlog_level += work
-        self._max_backlog = max(self._max_backlog, self._backlog_level)
-        self._length.observe(time, self._current_length)
+        length = self._current_length + 1
+        self._current_length = length
+        if length > self._max_length:
+            self._max_length = length
+        backlog = self._backlog_level + work
+        self._backlog_level = backlog
+        if backlog > self._max_backlog:
+            self._max_backlog = backlog
+        self._length.observe(time, length)
 
     def on_dequeue(self, time: float, work: float) -> None:
         """A job left the waiting queue (started)."""
         self._advance(time)
-        self._current_length -= 1
-        assert self._current_length >= 0, "queue length went negative"
-        self._backlog_level = max(0.0, self._backlog_level - work)
-        self._length.observe(time, self._current_length)
+        length = self._current_length - 1
+        self._current_length = length
+        assert length >= 0, "queue length went negative"
+        backlog = self._backlog_level - work
+        self._backlog_level = backlog if backlog > 0.0 else 0.0
+        self._length.observe(time, length)
 
     def on_work_changed(self, time: float, delta: float) -> None:
         """A queued job's estimated work changed (ECC on a queued job)."""
         self._advance(time)
-        self._backlog_level = max(0.0, self._backlog_level + delta)
-        self._max_backlog = max(self._max_backlog, self._backlog_level)
+        backlog = self._backlog_level + delta
+        if backlog < 0.0:
+            backlog = 0.0
+        self._backlog_level = backlog
+        if backlog > self._max_backlog:
+            self._max_backlog = backlog
 
     def _advance(self, time: float) -> None:
         dt = time - self._backlog_last_time
         if dt > 0:
             self._backlog_area += self._backlog_level * dt
             self._backlog_last_time = time
+
+    @property
+    def samples_dropped(self) -> int:
+        """Observations thinned out of the bounded queue-length view.
+
+        The integrals (means, maxima) are exact regardless; this only
+        reports how much of the *step-function view* the bounded
+        buffer discarded (zero until the run outgrows the cap).
+        """
+        return self._length.samples_dropped
 
     # ------------------------------------------------------------------
     def summary(self, until: Optional[float] = None) -> QueueSummary:

@@ -15,6 +15,7 @@ from repro.metrics.stats import (
 from repro.workload.job import Job, JobKind, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.metrics.online import OnlineSummary
     from repro.obs.telemetry import TelemetrySnapshot
 
 
@@ -178,6 +179,17 @@ class RunMetrics:
     #: must see only the scheduling outcomes.  None for hand-built
     #: metrics and entries cached before this field existed.
     telemetry: Optional["TelemetrySnapshot"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: O(1)-memory online aggregate (:mod:`repro.metrics.online`),
+    #: populated by runs with ``online=True``.  ``compare=False`` like
+    #: ``telemetry``: whether online aggregation ran is an
+    #: observability choice, not a scheduling outcome, and streamed
+    #: runs with ``retain_records=False`` must still compare equal to
+    #: nothing-dropped runs on the fields both populate.  With
+    #: ``retain_records=False`` the ``records`` list is empty and this
+    #: summary is the only per-job statistics source.
+    online: Optional["OnlineSummary"] = field(
         default=None, compare=False, repr=False
     )
 

@@ -82,8 +82,11 @@ def condense(
     Keeps exactly what longitudinal comparison needs: per-scenario
     wall time and events/sec, the pipeline speedup, the observability
     overhead ratio — plus provenance (sha, time, host, quick flag).
+    Documents carrying a ``scale`` section (``--scale-tier`` runs)
+    additionally contribute condensed streaming scenarios with peak
+    RSS, the substrate of ``repro bench-compare --memory``.
     """
-    return {
+    entry: Dict[str, Any] = {
         "schema": HISTORY_SCHEMA,
         "timestamp": timestamp,
         "git_sha": git_sha,
@@ -108,6 +111,24 @@ def condense(
             )
         },
     }
+    scale = document.get("scale")
+    if scale:
+        entry["scale"] = {
+            "peak_rss_ratio": float(
+                scale.get("peak_rss_ratio_large_over_small", 0.0)
+            ),
+            "scenarios": [
+                {
+                    "scenario": s["scenario"],
+                    "n_jobs": int(s["n_jobs"]),
+                    "wall_time_s": float(s["wall_time_s"]),
+                    "events_per_sec": float(s.get("events_per_sec", 0.0)),
+                    "peak_rss_kb": int(s.get("peak_rss_kb", 0)),
+                }
+                for s in scale.get("scenarios", [])
+            ],
+        }
+    return entry
 
 
 def append_entry(
@@ -184,6 +205,24 @@ class ScenarioDiff:
 
 
 @dataclass(frozen=True)
+class MemoryDiff:
+    """Latest vs. baseline peak RSS for one streaming scale scenario."""
+
+    scenario: str
+    n_jobs: int
+    latest_rss_kb: int
+    baseline_rss_kb: Optional[int]
+    baseline_sha: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """latest / baseline peak RSS (None without a baseline)."""
+        if not self.baseline_rss_kb:
+            return None
+        return self.latest_rss_kb / self.baseline_rss_kb
+
+
+@dataclass(frozen=True)
 class BenchComparison:
     """Result of :func:`compare`: per-scenario diffs plus verdicts."""
 
@@ -191,6 +230,12 @@ class BenchComparison:
     threshold: float
     n_history: int
     regressions: List[str] = field(default_factory=list)
+    #: Peak-RSS diffs of streaming scale scenarios (``memory=True``
+    #: compares with ``scale`` sections in history).  Warnings are
+    #: advisory — RSS depends on allocator and interpreter build, so a
+    #: memory growth never fails the build (``ok`` ignores it).
+    memory_diffs: List[MemoryDiff] = field(default_factory=list)
+    memory_warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -225,7 +270,32 @@ class BenchComparison:
             else f"bench-compare: {len(self.regressions)} regression(s) "
             f"above {self.threshold:g}x"
         )
-        return f"{table}\n{verdict}"
+        parts = [table, verdict]
+        if self.memory_diffs:
+            rows = []
+            for diff in self.memory_diffs:
+                ratio = diff.ratio
+                rows.append([
+                    diff.scenario,
+                    diff.n_jobs,
+                    f"{diff.latest_rss_kb / 1024:.1f}",
+                    (f"{diff.baseline_rss_kb / 1024:.1f}"
+                     if diff.baseline_rss_kb else "-"),
+                    f"{ratio:.2f}x" if ratio is not None else "-",
+                    diff.baseline_sha or "-",
+                    ("WARN" if any(diff.scenario in w and f"x{diff.n_jobs}" in w
+                                   for w in self.memory_warnings)
+                     else "ok" if ratio is not None else "no baseline"),
+                ])
+            parts.append(format_table(
+                ["scenario", "n_jobs", "RSS (MiB)", "baseline (MiB)",
+                 "ratio", "baseline sha", "status"],
+                rows,
+            ))
+            parts.extend(
+                f"warning (non-blocking): {w}" for w in self.memory_warnings
+            )
+        return "\n".join(parts)
 
 
 def _scenario_map(entry: Mapping[str, Any]) -> Dict[_Key, Dict[str, Any]]:
@@ -235,11 +305,20 @@ def _scenario_map(entry: Mapping[str, Any]) -> Dict[_Key, Dict[str, Any]]:
     }
 
 
+def _scale_map(entry: Mapping[str, Any]) -> Dict[_Key, Dict[str, Any]]:
+    return {
+        (s["scenario"], int(s["n_jobs"])): s
+        for s in entry.get("scale", {}).get("scenarios", [])
+    }
+
+
 def compare(
     latest: Mapping[str, Any],
     history: Sequence[Mapping[str, Any]],
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    memory: bool = False,
+    memory_threshold: float = DEFAULT_THRESHOLD,
 ) -> BenchComparison:
     """Diff ``latest`` against the best prior run of each scenario.
 
@@ -247,6 +326,12 @@ def compare(
     taken from same-host entries when the history has any (wall clocks
     don't compare across machines), otherwise from the whole history.
     Scenarios absent from history get no verdict.
+
+    With ``memory=True``, streaming scale scenarios (entries carrying
+    a ``scale`` section) are additionally diffed on peak RSS against
+    the *smallest* prior footprint; growth beyond ``memory_threshold``
+    produces a warning, never a failing verdict — RSS varies with
+    allocator and interpreter build, so it informs rather than gates.
     """
     host = latest.get("host")
     same_host = [e for e in history if e.get("host") == host]
@@ -280,11 +365,43 @@ def compare(
                 f"{baseline[0]:g}s baseline "
                 f"({ratio:.2f}x > {threshold:g}x threshold)"
             )
+
+    memory_diffs: List[MemoryDiff] = []
+    memory_warnings: List[str] = []
+    if memory:
+        best_rss: Dict[_Key, Tuple[int, str]] = {}
+        for entry in pool:
+            for key, scenario in _scale_map(entry).items():
+                rss = int(scenario.get("peak_rss_kb", 0))
+                if rss > 0 and (key not in best_rss or rss < best_rss[key][0]):
+                    best_rss[key] = (rss, str(entry.get("git_sha", "")))
+        for key, scenario in _scale_map(latest).items():
+            name, n_jobs = key
+            latest_rss = int(scenario.get("peak_rss_kb", 0))
+            baseline = best_rss.get(key)
+            diff = MemoryDiff(
+                scenario=name,
+                n_jobs=n_jobs,
+                latest_rss_kb=latest_rss,
+                baseline_rss_kb=baseline[0] if baseline else None,
+                baseline_sha=baseline[1] if baseline else "",
+            )
+            memory_diffs.append(diff)
+            ratio = diff.ratio
+            if ratio is not None and ratio > memory_threshold:
+                memory_warnings.append(
+                    f"{name} x{n_jobs}: peak RSS {latest_rss / 1024:.1f} MiB vs "
+                    f"{baseline[0] / 1024:.1f} MiB baseline "
+                    f"({ratio:.2f}x > {memory_threshold:g}x)"
+                )
+
     return BenchComparison(
         diffs=diffs,
         threshold=threshold,
         n_history=len(history),
         regressions=regressions,
+        memory_diffs=memory_diffs,
+        memory_warnings=memory_warnings,
     )
 
 
@@ -313,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 on any regression (default: report only; the CI "
         "job passes --strict --threshold 2.0)",
     )
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="also diff peak RSS of streaming scale scenarios "
+        "(--scale-tier runs); growth beyond the threshold warns but "
+        "never fails — RSS is allocator- and build-dependent",
+    )
     return parser
 
 
@@ -337,8 +460,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not prior:
         print("only one history entry — nothing to compare against yet")
         return 0
-    result = compare(latest, prior, threshold=args.threshold)
+    result = compare(
+        latest, prior, threshold=args.threshold, memory=args.memory
+    )
     print(result.render())
+    if args.memory and not result.memory_diffs:
+        print("(--memory: no scale-tier scenarios in the latest entry — "
+              "run 'python -m benchmarks.bench_perf_core --scale-tier')")
     if args.strict and not result.ok:
         return 1
     return 0
@@ -349,6 +477,7 @@ __all__ = [
     "DEFAULT_HISTORY",
     "DEFAULT_THRESHOLD",
     "HISTORY_SCHEMA",
+    "MemoryDiff",
     "ScenarioDiff",
     "append_entry",
     "compare",

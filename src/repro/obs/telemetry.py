@@ -135,20 +135,28 @@ def format_snapshot(snapshot: TelemetrySnapshot) -> str:
 class _Series:
     """Bounded timeseries with deterministic stride decimation."""
 
-    __slots__ = ("points", "stride", "_skip")
+    __slots__ = ("points", "stride", "_skip", "dropped")
 
     def __init__(self) -> None:
         self.points: List[Tuple[float, float]] = []
         self.stride = 1
         self._skip = 0
+        #: Observations not present in ``points`` — skipped by the
+        #: current stride or discarded by a decimation pass.  Lets
+        #: readers tell a sparse series from a downsampled one
+        #: (surfaced as a ``<name>_samples_dropped`` counter).
+        self.dropped = 0
 
     def add(self, t: float, value: float) -> None:
         if self._skip:
             self._skip -= 1
+            self.dropped += 1
             return
         self.points.append((t, value))
         if len(self.points) >= MAX_SAMPLES:
+            before = len(self.points)
             del self.points[1::2]
+            self.dropped += before - len(self.points)
             self.stride *= 2
         self._skip = self.stride - 1
 
@@ -188,14 +196,40 @@ class Telemetry:
             series = self._series[name] = _Series()
         series.add(t, value)
 
+    def series_handle(self, name: str) -> _Series:
+        """The mutable series object for ``name`` (creating it empty).
+
+        Hot paths that sample one series thousands of times per run
+        hold the handle and call :meth:`_Series.add` directly, skipping
+        the per-sample dict lookup.  An empty handle leaves no trace in
+        :meth:`snapshot`.
+        """
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = _Series()
+        return series
+
     # ------------------------------------------------------------------
     def snapshot(self) -> TelemetrySnapshot:
-        """Freeze the registry's current state."""
+        """Freeze the registry's current state.
+
+        Downsampled series additionally surface a deterministic
+        ``<name>_samples_dropped`` counter so readers can tell a
+        genuinely sparse series from one the bounded buffer thinned.
+        """
+        counters = dict(self.counters)
+        for name, series in self._series.items():
+            if series.dropped:
+                counters[f"{name}_samples_dropped"] = (
+                    counters.get(f"{name}_samples_dropped", 0) + series.dropped
+                )
         return TelemetrySnapshot(
-            counters=dict(self.counters),
+            counters=counters,
             timers={name: value for name, value in self.timers.items()},
             series={
-                name: tuple(series.points) for name, series in self._series.items()
+                name: tuple(series.points)
+                for name, series in self._series.items()
+                if series.points
             },
         )
 

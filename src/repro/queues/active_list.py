@@ -38,8 +38,20 @@ class ActiveList:
 
     def __init__(self) -> None:
         self._jobs: List[Job] = []
-        self._total_used = 0
-        self._version = 0
+        # Parallel sort keys for self._jobs: bisecting a plain tuple
+        # list never calls back into Python per comparison, unlike
+        # bisect(..., key=self._key) (job starts are a hot path).
+        self._keys: List[tuple] = []
+        #: Processors held by running jobs (``Σ a_i.num``), maintained
+        #: O(1) on add/remove.  A plain attribute, not a property —
+        #: ``ctx.free`` reads it every scheduler pass.  Callers must
+        #: never write it.
+        self.total_used = 0
+        #: Monotonic mutation counter (add/remove/resort each bump it);
+        #: feeds the runner's cycle-elision fingerprint.  A plain
+        #: attribute, not a property — read on every scheduling event.
+        #: Callers must never write it.
+        self.version = 0
         # Aggregated releases: sorted unique kill-by times and the
         # processors freed at each.  Maintained incrementally while
         # clean; `_releases_dirty` means kill-by times moved under us
@@ -68,16 +80,6 @@ class ActiveList:
         """Snapshot in increasing-residual order."""
         return list(self._jobs)
 
-    @property
-    def total_used(self) -> int:
-        """Processors held by running jobs (``Σ a_i.num``), O(1)."""
-        return self._total_used
-
-    @property
-    def version(self) -> int:
-        """Monotonic mutation counter (add/remove/resort each bump it)."""
-        return self._version
-
     def residuals(self, now: float) -> List[float]:
         """Residual runtimes at ``now``, in list order (non-decreasing)."""
         return [job.residual(now) for job in self._jobs]
@@ -96,13 +98,15 @@ class ActiveList:
         if job.start_time is None:
             raise ValueError(f"job {job.job_id} has no start time")
         job.state = JobState.RUNNING
-        key = self._key(job)
-        index = bisect.bisect_right(self._jobs, key, key=self._key)
+        kill_by = job.start_time + job.estimate
+        key = (kill_by, job.job_id)
+        index = bisect.bisect_right(self._keys, key)
         self._jobs.insert(index, job)
-        self._total_used += job.num
-        self._version += 1
+        self._keys.insert(index, key)
+        self.total_used += job.num
+        self.version += 1
         if not self._releases_dirty:
-            self._shift_release(job.kill_by(), job.num)
+            self._shift_release(kill_by, job.num)
 
     def remove(self, job: Job) -> None:
         """Remove a finishing job.
@@ -110,13 +114,16 @@ class ActiveList:
         Raises:
             ValueError: when the job is not active.
         """
+        job_id = job.job_id
         for index, active in enumerate(self._jobs):
-            if active.job_id == job.job_id:
+            if active.job_id == job_id:
                 del self._jobs[index]
-                self._total_used -= active.num
-                self._version += 1
+                kill_by = self._keys[index][0]
+                del self._keys[index]
+                self.total_used -= active.num
+                self.version += 1
                 if not self._releases_dirty:
-                    self._shift_release(active.kill_by(), -active.num)
+                    self._shift_release(kill_by, -active.num)
                 return
         raise ValueError(f"job {job.job_id} is not active")
 
@@ -128,7 +135,8 @@ class ActiveList:
         next :meth:`release_breakpoints` rebuild.
         """
         self._jobs.sort(key=self._key)
-        self._version += 1
+        self._keys = [self._key(job) for job in self._jobs]
+        self.version += 1
         self._releases_dirty = True
 
     # ------------------------------------------------------------------
@@ -191,7 +199,8 @@ class ActiveList:
         """Assert ordering, state and derived-quantity invariants."""
         keys = [self._key(j) for j in self._jobs]
         assert keys == sorted(keys), "active list out of residual order"
-        assert self._total_used == sum(job.num for job in self._jobs)
+        assert keys == self._keys, "parallel key list drifted"
+        assert self.total_used == sum(job.num for job in self._jobs)
         if not self._releases_dirty:
             expected: dict[float, int] = {}
             for job in self._jobs:

@@ -20,16 +20,12 @@ class BatchQueue:
 
     def __init__(self) -> None:
         self._queue: Deque[Job] = deque()
-        self._version = 0
-
-    @property
-    def version(self) -> int:
-        """Monotonic mutation counter (any push/pop/remove bumps it).
-
-        The runner folds it into its cycle-elision fingerprint so any
-        membership or order change invalidates elision in O(1).
-        """
-        return self._version
+        #: Monotonic mutation counter (any push/pop/remove bumps it).
+        #: The runner folds it into its cycle-elision fingerprint so any
+        #: membership or order change invalidates elision in O(1).  A
+        #: plain attribute, not a property: it is read on every
+        #: scheduling event.  Callers must never write it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -77,13 +73,13 @@ class BatchQueue:
         job.scount = 0
         job.state = JobState.QUEUED
         self._queue.append(job)
-        self._version += 1
+        self.version += 1
 
     def push_head(self, job: Job) -> None:
         """Prepend a job (Algorithm 3's dedicated-job promotion)."""
         job.state = JobState.QUEUED
         self._queue.appendleft(job)
-        self._version += 1
+        self.version += 1
 
     def push_requeue(self, job: Job, now: float) -> None:
         """Re-enqueue a failed/evicted job at the tail (retry policy).
@@ -102,7 +98,7 @@ class BatchQueue:
         job.scount = 0
         job.state = JobState.QUEUED
         self._queue.append(job)
-        self._version += 1
+        self.version += 1
 
     def pop_head(self) -> Job:
         """Remove and return ``w_1^b``.
@@ -111,7 +107,7 @@ class BatchQueue:
             IndexError: when the queue is empty.
         """
         job = self._queue.popleft()
-        self._version += 1
+        self.version += 1
         return job
 
     def remove(self, job: Job) -> None:
@@ -123,7 +119,7 @@ class BatchQueue:
         for index, queued in enumerate(self._queue):
             if queued.job_id == job.job_id:
                 del self._queue[index]
-                self._version += 1
+                self.version += 1
                 return
         raise ValueError(f"job {job.job_id} is not in the batch queue")
 

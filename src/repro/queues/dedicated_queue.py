@@ -23,13 +23,16 @@ class DedicatedQueue:
 
     def __init__(self) -> None:
         self._jobs: List[Job] = []
-        self._version = 0
-
-    @property
-    def version(self) -> int:
-        """Monotonic mutation counter (push/pop/remove bump it); feeds
-        the runner's cycle-elision fingerprint."""
-        return self._version
+        #: Monotonic mutation counter (push/pop/remove bump it); feeds
+        #: the runner's cycle-elision fingerprint.  A plain attribute,
+        #: not a property — read on every scheduling event.  Callers
+        #: must never write it.
+        self.version = 0
+        # (version, group) pair behind cohead_group(); membership can
+        # only change through push/pop/remove, all of which bump the
+        # version, so a version match proves the cached prefix is
+        # current.  Invalidation is implicit — no hook needed.
+        self._cohead_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -62,7 +65,7 @@ class DedicatedQueue:
         job.state = JobState.QUEUED
         index = bisect.bisect_right(self._jobs, _key(job), key=_key)
         self._jobs.insert(index, job)
-        self._version += 1
+        self.version += 1
 
     def pop_head(self) -> Job:
         """Remove and return ``w_1^d``.
@@ -71,7 +74,7 @@ class DedicatedQueue:
             IndexError: when empty.
         """
         job = self._jobs.pop(0)
-        self._version += 1
+        self.version += 1
         return job
 
     def remove(self, job: Job) -> None:
@@ -83,7 +86,7 @@ class DedicatedQueue:
         for index, queued in enumerate(self._jobs):
             if queued.job_id == job.job_id:
                 del self._jobs[index]
-                self._version += 1
+                self.version += 1
                 return
         raise ValueError(f"job {job.job_id} is not in the dedicated queue")
 
@@ -108,7 +111,14 @@ class DedicatedQueue:
         (lines 16–17): dedicated jobs with *identical* start times must
         be reserved together.  Sorted order makes the group a prefix,
         so the walk stops at the first different start.
+
+        The result is cached per queue version (``dedicated_freeze``
+        asks every Hybrid-LOS cycle, the queue changes rarely) and
+        must be treated as read-only by callers.
         """
+        cached = self._cohead_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
         group: List[Job] = []
         if self._jobs:
             head_start = self._jobs[0].requested_start
@@ -116,6 +126,7 @@ class DedicatedQueue:
                 if job.requested_start != head_start:
                     break
                 group.append(job)
+        self._cohead_cache = (self.version, group)
         return group
 
     def check_invariants(self) -> None:

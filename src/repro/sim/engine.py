@@ -31,9 +31,12 @@ it work, make it testable, only then optimize):
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterator, Optional
 
-from repro.sim.events import Event, EventPriority
+from repro.sim.events import Event, EventPriority, _seq_counter
+
+_next_seq = _seq_counter.__next__
 
 
 class SimulationError(RuntimeError):
@@ -119,9 +122,15 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule {name or action!r} at t={time}; clock is at t={self._now}"
             )
-        event = Event(time=float(time), priority=int(priority), action=action, name=name)
+        # Sequence assigned here (not via the Event field default) so
+        # the heap entry is built from locals — this constructor is the
+        # hottest allocation in a simulation.
+        t = float(time)
+        p = int(priority)
+        seq = _next_seq()
+        event = Event(t, p, action, name, seq)
         event._sink = self
-        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        heappush(self._heap, (t, p, seq, event))
         return event
 
     def schedule_in(
@@ -172,30 +181,47 @@ class Simulator:
         self._running = True
         fired = 0
         heap = self._heap
-        pop = heapq.heappop
+        pop = heappop
         try:
             # Inlined peek/step: one heap-head inspection per event
             # fired.  This loop is the innermost of every simulation,
             # so the per-event call overhead matters (~5% of wall).
-            while True:
-                if max_events is not None and fired >= max_events:
-                    break
-                while heap and heap[0][3].cancelled:
-                    pop(heap)
-                    self._cancelled_in_heap -= 1
-                if not heap:
-                    break
-                next_time = heap[0][0]
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
-                    break
-                event = pop(heap)[3]
-                event._sink = None  # fired: a late cancel() must not decrement
-                self._now = event.time
-                self._processed += 1
-                event.action()
-                fired += 1
+            # The run-to-drain case (no horizon, no event cap — every
+            # full simulation) gets its own loop without the two
+            # per-iteration horizon checks; the processed-event count
+            # is folded in once at exit instead of per event.
+            if until is None and max_events is None:
+                while heap:
+                    entry = heap[0]
+                    if entry[3].cancelled:
+                        pop(heap)
+                        self._cancelled_in_heap -= 1
+                        continue
+                    event = pop(heap)[3]
+                    event._sink = None  # fired: late cancel() must not decrement
+                    self._now = event.time
+                    fired += 1
+                    event.action()
+            else:
+                while True:
+                    if max_events is not None and fired >= max_events:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        pop(heap)
+                        self._cancelled_in_heap -= 1
+                    if not heap:
+                        break
+                    next_time = heap[0][0]
+                    if until is not None and next_time > until:
+                        self._now = max(self._now, until)
+                        break
+                    event = pop(heap)[3]
+                    event._sink = None  # fired: late cancel() must not decrement
+                    self._now = event.time
+                    fired += 1
+                    event.action()
         finally:
+            self._processed += fired
             self._running = False
         return fired
 

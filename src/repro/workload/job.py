@@ -48,7 +48,7 @@ class JobState(Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """A parallel job (the paper's ``w^b`` / ``w^d`` tuple).
 

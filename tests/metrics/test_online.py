@@ -1,0 +1,155 @@
+"""Online (O(1)-memory) metrics vs. the exact per-record oracle.
+
+The streaming path's statistics are only trustworthy if they match
+the materialized ones.  The headline test here runs *every* registry
+algorithm — with fault injection live, so requeues, evictions and
+retry exhaustion all flow through the aggregator — and requires the
+online summary to agree with the per-record recomputation to 1e-9
+relative on every oracle metric.  The single knowingly-approximate
+figure, the P² p95 wait, gets its own tolerance-pinned tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.registry import ALGORITHMS, make_scheduler
+from repro.experiments.runner import simulate
+from repro.faults.model import FaultConfig
+from repro.metrics.online import (
+    P2_REL_TOLERANCE,
+    OnlineAggregator,
+    P2Quantile,
+    assert_online_consistent,
+    cross_validate_online,
+    exact_quantile,
+)
+from repro.metrics.records import JobRecord
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.job import JobKind
+from repro.workload.twostage import TwoStageSizeConfig
+
+
+def _workload(p_dedicated: float):
+    config = GeneratorConfig(
+        n_jobs=120,
+        size=TwoStageSizeConfig(p_small=0.5),
+        p_dedicated=p_dedicated,
+        p_extend=0.3,
+        p_reduce=0.1,
+    )
+    return CWFWorkloadGenerator(config).generate(np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {"hetero": _workload(0.2), "batch": _workload(0.0)}
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_online_matches_exact_under_faults(algorithm, workloads):
+    """Every algorithm, faults on: online aggregates == exact to 1e-9."""
+    scheduler = make_scheduler(algorithm)
+    workload = workloads["hetero" if scheduler.handles_dedicated else "batch"]
+    metrics = simulate(
+        workload,
+        scheduler,
+        faults=FaultConfig(mtbf=40000.0, mttr=2000.0, seed=5),
+        online=True,
+    )
+    assert metrics.online is not None
+    assert metrics.online.n_jobs == metrics.n_jobs
+    findings = cross_validate_online(metrics.online, metrics)
+    assert not findings, f"{algorithm}: {findings}"
+    assert_online_consistent(metrics.online, metrics)  # raising form
+
+
+def test_cross_validate_flags_corruption(workloads):
+    metrics = simulate(workloads["batch"], make_scheduler("EASY"), online=True)
+    import dataclasses
+
+    corrupted = dataclasses.replace(
+        metrics.online, mean_wait=metrics.online.mean_wait * 1.01
+    )
+    findings = cross_validate_online(corrupted, metrics)
+    assert any("mean_wait" in f for f in findings)
+    with pytest.raises(ValueError, match="mean_wait"):
+        assert_online_consistent(corrupted, metrics)
+
+
+def test_by_class_breakdown_matches_exact(workloads):
+    metrics = simulate(
+        workloads["hetero"], make_scheduler("Hybrid-LOS-E"), online=True
+    )
+    summary = metrics.online
+    for kind in JobKind:
+        records = [r for r in metrics.records if r.kind is kind]
+        cls = summary.by_class.get(kind.name.lower())
+        if not records:
+            assert cls is None
+            continue
+        assert cls.n_jobs == len(records)
+        assert cls.mean_wait == pytest.approx(
+            sum(r.wait for r in records) / len(records), rel=1e-9
+        )
+
+
+class TestP2Quantile:
+    def test_tracks_exact_p95_within_documented_tolerance(self):
+        rng = random.Random(3)
+        values = [rng.expovariate(0.01) for _ in range(20000)]
+        estimator = P2Quantile(0.95)
+        for value in values:
+            estimator.observe(value)
+        exact = exact_quantile(values, 0.95)
+        assert estimator.value() == pytest.approx(exact, rel=P2_REL_TOLERANCE)
+
+    def test_exact_below_six_observations(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        estimator = P2Quantile(0.95)
+        for value in values:
+            estimator.observe(value)
+        assert estimator.value() == exact_quantile(values, 0.95)
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.95).value() == 0.0
+
+
+class TestAggregatorDirect:
+    @staticmethod
+    def _record(i, wait, runtime):
+        return JobRecord(
+            job_id=i, kind=JobKind.BATCH, num=1,
+            submit=0.0, start=wait, finish=wait + runtime,
+        )
+
+    def test_empty_summary_is_all_zero(self):
+        summary = OnlineAggregator().summary()
+        assert summary.n_jobs == 0
+        assert summary.mean_wait == 0.0
+        assert summary.by_class == {}
+
+    def test_means_are_bitwise_equal_to_left_to_right_sums(self):
+        """Same float additions in the same order as mean([...])."""
+        rng = random.Random(9)
+        records = [
+            self._record(i, rng.uniform(0, 1e4), rng.uniform(1, 1e4))
+            for i in range(1000)
+        ]
+        aggregator = OnlineAggregator()
+        aggregator.observe_all(records)
+        from repro.metrics.stats import mean
+
+        assert aggregator.mean_wait == mean([r.wait for r in records])
+        assert aggregator.mean_runtime == mean([r.runtime for r in records])
+
+    def test_summary_stamps_utilization_and_makespan(self):
+        aggregator = OnlineAggregator()
+        aggregator.observe(self._record(1, 2.0, 10.0))
+        summary = aggregator.summary(utilization=0.5, makespan=12.0)
+        assert summary.utilization == 0.5
+        assert summary.makespan == 12.0
+        assert summary.as_row()["n_jobs"] == 1.0

@@ -167,3 +167,64 @@ def test_run_bench_history_is_opt_in(tmp_path, monkeypatch):
     entries = read_history(tracked)
     assert len(entries) == 2
     assert entries[0] != entries[1]
+
+
+class TestMemoryDiff:
+    @staticmethod
+    def _scaled_document(rss_kb: int) -> dict:
+        document = _document()
+        document["scale"] = {
+            "peak_rss_ratio_large_over_small": 1.0,
+            "scenarios": [
+                {"scenario": "synthetic-stream", "n_jobs": 100000,
+                 "wall_time_s": 12.0, "events_per_sec": 33000.0,
+                 "peak_rss_kb": rss_kb},
+            ],
+        }
+        return document
+
+    def test_condense_keeps_scale_scenarios(self):
+        entry = condense(self._scaled_document(40960),
+                         git_sha="a", timestamp="t", host="ci")
+        assert entry["scale"]["peak_rss_ratio"] == 1.0
+        assert entry["scale"]["scenarios"][0]["peak_rss_kb"] == 40960
+
+    def test_condense_without_scale_omits_section(self):
+        entry = condense(_document(), git_sha="a", timestamp="t", host="ci")
+        assert "scale" not in entry
+
+    def test_memory_growth_warns_but_never_fails(self):
+        base = condense(self._scaled_document(40000),
+                        git_sha="old", timestamp="t", host="ci")
+        bloated = condense(self._scaled_document(80000),
+                           git_sha="new", timestamp="t", host="ci")
+        report = compare(bloated, [base], memory=True)
+        assert report.ok  # advisory only
+        assert len(report.memory_warnings) == 1
+        assert "synthetic-stream" in report.memory_warnings[0]
+        assert "WARN" in report.render()
+
+    def test_memory_within_threshold_is_quiet(self):
+        base = condense(self._scaled_document(40000),
+                        git_sha="old", timestamp="t", host="ci")
+        latest = condense(self._scaled_document(44000),
+                          git_sha="new", timestamp="t", host="ci")
+        report = compare(latest, [base], memory=True)
+        assert report.memory_warnings == []
+        assert report.memory_diffs[0].ratio == pytest.approx(1.1)
+
+    def test_memory_flag_off_skips_diffing(self):
+        base = condense(self._scaled_document(40000),
+                        git_sha="old", timestamp="t", host="ci")
+        report = compare(base, [base])
+        assert report.memory_diffs == []
+
+    def test_cli_memory_flag(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        append_entry(self._scaled_document(40000), history)
+        append_entry(self._scaled_document(41000), history)
+        assert bench_compare_main(
+            ["--history", str(history), "--memory"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RSS (MiB)" in out

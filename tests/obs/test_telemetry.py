@@ -105,3 +105,31 @@ class TestModuleHook:
         except RuntimeError:
             pass
         assert current() is None
+
+
+class TestDropAccounting:
+    def test_points_plus_dropped_equals_observations(self):
+        telemetry = Telemetry()
+        total = MAX_SAMPLES * 5
+        for i in range(total):
+            telemetry.sample("depth", float(i), float(i))
+        handle = telemetry.series_handle("depth")
+        assert len(handle.points) + handle.dropped == total
+
+    def test_snapshot_surfaces_dropped_counter(self):
+        telemetry = Telemetry()
+        for i in range(MAX_SAMPLES * 2):
+            telemetry.sample("depth", float(i), float(i))
+        snapshot = telemetry.snapshot()
+        assert snapshot.counter("depth_samples_dropped") == (
+            telemetry.series_handle("depth").dropped
+        )
+        assert snapshot.counter("depth_samples_dropped") > 0
+
+    def test_sparse_series_reports_no_drop(self):
+        telemetry = Telemetry()
+        for i in range(100):
+            telemetry.sample("sparse", float(i), float(i))
+        snapshot = telemetry.snapshot()
+        assert "sparse_samples_dropped" not in snapshot.counters
+        assert len(snapshot.series["sparse"]) == 100
