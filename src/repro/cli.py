@@ -125,6 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
         "applied through the ECC machinery)",
     )
     parser.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="periodically checkpoint each run into DIR/<algorithm>/ and "
+        "resume from there on the next invocation (docs/resilience.md); "
+        "a resumed run is bitwise-identical to an uninterrupted one",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in simulated events (default: 50000)",
+    )
+    parser.add_argument(
+        "--checkpoint-seconds", type=float, default=None, metavar="S",
+        help="additional wall-clock checkpoint cadence in seconds",
+    )
+    parser.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help="record per-run completion in a durable sweep manifest; a "
+        "killed sweep re-invoked with the same command re-runs only the "
+        "remainder (implies --cache)",
+    )
+    parser.add_argument(
         "--cwf", type=str, default=None, help="load a CWF workload file instead of generating"
     )
     parser.add_argument(
@@ -263,7 +283,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     cache = None
-    if args.cache or args.cache_dir:
+    if args.cache or args.cache_dir or args.manifest:
+        # --manifest implies --cache: the manifest records which runs
+        # finished, the cache holds their metrics.
         cache = RunCache.from_env()
         cache.enabled = True
         if args.cache_dir:
@@ -275,18 +297,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     # — cache hit rate, serial retries — prints even without
     # --progress); forward them to a live reporter only when asked.
     progress = ProgressSummary(ProgressReporter() if args.progress else None)
-    results = run_algorithms(
-        workload,
-        args.algorithms,
-        max_skip_count=args.cs,
-        lookahead=args.lookahead,
-        faults=faults,
-        retry=retry,
-        jobs=args.parallel,
-        cache=cache,
-        trace_out=trace_out,
-        progress=progress,
-    )
+    from repro.durable.signals import EXIT_INTERRUPTED, sigterm_as_interrupt
+
+    try:
+        with sigterm_as_interrupt():
+            results = run_algorithms(
+                workload,
+                args.algorithms,
+                max_skip_count=args.cs,
+                lookahead=args.lookahead,
+                faults=faults,
+                retry=retry,
+                jobs=args.parallel,
+                cache=cache,
+                trace_out=trace_out,
+                progress=progress,
+                manifest=args.manifest,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_seconds=args.checkpoint_seconds,
+            )
+    except KeyboardInterrupt as exc:
+        # SweepInterrupted (manifest attached) carries completed/total;
+        # a bare Ctrl-C does not.  Either way: flush the progress
+        # summary, say how to pick the sweep back up, exit 75.
+        completed = getattr(exc, "completed", None)
+        print(progress.render(None), file=sys.stderr)
+        where = (
+            f" after {completed}/{getattr(exc, 'total', len(args.algorithms))} runs"
+            if completed is not None
+            else ""
+        )
+        hints = []
+        if args.manifest:
+            hints.append("completed runs are recorded; re-run the same command "
+                         "to continue where it left off")
+        if args.checkpoint_dir:
+            hints.append(f"in-flight runs resume from {args.checkpoint_dir}/")
+        hint = f" ({'; '.join(hints)})" if hints else ""
+        print(f"interrupted{where}{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     headers = ["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"]
     if faults is not None:
         headers += ["requeues", "failed", "lost work (ps)", "degraded (s)"]
@@ -379,11 +429,119 @@ def _figure_report(figure_id: str, n_jobs: int) -> int:
     return 0
 
 
+def _resume_main(argv: List[str]) -> int:
+    """``repro resume``: continue an interrupted checkpointed run."""
+    parser = argparse.ArgumentParser(
+        prog="repro resume",
+        description="Resume a simulation from a crash-safe checkpoint "
+        "(written by --checkpoint-dir or simulate(checkpoint=...)); the "
+        "completed run is bitwise-identical to an uninterrupted one "
+        "(docs/resilience.md).",
+    )
+    parser.add_argument(
+        "source",
+        help="a checkpoint file, or a checkpoint directory (the newest "
+        "usable checkpoint is taken)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="keep checkpointing the continued run every N events "
+        "(default: 50000)",
+    )
+    parser.add_argument(
+        "--checkpoint-seconds", type=float, default=None, metavar="S",
+        help="additional wall-clock checkpoint cadence in seconds",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="override the trace file location recorded in the checkpoint "
+        "(only valid when the interrupted run was tracing)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.durable.checkpoint import (
+        CheckpointConfig,
+        CheckpointError,
+        CheckpointInterrupt,
+        inspect_checkpoint,
+        latest_checkpoint,
+        list_checkpoints,
+        load_checkpoint,
+    )
+    from repro.durable.signals import EXIT_INTERRUPTED, sigterm_as_interrupt
+
+    path = Path(args.source)
+    try:
+        if path.is_dir():
+            ckpt_dir = path
+            found = latest_checkpoint(path)
+            if found is None:
+                print(f"no usable checkpoint under {path}", file=sys.stderr)
+                return 2
+            path = found
+        else:
+            ckpt_dir = path.parent
+        meta = inspect_checkpoint(path)
+        cadence = {}
+        if args.checkpoint_every is not None:
+            cadence["every_events"] = args.checkpoint_every
+        config = CheckpointConfig(
+            dir=ckpt_dir, every_seconds=args.checkpoint_seconds, **cadence
+        )
+        runner = load_checkpoint(path, trace_out=args.trace_out)
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"resuming {meta.get('algorithm', '?')} from {path} "
+        f"(event {meta.get('event_count', '?')}, t={meta.get('sim_time', '?')})"
+    )
+    try:
+        with sigterm_as_interrupt():
+            metrics = runner.run(checkpoint=config)
+    except CheckpointInterrupt as exc:
+        print(
+            f"interrupted again; checkpoint written to {exc.path} — "
+            f"continue with 'repro resume {ckpt_dir}'",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print(
+            f"interrupted between checkpoints; continue with "
+            f"'repro resume {ckpt_dir}' (restarts from the newest checkpoint)",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    # Complete: the checkpoints are obsolete (and would otherwise make a
+    # future 'repro resume' replay the tail of a finished run).
+    for stale in list_checkpoints(ckpt_dir):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    print(format_table(
+        ["algorithm", "utilization", "mean wait (s)", "slowdown", "makespan (s)"],
+        [[
+            meta.get("algorithm", "?"),
+            round(metrics.utilization, 4),
+            round(metrics.mean_wait, 1),
+            round(metrics.slowdown, 3),
+            round(metrics.makespan, 0),
+        ]],
+    ))
+    if runner._trace_out is not None:
+        print(f"trace: wrote {runner._trace_out}")
+    return 0
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
     """Umbrella entry point: ``repro <subcommand> ...``.
 
     Subcommands:
         ``sim``: the full ``repro-sim`` interface (simulate/compare).
+        ``resume``: continue an interrupted checkpointed run
+        (:mod:`repro.durable.checkpoint`; docs/resilience.md).
         ``trace``: inspect an exported JSONL trace
         (:mod:`repro.obs.inspect`; docs/observability.md).
         ``report``: build a self-contained Markdown/HTML report from
@@ -393,7 +551,7 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {sim,trace,report,bench-compare} ...  "
+        "usage: repro {sim,resume,trace,report,bench-compare} ...  "
         "(repro <subcommand> --help for details)"
     )
     if not argv or argv[0] in ("-h", "--help"):
@@ -402,6 +560,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     command, rest = argv[0], argv[1:]
     if command == "sim":
         return main(rest)
+    if command == "resume":
+        return _resume_main(rest)
     if command == "trace":
         from repro.obs.inspect import main as trace_main
 

@@ -1,0 +1,145 @@
+"""Durable sweep progress: which specs finished, surviving crashes.
+
+A sweep manifest is an append-only JSONL journal (schema
+:data:`SWEEP_MANIFEST_SCHEMA`) next to the sweep's
+:class:`~repro.experiments.cache.RunCache`: the manifest records *which*
+specs completed, the cache holds *their* metrics.  Each line is one
+operation::
+
+    {"schema": "repro.sweep-manifest/1", "op": "begin", "total": 19}
+    {"op": "done", "key": "4f1c...", "algorithm": "EASY"}
+    {"op": "end", "status": "complete"}
+
+Appends are fsync'd (:func:`repro.durable.atomic.append_durable`), so a
+``done`` line survives anything short of disk loss.  Loading tolerates
+a torn final line and skips malformed interior lines with a warning —
+after a hard kill the journal is simply shorter, never poisonous.
+:func:`~repro.experiments.parallel.execute_runs` consults ``is_done``
+to skip completed specs on restart, re-running only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Union
+
+from repro.durable.atomic import append_durable
+
+#: Schema tag stamped on the manifest's first line.
+SWEEP_MANIFEST_SCHEMA = "repro.sweep-manifest/1"
+
+
+class SweepManifest:
+    """Append-only completion journal for a sweep.
+
+    Creating the object loads any existing journal at ``path`` (a
+    restart resumes where the journal left off); the file itself is
+    only created by the first :meth:`begin` or :meth:`mark_done`.
+
+    Args:
+        path: Journal location; parent directories are created on
+            first append.
+        fsync: Fsync every append (default).  Disable only in tests
+            where durability is irrelevant and fsync dominates runtime.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self.done: Set[str] = set()
+        self.total: Optional[int] = None
+        self.status: Optional[str] = None
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            if not line.strip():
+                continue
+            try:
+                op = json.loads(line)
+                if not isinstance(op, dict):
+                    raise ValueError("not an object")
+            except ValueError:
+                # A torn final line is the normal residue of a kill
+                # mid-append; an interior bad line is unexpected but
+                # never worth losing the sweep over.
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping malformed manifest line",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            kind = op.get("op")
+            if kind == "begin":
+                schema = op.get("schema")
+                if schema != SWEEP_MANIFEST_SCHEMA:
+                    raise ValueError(
+                        f"{self.path}: unsupported manifest schema {schema!r} "
+                        f"(this reader understands {SWEEP_MANIFEST_SCHEMA!r})"
+                    )
+                total = op.get("total")
+                if isinstance(total, int):
+                    self.total = total
+                self.status = None  # a new begin supersedes an old end
+            elif kind == "done":
+                key = op.get("key")
+                if isinstance(key, str):
+                    self.done.add(key)
+            elif kind == "end":
+                status = op.get("status")
+                if isinstance(status, str):
+                    self.status = status
+
+    def _append(self, op: Dict[str, Any]) -> None:
+        line = json.dumps(op, separators=(",", ":"), sort_keys=True)
+        append_durable(self.path, line + "\n", fsync=self._fsync)
+
+    # ------------------------------------------------------------------
+    # Journal operations
+    # ------------------------------------------------------------------
+    def begin(self, total: int) -> None:
+        """Record the sweep's start (or restart) and its spec count."""
+        self.total = total
+        self.status = None
+        self._append({"schema": SWEEP_MANIFEST_SCHEMA, "op": "begin", "total": total})
+
+    def mark_done(self, key: str, *, algorithm: Optional[str] = None) -> None:
+        """Durably record that the spec with cache-key ``key`` finished.
+
+        Idempotent: re-marking an already-done key appends nothing.
+        """
+        if key in self.done:
+            return
+        self.done.add(key)
+        op: Dict[str, Any] = {"op": "done", "key": key}
+        if algorithm is not None:
+            op["algorithm"] = algorithm
+        self._append(op)
+
+    def is_done(self, key: str) -> bool:
+        """Whether the spec with cache-key ``key`` already completed."""
+        return key in self.done
+
+    def finalize(self, status: str = "complete") -> None:
+        """Close the journal with a terminal status line."""
+        self.status = status
+        self._append({"op": "end", "status": status})
+
+    def __len__(self) -> int:
+        return len(self.done)
+
+    def __repr__(self) -> str:
+        total = "?" if self.total is None else self.total
+        return (
+            f"SweepManifest({str(self.path)!r}, done={len(self.done)}/{total}, "
+            f"status={self.status!r})"
+        )
+
+
+__all__ = ["SWEEP_MANIFEST_SCHEMA", "SweepManifest"]

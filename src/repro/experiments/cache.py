@@ -16,8 +16,11 @@ misses.  Stale entries are never wrong, only unused; ``clear()`` (or
 The cache is disabled by default so unit tests and ad-hoc runs stay
 side-effect free; opt in with ``REPRO_CACHE=1`` (directory override:
 ``REPRO_CACHE_DIR``) or by passing an explicit :class:`RunCache`.
-Entries are written atomically (temp file + rename), so concurrent
-writers — the parallel executor's workers — cannot corrupt each other.
+Entries are checksummed containers (:mod:`repro.durable.atomic`)
+written atomically (temp file + fsync + rename), so concurrent writers
+— the parallel executor's workers — cannot corrupt each other and a
+torn or bit-rotted entry is detected on read and treated as a miss
+with a warning, never a crash.
 """
 
 from __future__ import annotations
@@ -26,14 +29,18 @@ import dataclasses
 import hashlib
 import os
 import pickle
-import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.durable.atomic import checksummed_read, checksummed_write
 from repro.faults.model import FaultConfig, RetryPolicy
 from repro.metrics.records import RunMetrics
 from repro.workload.generator import Workload
+
+#: Schema tag of on-disk cache entries; readers reject others.
+CACHE_MAGIC = "repro.cache-entry/1"
 
 #: Environment switch: ``REPRO_CACHE=1`` enables the on-disk cache.
 ENV_CACHE = "REPRO_CACHE"
@@ -199,19 +206,29 @@ class RunCache:
     def get(self, key: str) -> Optional[RunMetrics]:
         """Cached metrics for ``key``, or None on a miss.
 
-        A corrupt or unreadable entry (killed writer, version skew in
-        pickled classes) is treated as a miss, never an error.
+        A corrupt or unreadable entry (killed writer, bit rot, version
+        skew in pickled classes) is treated as a miss — with a
+        ``RuntimeWarning`` naming the file — never an error.
         """
         if not self.enabled:
             return None
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                metrics = pickle.load(fh)
+            _header, payload = checksummed_read(path, magic=CACHE_MAGIC)
+            metrics = pickle.loads(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
         except Exception:
-            # Unpickling arbitrary corruption can raise nearly anything
+            # Checksum/magic mismatches are CorruptFileError; unpickling
+            # arbitrary corruption can raise nearly anything beyond that
             # (UnpicklingError, EOFError, ValueError from bad opcodes,
             # AttributeError/ImportError from version skew, OSError...).
+            warnings.warn(
+                f"{path}: discarding unreadable cache entry (treated as a miss)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             self.stats.misses += 1
             return None
         if not isinstance(metrics, RunMetrics):
@@ -233,19 +250,11 @@ class RunCache:
         """Persist ``metrics`` under ``key`` (atomic, last writer wins)."""
         if not self.enabled:
             return
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(metrics, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        checksummed_write(
+            self._path(key),
+            pickle.dumps(metrics, protocol=pickle.HIGHEST_PROTOCOL),
+            magic=CACHE_MAGIC,
+        )
         self.stats.stores += 1
 
     def clear(self) -> int:
@@ -270,6 +279,7 @@ class RunCache:
 
 
 __all__ = [
+    "CACHE_MAGIC",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE",

@@ -99,6 +99,16 @@ class RunSpec:
     #: path is always simulated (never served from cache), so the file
     #: is actually produced; the result is still stored back.
     trace_out: Optional[str] = None
+    #: Checkpoint this run into the given directory and, when a usable
+    #: checkpoint is already there, resume from it instead of starting
+    #: over (docs/resilience.md).  Like ``trace_out``, never part of
+    #: the cache key — checkpointing never changes metrics (the resume
+    #: oracle in ``tests/durable/`` enforces bitwise equality).
+    checkpoint_dir: Optional[str] = None
+    #: Checkpoint cadence in events (None = the durable layer default).
+    checkpoint_every: Optional[int] = None
+    #: Optional wall-clock cadence in seconds.
+    checkpoint_seconds: Optional[float] = None
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -122,26 +132,84 @@ def fork_available() -> bool:
 def execute_spec(spec: RunSpec) -> RunMetrics:
     """Run one spec to completion (the worker-side entry point).
 
+    A spec with ``checkpoint_dir`` runs under periodic checkpointing
+    (:mod:`repro.durable.checkpoint`); when the directory already holds
+    a usable checkpoint *of this exact spec* (run-key validated), the
+    run resumes from it instead of restarting — an unusable or
+    mismatched checkpoint demotes to a fresh run with a warning, and a
+    completed run deletes its checkpoints (cache and manifest own the
+    result from then on).
+
     With ``REPRO_TRACE_VALIDATE`` truthy, a traced run is re-checked by
     the observability oracle (:mod:`repro.obs.analytics`): the exported
     trace is read back, the paper metrics are recomputed from it, and a
     disagreement with the returned :class:`RunMetrics` raises
     :class:`~repro.obs.analytics.TraceOracleError`.
     """
-    scheduler = make_scheduler(
-        spec.algorithm,
-        max_skip_count=spec.max_skip_count,
-        lookahead=spec.lookahead,
-    )
-    runner = SimulationRunner(
-        spec.workload,
-        scheduler,
-        trace_out=spec.trace_out,
-        max_eccs_per_job=spec.max_eccs_per_job,
-        faults=spec.faults,
-        retry=spec.retry,
-    )
-    metrics = runner.run()
+    checkpoint = None
+    runner: Optional[SimulationRunner] = None
+    if spec.checkpoint_dir is not None:
+        from repro.durable.checkpoint import (
+            CheckpointConfig,
+            CheckpointError,
+            latest_checkpoint,
+            load_checkpoint,
+        )
+        from repro.experiments.cache import run_key
+
+        key = run_key(
+            spec.workload,
+            spec.algorithm,
+            max_skip_count=spec.max_skip_count,
+            lookahead=spec.lookahead,
+            max_eccs_per_job=spec.max_eccs_per_job,
+            faults=spec.faults,
+            retry=spec.retry,
+        )
+        cadence = {}
+        if spec.checkpoint_every is not None:
+            cadence["every_events"] = spec.checkpoint_every
+        checkpoint = CheckpointConfig(
+            dir=spec.checkpoint_dir,
+            every_seconds=spec.checkpoint_seconds,
+            run_key=key,
+            **cadence,
+        )
+        found = latest_checkpoint(spec.checkpoint_dir)
+        if found is not None:
+            try:
+                runner = load_checkpoint(
+                    found, trace_out=spec.trace_out, expect_run_key=key
+                )
+            except CheckpointError as exc:
+                warnings.warn(
+                    f"cannot resume from {found}: {exc}; restarting the run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    if runner is None:
+        scheduler = make_scheduler(
+            spec.algorithm,
+            max_skip_count=spec.max_skip_count,
+            lookahead=spec.lookahead,
+        )
+        runner = SimulationRunner(
+            spec.workload,
+            scheduler,
+            trace_out=spec.trace_out,
+            max_eccs_per_job=spec.max_eccs_per_job,
+            faults=spec.faults,
+            retry=spec.retry,
+        )
+    metrics = runner.run(checkpoint=checkpoint)
+    if checkpoint is not None:
+        from repro.durable.checkpoint import list_checkpoints
+
+        for stale in list_checkpoints(spec.checkpoint_dir):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
     if spec.trace_out is not None and os.environ.get(
         "REPRO_TRACE_VALIDATE", ""
     ).strip().lower() in ("1", "true", "yes", "on"):
@@ -195,7 +263,7 @@ def _map_resilient(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: int,
-    on_result: Optional[Callable[[int, bool], None]] = None,
+    on_result: Optional[Callable[[int, R, bool], None]] = None,
 ) -> List[R]:
     """Order-preserving pool map that survives worker failure.
 
@@ -207,29 +275,39 @@ def _map_resilient(
     *raised by* ``fn`` are real errors and propagate unchanged — a
     deterministic failure would fail the serial retry too.
 
-    ``on_result(index, retried)`` — when given — fires in the parent
-    after each item's result lands (progress reporting;
-    docs/observability.md).  Events follow submission order for pooled
+    ``on_result(index, result, retried)`` — when given — fires in the
+    parent after each item's result lands (progress reporting, durable
+    landing of sweep results; docs/observability.md,
+    docs/resilience.md).  Events follow submission order for pooled
     results, then retry order for serially recovered ones; ``retried``
     is True for the latter.
+
+    A ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM routed through
+    :func:`repro.durable.signals.sigterm_as_interrupt`) abandons the
+    remaining futures without waiting — workers are told to stop and
+    the interrupt propagates so the caller can record partial progress.
     """
     results: List[Optional[R]] = [None] * len(items)
     retry_indexes: List[int] = []
     timeout = run_timeout()
     try:
         with _pool(workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            for index, future in enumerate(futures):
-                try:
-                    results[index] = future.result(timeout=timeout)
-                except FuturesTimeoutError:
-                    future.cancel()
-                    retry_indexes.append(index)
-                except (BrokenProcessPool, CancelledError):
-                    retry_indexes.append(index)
-                else:
-                    if on_result is not None:
-                        on_result(index, False)
+            try:
+                futures = [pool.submit(fn, item) for item in items]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        retry_indexes.append(index)
+                    except (BrokenProcessPool, CancelledError):
+                        retry_indexes.append(index)
+                    else:
+                        if on_result is not None:
+                            on_result(index, results[index], False)
+            except KeyboardInterrupt:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
     except BrokenProcessPool:
         # The pool died while submitting or shutting down; every item
         # without a result gets the serial retry.
@@ -246,8 +324,29 @@ def _map_resilient(
         for index in retry_indexes:
             results[index] = fn(items[index])
             if on_result is not None:
-                on_result(index, True)
+                on_result(index, results[index], True)
     return results  # type: ignore[return-value]  # every slot is filled
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep was interrupted with partial progress durably recorded.
+
+    Raised by :func:`execute_runs` when a ``KeyboardInterrupt`` (or a
+    SIGTERM routed through
+    :func:`repro.durable.signals.sigterm_as_interrupt`) arrives
+    mid-batch and a :class:`~repro.durable.manifest.SweepManifest` is
+    attached: every completed spec is already in the cache and marked
+    done, so re-invoking the same sweep re-runs only the remainder.
+
+    Attributes:
+        completed: Specs finished (cache hits + fresh runs landed).
+        total: Specs in the batch.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(completed, total)
+        self.completed = completed
+        self.total = total
 
 
 def execute_runs(
@@ -256,6 +355,7 @@ def execute_runs(
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    manifest: Optional[object] = None,
 ) -> List[RunMetrics]:
     """Execute a batch of runs, in parallel where it pays off.
 
@@ -277,10 +377,33 @@ def execute_runs(
             :class:`~repro.obs.progress.ProgressEvent` after every run
             resolves (cache hit, simulation, or serial retry).  Purely
             observational — results are identical with or without it.
+        manifest: Optional :class:`~repro.durable.manifest.SweepManifest`
+            (or a path to create one) recording durable per-spec
+            completion.  Each fresh result is landed **incrementally** —
+            stored to the cache, then marked done — so a crash or kill
+            mid-batch loses at most the runs still in flight; re-running
+            the same batch re-simulates only the remainder.  Requires an
+            enabled cache (the manifest records *that* a spec finished,
+            the cache holds *what* it produced).  On interrupt the
+            manifest is finalized ``"interrupted"`` and
+            :class:`SweepInterrupted` (a ``KeyboardInterrupt``) reports
+            the completed/total counts.
     """
     specs = list(specs)
     if cache is None:
         cache = RunCache.from_env()
+    if manifest is not None:
+        from repro.durable.manifest import SweepManifest
+
+        if not isinstance(manifest, SweepManifest):
+            manifest = SweepManifest(manifest)  # type: ignore[arg-type]
+        if not cache.enabled:
+            raise ValueError(
+                "a sweep manifest needs an enabled run cache: the manifest "
+                "records which specs finished, the cache holds their metrics "
+                "(enable with REPRO_CACHE=1 or pass a RunCache)"
+            )
+        manifest.begin(len(specs))
     tracker = ProgressTracker(len(specs), progress) if progress is not None else None
     results: List[Optional[RunMetrics]] = [None] * len(specs)
     keys: List[Optional[str]] = [None] * len(specs)
@@ -300,32 +423,46 @@ def execute_runs(
                 hit = cache.get(keys[index])
                 if hit is not None:
                     results[index] = hit
+                    if manifest is not None:
+                        manifest.mark_done(
+                            keys[index], algorithm=spec.algorithm
+                        )
                     if tracker is not None:
                         tracker.hit()
                     continue
         pending.append(index)
 
-    work_hint = sum(len(specs[index].workload) for index in pending)
-    workers = _effective_workers(jobs, len(pending), work_hint)
-    if workers > 1:
-        on_result = None
-        if tracker is not None:
-            on_result = lambda _index, retried: tracker.ran(retried=retried)  # noqa: E731
-        fresh = _map_resilient(
-            execute_spec, [specs[index] for index in pending], workers, on_result
-        )
-    else:
-        fresh = []
-        for index in pending:
-            fresh.append(execute_spec(specs[index]))
-            if tracker is not None:
-                tracker.ran()
-
-    for index, metrics in zip(pending, fresh):
+    def _land(position: int, metrics: RunMetrics, retried: bool) -> None:
+        # Fires as each fresh result arrives: persist before moving on,
+        # so an interrupt loses only the runs still in flight.
+        index = pending[position]
         results[index] = metrics
         key = keys[index]
         if key is not None:
             cache.put(key, metrics)
+            if manifest is not None:
+                manifest.mark_done(key, algorithm=specs[index].algorithm)
+        if tracker is not None:
+            tracker.ran(retried=retried)
+
+    try:
+        work_hint = sum(len(specs[index].workload) for index in pending)
+        workers = _effective_workers(jobs, len(pending), work_hint)
+        if workers > 1:
+            _map_resilient(
+                execute_spec, [specs[index] for index in pending], workers, _land
+            )
+        else:
+            for position, index in enumerate(pending):
+                _land(position, execute_spec(specs[index]), False)
+    except KeyboardInterrupt:
+        if manifest is not None:
+            manifest.finalize("interrupted")
+            completed = sum(1 for r in results if r is not None)
+            raise SweepInterrupted(completed, len(specs)) from None
+        raise
+    if manifest is not None:
+        manifest.finalize("complete")
     return results  # type: ignore[return-value]  # every slot is filled
 
 
@@ -373,7 +510,7 @@ def parallel_map(
     if workers > 1 and _picklable(fn, items[0]):
         on_result = None
         if tracker is not None:
-            on_result = lambda _index, retried: tracker.ran(retried=retried)  # noqa: E731
+            on_result = lambda _i, _r, retried: tracker.ran(retried=retried)  # noqa: E731
         return _map_resilient(fn, items, workers, on_result)
     results: List[R] = []
     for item in items:
@@ -388,6 +525,7 @@ __all__ = [
     "ENV_RUN_TIMEOUT",
     "PARALLEL_MIN_WORK",
     "RunSpec",
+    "SweepInterrupted",
     "execute_runs",
     "execute_spec",
     "fork_available",

@@ -152,6 +152,11 @@ class SimulationRunner:
         self._jobs_retired = 0
         self._stream_inflight = 0
         self._stream_exhausted = True
+        # Items pulled from the stream iterator so far.  A checkpoint
+        # persists this count; resume rebuilds the (unpicklable)
+        # iterator from the stream's spec and fast-forwards exactly
+        # this many items (repro.durable.checkpoint).
+        self._stream_pulled = 0
         self._stream_first: Optional[StreamItem] = None
         self._span_start: Optional[float] = None
         self._span_end = 0.0
@@ -169,6 +174,8 @@ class SimulationRunner:
             # so a peek at the first item yields the simulation start
             # time without materializing anything else.
             first = next(self._stream_iter, None)
+            if first is not None:
+                self._stream_pulled += 1
             if first is None:
                 raise ValueError(
                     "job stream yielded no items — streams are single-use; "
@@ -226,6 +233,11 @@ class SimulationRunner:
 
         self.sim = Simulator(start_time=start)
         self._trace_out = Path(trace_out) if trace_out is not None else None
+        # The live TraceWriter while run() executes.  Normally created
+        # (and closed) by run() itself; checkpoint resume pre-attaches
+        # a journal-resumed writer here so the continued run appends to
+        # the interrupted file instead of truncating it.
+        self._trace_writer = None
         self.trace = TraceLog(
             enabled=trace or self._trace_out is not None, store=trace
         )
@@ -349,6 +361,7 @@ class SimulationRunner:
             if item is None:
                 self._stream_exhausted = True
                 return
+            self._stream_pulled += 1
             self._admit_stream_item(item)
 
     def _admit_stream_item(self, item: StreamItem) -> None:
@@ -872,18 +885,37 @@ class SimulationRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> RunMetrics:
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        checkpoint: Optional[object] = None,
+    ) -> RunMetrics:
         """Run to completion and return the aggregate metrics.
+
+        Args:
+            until: Optional inclusive horizon (engine semantics).
+            checkpoint: Optional
+                :class:`~repro.durable.checkpoint.CheckpointConfig`
+                (or a checkpoint directory path) enabling periodic
+                crash-consistent checkpoints plus a final checkpoint
+                on SIGINT/SIGTERM (docs/resilience.md).  ``None``
+                (default) runs the plain fast drain loop —
+                checkpointing off costs nothing.
 
         Raises:
             SimulationError: when events drain with jobs still waiting
                 (a policy starved them — always a bug).
+            CheckpointInterrupt: when a shutdown signal arrived and the
+                final checkpoint was written (resume from it later).
         """
-        writer = None
-        if self._trace_out is not None:
+        writer = self._trace_writer
+        if writer is None and self._trace_out is not None:
             from repro.obs.trace_io import TraceWriter
 
             writer = TraceWriter(self._trace_out, meta=self._trace_meta())
+            self._trace_writer = writer
+        if writer is not None:
             self.trace.sink = writer.write
         # Each run starts with cold DP caches so the dp_cache_* /
         # dp_invocations counters are a pure function of the run —
@@ -897,11 +929,22 @@ class SimulationRunner:
             # a telemetry handle through every policy signature.
             with obs_telemetry.activated(self.telemetry):
                 with self.telemetry.timeit("run_wall_s"):
-                    self.sim.run(until=until)
+                    if checkpoint is None:
+                        self.sim.run(until=until)
+                    else:
+                        from repro.durable.checkpoint import (
+                            CheckpointConfig,
+                            drive_checkpointed,
+                        )
+
+                        drive_checkpointed(
+                            self, CheckpointConfig.coerce(checkpoint), until=until
+                        )
                 self._fold_dp_cache_telemetry()
         finally:
             if writer is not None:
                 self.trace.sink = None
+                self._trace_writer = None
                 writer.close()
         if self._streaming:
             # The live map holds queued/running jobs plus the (rare)
@@ -1075,8 +1118,8 @@ class SimulationRunner:
 
 
 def simulate(
-    workload: Union[Workload, JobStream],
-    scheduler: Scheduler,
+    workload: Optional[Union[Workload, JobStream]] = None,
+    scheduler: Optional[Scheduler] = None,
     *,
     trace: bool = False,
     trace_out: Optional[Union[str, Path]] = None,
@@ -1085,8 +1128,33 @@ def simulate(
     retry: Optional[RetryPolicy] = None,
     online: bool = False,
     retain_records: bool = True,
+    checkpoint: Optional[object] = None,
+    resume_from: Optional[Union[str, Path]] = None,
 ) -> RunMetrics:
-    """One-shot convenience wrapper around :class:`SimulationRunner`."""
+    """One-shot convenience wrapper around :class:`SimulationRunner`.
+
+    Args:
+        checkpoint: Enable periodic crash-consistent checkpoints — a
+            :class:`~repro.durable.checkpoint.CheckpointConfig` or a
+            checkpoint directory path (docs/resilience.md).
+        resume_from: Restore the runner from a checkpoint file (or the
+            newest usable checkpoint in a directory) and run it to
+            completion — bitwise-identical to the uninterrupted run.
+            Mutually exclusive with ``workload``/``scheduler`` (the
+            checkpoint carries the full simulation state; the other
+            keyword arguments except ``checkpoint`` are ignored).
+    """
+    if resume_from is not None:
+        if workload is not None or scheduler is not None:
+            raise ValueError(
+                "resume_from rebuilds the runner from the checkpoint; "
+                "don't pass workload/scheduler as well"
+            )
+        from repro.durable.checkpoint import resume
+
+        return resume(resume_from, checkpoint=checkpoint)
+    if workload is None or scheduler is None:
+        raise TypeError("simulate() needs a workload and a scheduler (or resume_from=)")
     return SimulationRunner(
         workload,
         scheduler,
@@ -1097,7 +1165,7 @@ def simulate(
         retry=retry,
         online=online,
         retain_records=retain_records,
-    ).run()
+    ).run(checkpoint=checkpoint)
 
 
 __all__ = ["MAX_CYCLE_PASSES", "SimulationRunner", "simulate"]

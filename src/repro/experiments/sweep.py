@@ -10,6 +10,7 @@ order and collected by index.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -61,6 +62,10 @@ def run_algorithms(
     cache: Optional[RunCache] = None,
     trace_out: Optional[Mapping[str, str]] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    manifest: Optional[object] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_seconds: Optional[float] = None,
 ) -> Dict[str, RunMetrics]:
     """Run every algorithm on the *same* workload instance.
 
@@ -77,6 +82,13 @@ def run_algorithms(
     mapping run untraced, and traced runs produce identical metrics to
     untraced ones.  ``progress`` receives a
     :class:`~repro.obs.progress.ProgressEvent` per resolved run.
+
+    Durability (docs/resilience.md): ``manifest`` (a
+    :class:`~repro.durable.manifest.SweepManifest` or path) records
+    per-algorithm completion so a killed sweep re-runs only the
+    remainder; ``checkpoint_dir`` additionally checkpoints each run
+    *within* itself — every algorithm gets its own subdirectory, and
+    an interrupted run resumes mid-simulation on the next invocation.
     """
     specs = [
         RunSpec(
@@ -88,10 +100,18 @@ def run_algorithms(
             faults=faults,
             retry=retry,
             trace_out=None if trace_out is None else trace_out.get(name),
+            checkpoint_dir=(
+                None if checkpoint_dir is None
+                else os.path.join(checkpoint_dir, name)
+            ),
+            checkpoint_every=checkpoint_every,
+            checkpoint_seconds=checkpoint_seconds,
         )
         for name in algorithms
     ]
-    metrics = execute_runs(specs, jobs=jobs, cache=cache, progress=progress)
+    metrics = execute_runs(
+        specs, jobs=jobs, cache=cache, progress=progress, manifest=manifest
+    )
     return dict(zip(algorithms, metrics))
 
 

@@ -29,6 +29,7 @@ checkpoint credit, retry exhaustion).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
@@ -113,7 +114,9 @@ class FaultInjector:
             repair = float(self._node_rng.exponential(self.config.mttr))
             self.runner.sim.schedule_in(
                 repair,
-                lambda i=index: self._on_node_repair(i),
+                # partial, not a lambda: scheduled actions must stay
+                # picklable for checkpointing (repro.durable).
+                partial(self._on_node_repair, index),
                 priority=EventPriority.FAULT,
                 name=f"node-repair#{index}",
             )
@@ -164,7 +167,7 @@ class FaultInjector:
         frac = float(rng.uniform(0.05, 0.95))
         self._job_fail_events[job.job_id] = self.runner.sim.schedule_in(
             frac * runtime,
-            lambda j=job: self._on_job_fail(j),
+            partial(self._on_job_fail, job),
             priority=EventPriority.FAULT,
             name=f"job-fail#{job.job_id}",
         )

@@ -148,10 +148,9 @@ def append_entry(
         timestamp=utc_now(),
         host=platform.node() or "unknown",
     )
-    path = Path(history)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a", encoding="utf-8") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    from repro.durable.atomic import append_durable
+
+    append_durable(Path(history), json.dumps(entry, sort_keys=True) + "\n")
     return entry
 
 
@@ -159,8 +158,13 @@ def read_history(history: "Path | str" = DEFAULT_HISTORY) -> List[Dict[str, Any]
     """All history entries in file (= chronological) order.
 
     Blank lines are skipped; entries with an unrecognized ``schema``
-    are skipped too (forward compatibility), malformed JSON raises.
+    are skipped too (forward compatibility).  A malformed line — the
+    torn tail of a benchmark run killed mid-append, or manual editing
+    gone wrong — is skipped with a ``RuntimeWarning``: one damaged line
+    must not take down every ``bench-compare`` after it.
     """
+    import warnings
+
     path = Path(history)
     if not path.exists():
         return []
@@ -173,7 +177,12 @@ def read_history(history: "Path | str" = DEFAULT_HISTORY) -> List[Dict[str, Any]
         try:
             entry = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{number}: malformed history line: {exc}")
+            warnings.warn(
+                f"{path}:{number}: skipping malformed history line: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
         if isinstance(entry, dict) and entry.get("schema") == HISTORY_SCHEMA:
             entries.append(entry)
     return entries

@@ -42,7 +42,10 @@ True
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
@@ -105,6 +108,44 @@ class TraceWriter:
         header = {"schema": TRACE_SCHEMA, "meta": dict(meta or {})}
         self._fh.write(json.dumps(header, separators=(",", ":"), default=_jsonable) + "\n")
 
+    @classmethod
+    def resume(cls, target: Union[str, Path], *, offset: int, count: int) -> "TraceWriter":
+        """Reopen an interrupted trace file for journaled append-resume.
+
+        ``offset``/``count`` come from a checkpoint's trace journal
+        (:mod:`repro.durable.checkpoint`): the file is truncated back
+        to ``offset`` — discarding any records written after the
+        checkpoint, including a torn final line from a killed writer —
+        and appending continues from there.  No header is rewritten;
+        the bytes up to ``offset`` are the authoritative prefix, so a
+        resumed run's finished file is byte-identical to an
+        uninterrupted one.
+
+        Raises:
+            FileNotFoundError: when the trace file is gone.
+            ValueError: when the file is shorter than ``offset`` (it
+                cannot be the file the journal describes).
+        """
+        path = Path(target)
+        size = path.stat().st_size
+        if size < offset:
+            raise ValueError(
+                f"{path}: {size} bytes on disk but the checkpoint journal "
+                f"recorded {offset}; refusing to resume a different file"
+            )
+        raw = open(path, "r+b")
+        try:
+            raw.truncate(offset)
+            raw.seek(0, os.SEEK_END)
+        except BaseException:
+            raw.close()
+            raise
+        writer = cls.__new__(cls)
+        writer._fh = io.TextIOWrapper(raw, encoding="utf-8", newline="")
+        writer._owns_fh = True
+        writer.count = count
+        return writer
+
     def write(self, record: TraceRecord) -> None:
         """Append one record as a JSONL line."""
         line = json.dumps(
@@ -114,6 +155,20 @@ class TraceWriter:
         )
         self._fh.write(line + "\n")
         self.count += 1
+
+    def sync(self) -> int:
+        """Flush to stable storage; returns the durable byte length.
+
+        The returned offset is the append position a checkpoint can
+        journal: the writer only ever appends, so file size and write
+        position coincide.  Only meaningful for path-backed writers.
+        """
+        self._fh.flush()
+        if not self._owns_fh:
+            raise ValueError("sync() requires a path-backed TraceWriter")
+        fd = self._fh.fileno()
+        os.fsync(fd)
+        return os.fstat(fd).st_size
 
     def close(self) -> None:
         """Flush and (for path targets) close the underlying file."""
@@ -143,10 +198,15 @@ def write_trace(
 
 @dataclass(frozen=True)
 class TraceFile:
-    """A fully parsed trace: header metadata plus all records."""
+    """A fully parsed trace: header metadata plus all records.
+
+    ``truncated`` is True when the file ended in a torn final line (a
+    crashed writer); every complete record before it was recovered.
+    """
 
     meta: Dict[str, Any]
     records: List[TraceRecord] = field(default_factory=list)
+    truncated: bool = False
 
     def __len__(self) -> int:
         return len(self.records)
@@ -201,15 +261,29 @@ def _parse_record(line: str, source: str, lineno: int) -> TraceRecord:
     return TraceRecord(time=float(time), kind=kind, data=data)
 
 
+def _warn_truncated(source: str, lineno: int) -> None:
+    warnings.warn(
+        f"{source}:{lineno}: truncated final line (crashed writer?); "
+        "recovered every complete record before it",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def iter_trace(source: PathOrFile, *, strict: bool = True) -> Iterator[TraceRecord]:
     """Stream records from a trace file after validating its header.
 
+    A torn **final** line — one that fails to parse *and* lacks its
+    terminating newline, the signature a killed writer leaves — is
+    never an error: every complete record before it is yielded and a
+    ``RuntimeWarning`` reports the truncation (docs/resilience.md).
+
     Args:
         source: Input path or readable text stream.
-        strict: When True (default), a malformed record raises
-            :class:`TraceReadError` with file/line context; when
-            False, malformed *record* lines are skipped (a bad header
-            always raises — without it nothing is trustworthy).
+        strict: When True (default), a malformed *interior* record
+            raises :class:`TraceReadError` with file/line context;
+            when False, malformed record lines are skipped (a bad
+            header always raises — without it nothing is trustworthy).
     """
     if isinstance(source, (str, Path)):
         name = str(source)
@@ -230,6 +304,11 @@ def iter_trace(source: PathOrFile, *, strict: bool = True) -> Iterator[TraceReco
             try:
                 yield _parse_record(line, name, lineno)
             except TraceReadError:
+                if not line.endswith("\n"):
+                    # Only the file's very last line can lack its
+                    # newline: a torn write, not corruption.
+                    _warn_truncated(name, lineno)
+                    return
                 if strict:
                     raise
     finally:
@@ -262,15 +341,20 @@ def read_trace(source: PathOrFile, *, strict: bool = True) -> TraceFile:
         raise TraceReadError("empty file (no header)", source=str(name))
     meta = _parse_header(first, str(name))
     records: List[TraceRecord] = []
+    truncated = False
     for lineno, line in enumerate(source, start=2):
         if not line.strip():
             continue
         try:
             records.append(_parse_record(line, str(name), lineno))
         except TraceReadError:
+            if not line.endswith("\n"):
+                _warn_truncated(str(name), lineno)
+                truncated = True
+                break
             if strict:
                 raise
-    return TraceFile(meta=meta, records=records)
+    return TraceFile(meta=meta, records=records, truncated=truncated)
 
 
 __all__ = [

@@ -99,6 +99,18 @@ class Simulator:
         self._drop_cancelled_head()
         return self._heap[0][0] if self._heap else None
 
+    def max_seq(self) -> int:
+        """Largest sequence number still sitting in the heap (-1 if empty).
+
+        The checkpoint layer persists this watermark so a restore in a
+        fresh process can advance the global sequence counter past
+        every queued event (:func:`repro.sim.events.advance_seq`),
+        keeping same-instant tie-breaks identical to the uninterrupted
+        run.  Cancelled events are included — they are heap residents
+        too, and a larger watermark is always safe.
+        """
+        return max((entry[2] for entry in self._heap), default=-1)
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -50,6 +50,29 @@ class EventPriority(IntEnum):
 _seq_counter = itertools.count()
 
 
+def advance_seq(minimum: int) -> None:
+    """Ensure future sequence numbers are ``>= minimum``.
+
+    Called when a checkpointed simulation is restored in a fresh
+    process (:mod:`repro.durable.checkpoint`): the restored event heap
+    carries seq values from the original process, and events scheduled
+    *after* the restore must sort behind every heap resident with an
+    equal ``(time, priority)`` — exactly as they would have in the
+    uninterrupted run.  Only relative order matters, so jumping the
+    counter forward is always safe; it never moves backwards.
+
+    Rebinds both this module's counter and the engine's cached
+    ``_next_seq`` alias (the hot-path shortcut in
+    :mod:`repro.sim.engine`).
+    """
+    global _seq_counter
+    current = next(_seq_counter)
+    _seq_counter = itertools.count(max(current, minimum))
+    from repro.sim import engine
+
+    engine._next_seq = _seq_counter.__next__
+
+
 @dataclass(slots=True)
 class Event:
     """A single scheduled occurrence inside a :class:`Simulator`.
@@ -105,4 +128,4 @@ class Event:
         return f"Event(t={self.time!r}, p={int(self.priority)}, {label}{flag})"
 
 
-__all__ = ["Event", "EventPriority"]
+__all__ = ["Event", "EventPriority", "advance_seq"]

@@ -188,6 +188,15 @@ class JobStream:
 
     ``n_jobs_hint`` is advisory (progress displays); streams of
     unknown length leave it ``None``.
+
+    ``spec`` — when present — is the stream's *recipe*: a small
+    picklable value object whose ``build()`` returns a fresh,
+    identical stream.  Streams themselves are single-use generators
+    and cannot be pickled; the spec is what a checkpoint persists so a
+    resumed run can rebuild the iterator and fast-forward to the
+    recorded position (:mod:`repro.durable.checkpoint`).  All three
+    stream constructors in this module attach one; hand-rolled streams
+    without a spec simply cannot be checkpointed mid-stream.
     """
 
     items: Iterable[StreamItem]
@@ -195,9 +204,75 @@ class JobStream:
     granularity: int = 1
     description: str = ""
     n_jobs_hint: Optional[int] = None
+    spec: Optional["StreamSpec"] = None
 
     def __iter__(self) -> Iterator[StreamItem]:
         return iter(self.items)
+
+
+class StreamSpec:
+    """Base class for rebuildable stream recipes (checkpoint/resume).
+
+    Subclasses are small frozen dataclasses of primitives — picklable
+    by construction — whose :meth:`build` deterministically recreates
+    the same :class:`JobStream` item-for-item.
+    """
+
+    def build(self) -> JobStream:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SWFStreamSpec(StreamSpec):
+    """Recipe for :func:`stream_swf_workload` (same arguments)."""
+
+    path: str
+    machine_size: Optional[int] = None
+    granularity: int = 1
+    max_jobs: Optional[int] = None
+    rebase_time: bool = True
+    strict: bool = True
+    lookahead: Optional[int] = DEFAULT_LOOKAHEAD
+
+    def build(self) -> JobStream:
+        return stream_swf_workload(
+            self.path,
+            machine_size=self.machine_size,
+            granularity=self.granularity,
+            max_jobs=self.max_jobs,
+            rebase_time=self.rebase_time,
+            strict=self.strict,
+            lookahead=self.lookahead,
+        )
+
+
+@dataclass(frozen=True)
+class CWFStreamSpec(StreamSpec):
+    """Recipe for :func:`stream_cwf_workload` (same arguments)."""
+
+    path: str
+    machine_size: int = 320
+    granularity: int = 1
+    strict: bool = True
+
+    def build(self) -> JobStream:
+        return stream_cwf_workload(
+            self.path,
+            machine_size=self.machine_size,
+            granularity=self.granularity,
+            strict=self.strict,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticStreamSpec(StreamSpec):
+    """Recipe for :meth:`SyntheticWorkloadStream.stream`."""
+
+    config: "GeneratorConfig"
+    seed: int = 0
+
+    def build(self) -> JobStream:
+        return SyntheticWorkloadStream(self.config, self.seed).stream()
 
 
 def stream_swf_workload(
@@ -265,6 +340,15 @@ def stream_swf_workload(
         granularity=granularity,
         description=f"SWF stream {Path(path).name}",
         n_jobs_hint=max_jobs,
+        spec=SWFStreamSpec(
+            path=str(path),
+            machine_size=machine_size,
+            granularity=granularity,
+            max_jobs=max_jobs,
+            rebase_time=rebase_time,
+            strict=strict,
+            lookahead=lookahead,
+        ),
     )
 
 
@@ -330,6 +414,12 @@ def stream_cwf_workload(
         machine_size=machine_size,
         granularity=granularity,
         description=f"CWF stream {Path(path).name}",
+        spec=CWFStreamSpec(
+            path=str(path),
+            machine_size=machine_size,
+            granularity=granularity,
+            strict=strict,
+        ),
     )
 
 
@@ -368,6 +458,7 @@ class SyntheticWorkloadStream:
                 f"P_R={cfg.p_reduce:g} beta_arr={cfg.lublin.beta_arr:g}"
             ),
             n_jobs_hint=cfg.n_jobs,
+            spec=SyntheticStreamSpec(config=cfg, seed=self.seed),
         )
 
     # ------------------------------------------------------------------
@@ -437,10 +528,14 @@ def _iter_arrivals(
 
 
 __all__ = [
+    "CWFStreamSpec",
     "DEFAULT_LOOKAHEAD",
     "JobStream",
     "StreamItem",
     "StreamOrderError",
+    "StreamSpec",
+    "SWFStreamSpec",
+    "SyntheticStreamSpec",
     "SyntheticWorkloadStream",
     "iter_jobs",
     "stream_cwf_workload",

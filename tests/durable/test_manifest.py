@@ -1,0 +1,212 @@
+"""Sweep manifests: durable completion tracking across crashes."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.durable.manifest import SWEEP_MANIFEST_SCHEMA, SweepManifest
+from repro.experiments import parallel
+from repro.experiments.cache import RunCache
+from repro.experiments.parallel import (
+    RunSpec,
+    SweepInterrupted,
+    execute_runs,
+    execute_spec,
+)
+from repro.experiments.sweep import run_algorithms
+from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.twostage import TwoStageSizeConfig
+
+ALGOS = ["EASY", "LOS", "Delayed-LOS"]
+
+
+def generate(seed=4, n_jobs=40):
+    config = GeneratorConfig(n_jobs=n_jobs, size=TwoStageSizeConfig(p_small=0.5))
+    return CWFWorkloadGenerator(config).generate(np.random.default_rng(seed))
+
+
+def specs_for(workload):
+    return [RunSpec(workload=workload, algorithm=name) for name in ALGOS]
+
+
+class TestManifestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        manifest = SweepManifest(path)
+        manifest.begin(3)
+        manifest.mark_done("aaa", algorithm="EASY")
+        manifest.mark_done("bbb")
+        manifest.finalize("complete")
+
+        reloaded = SweepManifest(path)
+        assert reloaded.done == {"aaa", "bbb"}
+        assert reloaded.total == 3
+        assert reloaded.status == "complete"
+        assert len(reloaded) == 2
+        assert reloaded.is_done("aaa") and not reloaded.is_done("ccc")
+
+    def test_mark_done_is_idempotent(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        manifest = SweepManifest(path)
+        manifest.begin(1)
+        manifest.mark_done("aaa")
+        manifest.mark_done("aaa")
+        lines = path.read_text().splitlines()
+        assert sum(1 for line in lines if '"done"' in line) == 1
+
+    def test_new_begin_supersedes_old_end(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        manifest = SweepManifest(path)
+        manifest.begin(2)
+        manifest.mark_done("aaa")
+        manifest.finalize("interrupted")
+        manifest2 = SweepManifest(path)
+        manifest2.begin(2)
+        assert manifest2.status is None  # restarted
+        assert manifest2.is_done("aaa")  # progress kept
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        manifest = SweepManifest(path)
+        manifest.begin(2)
+        manifest.mark_done("aaa")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"op": "done", "key": "bb')  # killed mid-append
+        with pytest.warns(RuntimeWarning, match="malformed manifest line"):
+            reloaded = SweepManifest(path)
+        assert reloaded.done == {"aaa"}
+
+    def test_unknown_schema_raises(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        path.write_text(
+            json.dumps({"schema": "repro.sweep-manifest/999", "op": "begin"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            SweepManifest(path)
+
+    def test_schema_constant_on_first_line(self, tmp_path):
+        path = tmp_path / "sweep.manifest"
+        SweepManifest(path).begin(1)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["schema"] == SWEEP_MANIFEST_SCHEMA
+
+
+class TestExecuteRunsWithManifest:
+    def test_complete_sweep_marks_every_spec(self, tmp_path):
+        cache = RunCache(root=tmp_path / "cache")
+        manifest = SweepManifest(tmp_path / "sweep.manifest")
+        results = execute_runs(
+            specs_for(generate()), jobs=1, cache=cache, manifest=manifest
+        )
+        assert len(results) == len(ALGOS)
+        assert len(manifest.done) == len(ALGOS)
+        assert manifest.status == "complete"
+        assert manifest.total == len(ALGOS)
+
+    def test_manifest_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            execute_runs(
+                specs_for(generate()),
+                jobs=1,
+                cache=RunCache.disabled(),
+                manifest=tmp_path / "sweep.manifest",
+            )
+
+    def test_path_coerced_to_manifest(self, tmp_path):
+        cache = RunCache(root=tmp_path / "cache")
+        path = tmp_path / "sweep.manifest"
+        execute_runs(specs_for(generate()), jobs=1, cache=cache, manifest=path)
+        assert SweepManifest(path).status == "complete"
+
+    def test_interrupt_lands_partial_progress(self, tmp_path, monkeypatch):
+        # Simulate a Ctrl-C striking during the second run: the first
+        # result must already be durably landed (cache + manifest), and
+        # the batch must surface SweepInterrupted with counts.
+        workload = generate()
+        cache = RunCache(root=tmp_path / "cache")
+        manifest_path = tmp_path / "sweep.manifest"
+        calls = []
+
+        def interrupting(spec):
+            if len(calls) == 1:
+                raise KeyboardInterrupt
+            calls.append(spec.algorithm)
+            return execute_spec(spec)
+
+        monkeypatch.setattr(parallel, "execute_spec", interrupting)
+        with pytest.raises(SweepInterrupted) as info:
+            execute_runs(
+                specs_for(workload),
+                jobs=1,
+                cache=cache,
+                manifest=SweepManifest(manifest_path),
+            )
+        assert info.value.completed == 1
+        assert info.value.total == len(ALGOS)
+        assert calls == ["EASY"]
+
+        reloaded = SweepManifest(manifest_path)
+        assert reloaded.status == "interrupted"
+        assert len(reloaded.done) == 1
+
+        # Re-running the same batch re-simulates only the remainder.
+        monkeypatch.undo()
+        cache2 = RunCache(root=tmp_path / "cache")
+        results = execute_runs(
+            specs_for(workload),
+            jobs=1,
+            cache=cache2,
+            manifest=SweepManifest(manifest_path),
+        )
+        assert len(results) == len(ALGOS)
+        assert cache2.stats.hits == 1  # EASY came back from the cache
+        assert cache2.stats.stores == len(ALGOS) - 1
+        final = SweepManifest(manifest_path)
+        assert final.status == "complete"
+        assert len(final.done) == len(ALGOS)
+
+    def test_manifest_results_identical_to_plain_run(self, tmp_path):
+        workload = generate()
+        plain = execute_runs(specs_for(workload), jobs=1, cache=RunCache.disabled())
+        managed = execute_runs(
+            specs_for(workload),
+            jobs=1,
+            cache=RunCache(root=tmp_path / "cache"),
+            manifest=SweepManifest(tmp_path / "sweep.manifest"),
+        )
+        assert managed == plain
+
+
+class TestRunAlgorithmsPlumbing:
+    def test_manifest_and_checkpoints_through_sweep_layer(self, tmp_path):
+        workload = generate()
+        results = run_algorithms(
+            workload,
+            ALGOS,
+            jobs=1,
+            cache=RunCache(root=tmp_path / "cache"),
+            manifest=str(tmp_path / "sweep.manifest"),
+            checkpoint_dir=str(tmp_path / "ck"),
+            checkpoint_every=100,
+        )
+        assert set(results) == set(ALGOS)
+        manifest = SweepManifest(tmp_path / "sweep.manifest")
+        assert manifest.status == "complete"
+        # Completed runs clean their checkpoints up (cache owns results).
+        leftovers = list((tmp_path / "ck").rglob("*.ckpt"))
+        assert leftovers == []
+
+    def test_checkpointed_sweep_matches_plain(self, tmp_path):
+        workload = generate()
+        plain = run_algorithms(workload, ALGOS, jobs=1)
+        durable = run_algorithms(
+            workload,
+            ALGOS,
+            jobs=1,
+            checkpoint_dir=str(tmp_path / "ck"),
+            checkpoint_every=80,
+        )
+        assert durable == plain

@@ -60,11 +60,26 @@ class TestAppendRead:
             handle.write("\n")  # blank lines tolerated too
         assert len(read_history(history)) == 1
 
-    def test_malformed_line_raises(self, tmp_path):
+    def test_malformed_line_warns_and_skips(self, tmp_path):
         history = tmp_path / "history.jsonl"
-        history.write_text("{not json\n", encoding="utf-8")
-        with pytest.raises(ValueError):
-            read_history(history)
+        append_entry(_document(), history)
+        with history.open("a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        append_entry(_document(), history)
+        with pytest.warns(RuntimeWarning, match="malformed history line"):
+            entries = read_history(history)
+        assert len(entries) == 2  # the damaged line is lost, nothing else
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        # A benchmark killed mid-append leaves a partial last line; the
+        # next bench-compare must still see every complete entry.
+        history = tmp_path / "history.jsonl"
+        append_entry(_document(), history)
+        full = history.read_text(encoding="utf-8")
+        history.write_text(full + full[: len(full) // 2], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="malformed history line"):
+            entries = read_history(history)
+        assert len(entries) == 1
 
 
 class TestCompare:

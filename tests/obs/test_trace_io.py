@@ -128,3 +128,58 @@ class TestValidation:
         record = TraceRecord(time=0.0, kind="bad", data={"obj": object()})
         with pytest.raises(TypeError, match="not JSON-serializable"):
             write_trace([record], tmp_path / "x.jsonl")
+
+
+class TestTornTail:
+    """A killed writer leaves a final line without its newline.
+
+    That is recoverable damage, not corruption: every complete record
+    is returned, a RuntimeWarning names the truncation, and the
+    ``truncated`` flag is set (docs/resilience.md).
+    """
+
+    def _torn(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_trace(_records(), path, meta={"algorithm": "LOS"})
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"t": 123.0, "kind": "sta')  # SIGKILL mid-append
+        return path
+
+    def test_read_trace_recovers_complete_records(self, tmp_path):
+        path = self._torn(tmp_path)
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            trace = read_trace(path)
+        assert trace.records == _records()
+        assert trace.truncated is True
+        assert trace.meta == {"algorithm": "LOS"}
+
+    def test_iter_trace_recovers_complete_records(self, tmp_path):
+        path = self._torn(tmp_path)
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            records = list(iter_trace(path))
+        assert records == _records()
+
+    def test_clean_file_is_not_flagged(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        write_trace(_records(), path)
+        assert read_trace(path).truncated is False
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        # Only the file's *last* line may lack its newline; a malformed
+        # line followed by further records is real corruption and keeps
+        # its strict-mode error with file/line context.
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA, "meta": {}})
+            + '\n{"t":0,"kind":"x","data":{}}\n{"t": 1, "ki\n'
+            + '{"t":2,"kind":"y","data":{}}\n'
+        )
+        with pytest.raises(TraceReadError, match=r"bad\.jsonl:3: malformed record"):
+            read_trace(path)
+
+    def test_torn_tail_in_non_strict_mode(self, tmp_path):
+        path = self._torn(tmp_path)
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            trace = read_trace(path, strict=False)
+        assert trace.records == _records()
+        assert trace.truncated is True
