@@ -145,6 +145,25 @@ def build_parser() -> argparse.ArgumentParser:
         "remainder (implies --cache)",
     )
     parser.add_argument(
+        "--malleable", type=float, default=0.0, metavar="FRAC",
+        help="declare [min, pref, max] processor ranges on this fraction "
+        "of batch jobs, enabling the Malleable-* policies to resize "
+        "them at runtime (docs/malleability.md); rigid policies ignore "
+        "the ranges and behave byte-identically",
+    )
+    parser.add_argument(
+        "--malleable-min", type=float, default=0.5, metavar="F",
+        help="min_procs = num * F for jobs selected by --malleable",
+    )
+    parser.add_argument(
+        "--malleable-pref", type=float, default=1.5, metavar="F",
+        help="pref_procs = num * F for jobs selected by --malleable",
+    )
+    parser.add_argument(
+        "--malleable-max", type=float, default=2.0, metavar="F",
+        help="max_procs = num * F for jobs selected by --malleable",
+    )
+    parser.add_argument(
         "--cwf", type=str, default=None, help="load a CWF workload file instead of generating"
     )
     parser.add_argument(
@@ -180,23 +199,36 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_workload(args: argparse.Namespace) -> Workload:
     if args.cwf:
         jobs, eccs = parse_cwf_workload(args.cwf)
-        return Workload(
+        workload = Workload(
             jobs=jobs,
             eccs=eccs,
             machine_size=args.machine,
             granularity=1,
             description=f"loaded from {args.cwf}",
         )
-    config = GeneratorConfig(
-        n_jobs=args.jobs,
-        machine_size=args.machine,
-        size=TwoStageSizeConfig(p_small=args.p_small),
-        p_dedicated=args.p_dedicated,
-        p_extend=args.p_extend,
-        p_reduce=args.p_reduce,
-    )
-    calibration = calibrate_beta_arr(config, args.load, seed=args.seed)
-    return calibration.workload
+    else:
+        config = GeneratorConfig(
+            n_jobs=args.jobs,
+            machine_size=args.machine,
+            size=TwoStageSizeConfig(p_small=args.p_small),
+            p_dedicated=args.p_dedicated,
+            p_extend=args.p_extend,
+            p_reduce=args.p_reduce,
+        )
+        calibration = calibrate_beta_arr(config, args.load, seed=args.seed)
+        workload = calibration.workload
+    if getattr(args, "malleable", 0.0):
+        from repro.workload.transform import make_malleable
+
+        workload = make_malleable(
+            workload,
+            args.malleable,
+            min_factor=args.malleable_min,
+            pref_factor=args.malleable_pref,
+            max_factor=args.malleable_max,
+            seed=args.seed,
+        )
+    return workload
 
 
 def _trace_paths(trace_out: str, algorithms: Sequence[str]) -> Dict[str, str]:

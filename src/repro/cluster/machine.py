@@ -192,6 +192,57 @@ class Machine:
         if self.tracker is not None:
             self.tracker.observe(time, self._used)
 
+    def resize(self, alloc_id: Hashable, new_num: int, time: float = 0.0) -> int:
+        """Resize a live allocation in place; returns its previous size.
+
+        The malleability primitive (docs/malleability.md): a running
+        job shrinks or grows without releasing its allocation id.
+        Shrinking frees the highest-indexed psets of the allocation
+        (placement tracking); growing claims free online psets
+        first-fit, like :meth:`allocate`.
+
+        Raises:
+            AllocationError: when ``alloc_id`` is not live, ``new_num``
+                is malformed, or growth exceeds the free capacity.
+        """
+        self.validate_request(new_num)
+        old_num = self._allocations.get(alloc_id)
+        if old_num is None:
+            raise AllocationError(f"allocation id {alloc_id!r} is not live")
+        delta = new_num - old_num
+        if delta == 0:
+            return old_num
+        if delta > self.free:
+            raise AllocationError(
+                f"cannot grow {alloc_id!r} by {delta} processors; "
+                f"only {self.free} free of {self.total}"
+                + (f" ({self.offline} offline)" if self._offline else "")
+            )
+        self._allocations[alloc_id] = new_num
+        self._used += delta
+        if self.track_placement:
+            if delta > 0:
+                extra = delta // self.granularity
+                chosen: List[int] = []
+                for index, owner in enumerate(self._unit_owner):
+                    if owner is None and index not in self._offline:
+                        chosen.append(index)
+                        if len(chosen) == extra:
+                            break
+                assert len(chosen) == extra, (alloc_id, extra, chosen)
+                for index in chosen:
+                    self._unit_owner[index] = alloc_id
+                self._unit_of[alloc_id].extend(chosen)
+            else:
+                drop = (-delta) // self.granularity
+                units = self._unit_of[alloc_id]
+                for index in units[len(units) - drop:]:
+                    self._unit_owner[index] = None
+                del units[len(units) - drop:]
+        if self.tracker is not None:
+            self.tracker.observe(time, self._used)
+        return old_num
+
     def release(self, alloc_id: Hashable, time: float = 0.0) -> int:
         """Release the allocation held by ``alloc_id``; returns its size.
 

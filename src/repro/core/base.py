@@ -26,6 +26,7 @@ from repro.cluster.machine import Machine
 from repro.queues.active_list import ActiveList
 from repro.queues.batch_queue import BatchQueue
 from repro.queues.dedicated_queue import DedicatedQueue
+from repro.workload.ecc import ECC
 from repro.workload.job import Job
 
 
@@ -93,14 +94,22 @@ class CycleDecision:
         promotions: Dedicated-queue jobs to move to the head of the
             batch queue with ``scount = C_s`` (Algorithm 3).  Applied
             before ``starts``.
+        commands: Synthetic Elastic Control Commands a *malleable*
+            policy wants applied to running jobs (shrink/expand; see
+            :mod:`repro.core.malleable`, docs/malleability.md).
+            Applied first — before promotions and starts — through the
+            run's :class:`~repro.core.elastic.ECCProcessor`, so a
+            shrink's freed capacity is visible to the same decision's
+            starts.  Non-malleable policies never populate this.
     """
 
     starts: List[Job] = field(default_factory=list)
     promotions: List[Job] = field(default_factory=list)
+    commands: List["ECC"] = field(default_factory=list)
 
     def is_empty(self) -> bool:
         """Whether the pass reached a fix-point."""
-        return not self.starts and not self.promotions
+        return not self.starts and not self.promotions and not self.commands
 
     @staticmethod
     def nothing() -> "CycleDecision":
@@ -127,10 +136,16 @@ class Scheduler(abc.ABC):
         elastic: Whether the runner should apply Elastic Control
             Commands (the "-E" variants append the ECC processor; the
             scheduling logic itself is unchanged, §V).
+        malleable: Whether the policy emits scheduler-initiated
+            shrink/expand commands (``CycleDecision.commands``); the
+            runner enables the ECC processor's running-resize path
+            only for such policies, so every other policy keeps the
+            paper's rigid-allocation semantics bit-for-bit.
     """
 
     name: str = "scheduler"
     handles_dedicated: bool = False
+    malleable: bool = False
 
     def __init__(self, elastic: bool = False) -> None:
         self.elastic = bool(elastic)

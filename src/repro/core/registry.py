@@ -24,6 +24,11 @@ from repro.core.easy import EasyBackfill
 from repro.core.fcfs import FCFS
 from repro.core.hybrid_los import HybridLOS
 from repro.core.los import LOS
+from repro.core.malleable import (
+    MalleableAgreement,
+    MalleableBackfill,
+    MalleableFCFS,
+)
 from repro.core.selector import AdaptiveSelector
 from repro.core.sizeorder import LargestJobFirst, ShortestJobFirst, SmallestJobFirst
 
@@ -66,6 +71,18 @@ def _adaptive(cs: int, lookahead: Optional[int], elastic: bool) -> Scheduler:
     return AdaptiveSelector(max_skip_count=cs, lookahead=lookahead, elastic=elastic)
 
 
+def _malleable_fcfs(cs: int, lookahead: Optional[int], elastic: bool) -> Scheduler:
+    return MalleableFCFS(elastic=elastic)
+
+
+def _malleable_backfill(cs: int, lookahead: Optional[int], elastic: bool) -> Scheduler:
+    return MalleableBackfill(elastic=elastic)
+
+
+def _malleable_agreement(cs: int, lookahead: Optional[int], elastic: bool) -> Scheduler:
+    return MalleableAgreement(elastic=elastic)
+
+
 def _sjf(cs: int, lookahead: Optional[int], elastic: bool) -> Scheduler:
     return ShortestJobFirst(elastic=elastic)
 
@@ -102,6 +119,11 @@ ALGORITHMS: Dict[str, tuple[_Factory, bool]] = {
     "SJF": (_sjf, False),
     "SMALLEST": (_smallest, False),
     "LJF": (_ljf, False),
+    # Scheduler-initiated malleability extensions (docs/malleability.md).
+    # Elastic by construction: their resize commands ride the ECC path.
+    "Malleable-FCFS": (_malleable_fcfs, True),
+    "Malleable-Backfill": (_malleable_backfill, True),
+    "Malleable-Agreement": (_malleable_agreement, True),
 }
 
 

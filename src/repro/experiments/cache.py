@@ -77,6 +77,13 @@ def workload_digest(workload: Workload) -> str:
                 )
             ).encode()
         )
+        if job.is_malleable:
+            # Appended only for malleable jobs so every pre-existing
+            # (all-rigid) workload keeps its digest — and its cache
+            # entries — byte-for-byte.
+            hasher.update(
+                repr((job.min_procs, job.pref_procs, job.max_procs)).encode()
+            )
     for ecc in workload.eccs:
         hasher.update(
             repr((ecc.job_id, ecc.issue_time, ecc.kind.value, ecc.amount)).encode()

@@ -11,9 +11,10 @@ policy only decides.  Event semantics (see
   processor (elastic policies only); a changed kill-by time
   reschedules the finish event — the core of runtime elasticity,
 - *cycle*: the policy runs to fix-point — every pass's decision is
-  applied (promotions, then starts) and the policy re-invoked until it
-  makes none, with ``allow_scount_increment`` true only on the first
-  pass so a skipped head counts once per scheduling cycle.
+  applied (malleability commands, then promotions, then starts) and
+  the policy re-invoked until it makes none, with
+  ``allow_scount_increment`` true only on the first pass so a skipped
+  head counts once per scheduling cycle.
 
 Every state transition is recorded in a :class:`~repro.sim.TraceLog`
 when tracing is on; tests assert event-level invariants on it.
@@ -264,6 +265,10 @@ class SimulationRunner:
             allow_resource_eccs=allow_resource_eccs,
             machine_granularity=self.machine.granularity,
             machine_size=self.machine.total,
+            # Running resizes exist only under malleable policies; every
+            # other scheduler keeps the paper's rigid allocations
+            # bit-for-bit (docs/malleability.md).
+            allow_running_resize=scheduler.malleable,
         )
         self._dropped_eccs = 0
         # One context object serves every cycle; _run_cycle re-stamps
@@ -591,7 +596,13 @@ class SimulationRunner:
                 return
             raise SimulationError(f"ECC references unknown job {ecc.job_id}")
         estimate_before = job.estimate
-        result = self.ecc_processor.apply(ecc, job, now)
+        result = self.ecc_processor.apply(ecc, job, now, free=self._free_now())
+        if result.old_num is not None:
+            # A running job was resized: mirror the new size into the
+            # machine allocation and the active-list aggregate before
+            # anything else reads free capacity.
+            self.machine.resize(job.job_id, job.num, time=now)
+            self.active.note_resize(job.num - result.old_num)
         if result.outcome.applied and job.state is not JobState.RUNNING and job.state is not JobState.FINISHED:
             # Queued/pending work changed: keep the backlog integral exact.
             self.queue_tracker.on_work_changed(
@@ -619,6 +630,12 @@ class SimulationRunner:
             if job.state is JobState.RUNNING:
                 self.active.resort()
             self._request_cycle()
+
+    def _free_now(self) -> int:
+        """Free processors at this instant (the context's ``free``,
+        computed fresh — the cached one may predate this event)."""
+        machine = self.machine
+        return machine.total - machine._offline_procs - self.active.total_used
 
     def _reschedule_finish(self, job: Job, when: float) -> None:
         old = self._finish_events.pop(job.job_id, None)
@@ -826,7 +843,7 @@ class SimulationRunner:
             for pass_index in range(MAX_CYCLE_PASSES):
                 ctx.allow_scount_increment = pass_index == 0
                 decision = scheduler.cycle(ctx)
-                if not (decision.starts or decision.promotions):
+                if not (decision.starts or decision.promotions or decision.commands):
                     if pass_index == 0 and token is not None:
                         # A policy touches nothing but the batch head's
                         # scount and its own internal state during an
@@ -857,9 +874,86 @@ class SimulationRunner:
             f"within {MAX_CYCLE_PASSES} passes at t={now}"
         )
 
+    def _apply_commands(self, commands: List[ECC], now: float) -> None:
+        """Apply a malleable policy's synthetic shrink/expand commands.
+
+        Each command goes through the run's ECC processor with
+        ``scheduler_initiated=True`` (docs/malleability.md), then the
+        machine allocation, active-list aggregate and finish event are
+        patched from the result — the same bookkeeping the workload-ECC
+        path performs, factored here because commands arrive in batches
+        within a scheduling pass.  Policies only emit commands they
+        validated against the snapshot they decided on, so a rejection
+        here is a policy/runner disagreement and fails loudly.
+        """
+        trace_on = self._trace_on
+        telemetry = self.telemetry
+        for ecc in commands:
+            job = self._jobs_by_id.get(ecc.job_id)
+            if job is None or job.state is not JobState.RUNNING:
+                raise SimulationError(
+                    f"{self.scheduler.name} issued a command for job "
+                    f"{ecc.job_id} which is not running at t={now}"
+                )
+            num_before = job.num
+            old_kill_by = job.kill_by()
+            result = self.ecc_processor.apply(
+                ecc, job, now, free=self._free_now(), scheduler_initiated=True
+            )
+            if not result.outcome.applied or result.old_num is None:
+                raise SimulationError(
+                    f"{self.scheduler.name}'s {ecc.kind.value} command for "
+                    f"running job {ecc.job_id} came back "
+                    f"{result.outcome.value} at t={now}; malleable policies "
+                    "must pre-validate their commands"
+                )
+            self.machine.resize(job.job_id, job.num, time=now)
+            self.active.note_resize(job.num - num_before)
+            if result.outcome is ECCOutcome.TERMINATED_JOB:
+                self._reschedule_finish(job, now)
+            else:
+                assert result.new_kill_by is not None
+                self._reschedule_finish(job, result.new_kill_by)
+            new_kill_by = now if result.new_kill_by is None else result.new_kill_by
+            if job.num < num_before:
+                telemetry.count("malleable_shrinks")
+                # Node-seconds handed back now, priced at the *donor's*
+                # pre-shrink horizon (int-rounded; docs/observability.md).
+                telemetry.count(
+                    "malleable_node_s_reclaimed",
+                    int(round((num_before - job.num) * (old_kill_by - now))),
+                )
+                telemetry.count("malleable_procs_reclaimed", num_before - job.num)
+            else:
+                telemetry.count("malleable_expands")
+                telemetry.count(
+                    "malleable_node_s_soaked",
+                    int(round((job.num - num_before) * (new_kill_by - now))),
+                )
+                telemetry.count("malleable_procs_soaked", job.num - num_before)
+            self._jobs_version += 1
+            if trace_on:
+                self.trace.record(
+                    now,
+                    "ecc",
+                    job=ecc.job_id,
+                    ecc_kind=ecc.kind.value,
+                    amount=ecc.amount,
+                    outcome=result.outcome.value,
+                    num=job.num,
+                    # Distinguishes scheduler-initiated commands from
+                    # workload ECCs in trace analytics.
+                    origin="scheduler",
+                )
+        # Kill-by times moved; restore ordering before any start
+        # bisects into the list.
+        self.active.resort()
+
     def _apply(self, decision: CycleDecision) -> None:
         now = self.sim.now
         trace_on = self._trace_on
+        if decision.commands:
+            self._apply_commands(decision.commands, now)
         for job in decision.promotions:
             # Algorithm 3: the due dedicated head becomes the head of
             # the batch queue (scount was set by the policy).

@@ -347,8 +347,22 @@ def replay(
             if state is not None:
                 if episode.applied:
                     state.eccs_applied += 1
-                if episode.num is not None and state.last_start is None:
-                    state.num = episode.num
+                if episode.num is not None:
+                    if state.last_start is None:
+                        state.num = episode.num
+                    elif (
+                        episode.applied
+                        and episode.num != state.running_num
+                    ):
+                        # Running resize (EP/RP under a malleable
+                        # policy, docs/malleability.md): the busy level
+                        # steps by the size delta at the command
+                        # instant.  Time-ECCs echo the unchanged size,
+                        # so only genuine resizes land here.
+                        level += episode.num - state.running_num
+                        peak = max(peak, level)
+                        observe_level(time)
+                        state.running_num = episode.num
         # "promote", "node-fail", "node-repair", "job-failed-permanently"
         # change no replayed quantity: promotion moves a job between
         # queues (total waiting unchanged), node events alter capacity

@@ -127,6 +127,18 @@ class ActiveList:
                 return
         raise ValueError(f"job {job.job_id} is not active")
 
+    def note_resize(self, delta: int) -> None:
+        """Account a running job's processor-count change (EP/RP resize).
+
+        The caller mutated ``job.num`` in place (through the ECC
+        processor), so only the aggregate needs patching here; call
+        :meth:`resort` afterwards when the resize also moved the job's
+        kill-by time (work-conserving resizes always do).
+        """
+        self.total_used += delta
+        self.version += 1
+        self._releases_dirty = True
+
     def resort(self) -> None:
         """Re-establish ordering after kill-by times changed (ECCs).
 

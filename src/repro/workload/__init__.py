@@ -29,6 +29,7 @@ from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig, Work
 from repro.workload.job import Job, JobKind, JobState
 from repro.workload.load import offered_load
 from repro.workload.lublin import LublinConfig, LublinModel
+from repro.workload.transform import make_malleable
 from repro.workload.twostage import TwoStageSizeConfig, TwoStageSizeModel
 
 __all__ = [
@@ -50,5 +51,6 @@ __all__ = [
     "WorkloadFormatError",
     "calibrate_downey",
     "load_swf_workload",
+    "make_malleable",
     "offered_load",
 ]

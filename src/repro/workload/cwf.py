@@ -15,6 +15,12 @@ Commands referencing earlier job ids: an ECC line reuses the job id and
 carries the command in fields 20–21 with the *issue time* in field 2.
 ``parse_cwf_workload`` splits a file into jobs and ECC lists ready for
 simulation.
+
+Optional malleability extension (this repo; docs/malleability.md):
+fields 22–24 on a submission line carry the job's ``min/pref/max``
+processor range, mirroring SWF's optional fields 19–21.  Absent (or
+``-1``) means rigid; legacy 21-field files parse unchanged and rigid
+records serialize without the extra columns.
 """
 
 from __future__ import annotations
@@ -43,20 +49,24 @@ class CWFRecord(SWFRecord):
     amount: float = UNKNOWN
 
     EXTENDED_FIELD_COUNT = 21
+    #: With the optional malleability range (fields 22–24) appended.
+    MALLEABLE_FIELD_COUNT = 24
 
     # ------------------------------------------------------------------
     @classmethod
     def parse(cls, line: str) -> "CWFRecord":
-        """Parse a CWF line (21 fields; shorter lines padded like SWF)."""
+        """Parse a CWF line (21 fields, plus an optional malleability
+        range in fields 22–24; shorter lines padded like SWF)."""
         tokens = line.split()
         if not tokens:
             raise CWFParseError("empty line")
-        if len(tokens) > cls.EXTENDED_FIELD_COUNT:
+        if len(tokens) > cls.MALLEABLE_FIELD_COUNT:
             raise CWFParseError(
-                f"expected at most {cls.EXTENDED_FIELD_COUNT} fields, got {len(tokens)}"
+                f"expected at most {cls.MALLEABLE_FIELD_COUNT} fields, got {len(tokens)}"
             )
         base_tokens = tokens[: len(SWFRecord.FIELD_NAMES)]
-        extension = tokens[len(SWFRecord.FIELD_NAMES) :]
+        extension = tokens[len(SWFRecord.FIELD_NAMES) : cls.EXTENDED_FIELD_COUNT]
+        range_tokens = tokens[cls.EXTENDED_FIELD_COUNT :]
         base = SWFRecord.parse(" ".join(base_tokens))
         record = cls(**{name: getattr(base, name) for name in SWFRecord.FIELD_NAMES})
         if len(extension) >= 1:
@@ -78,10 +88,19 @@ class CWFRecord(SWFRecord):
                 record.amount = float(extension[2])
             except ValueError as exc:
                 raise CWFParseError(f"field amount: non-numeric {extension[2]!r}") from exc
+        for name, token in zip(cls.RANGE_FIELD_NAMES, range_tokens):
+            try:
+                setattr(record, name, int(float(token)))
+            except ValueError as exc:
+                raise CWFParseError(f"field {name}: non-numeric token {token!r}") from exc
         return record
 
     def to_line(self) -> str:
-        """Serialize to one canonical CWF line."""
+        """Serialize to one canonical CWF line.
+
+        The malleability columns (fields 22–24) are appended only when
+        set, so rigid records keep the 21-field Figure 4 layout.
+        """
         start = (
             str(int(self.requested_start))
             if float(self.requested_start).is_integer()
@@ -92,7 +111,17 @@ class CWFRecord(SWFRecord):
             if float(self.amount).is_integer()
             else f"{self.amount:.2f}"
         )
-        return f"{super().to_line()} {start} {self.request_type.value} {amount}"
+        # SWFRecord.to_line would append the range straight after field
+        # 18; CWF puts it after the elasticity extension instead.
+        base = SWFRecord(
+            **{name: getattr(self, name) for name in SWFRecord.FIELD_NAMES}
+        ).to_line()
+        line = f"{base} {start} {self.request_type.value} {amount}"
+        if self.has_malleable_range:
+            line += " " + " ".join(
+                str(int(getattr(self, name))) for name in self.RANGE_FIELD_NAMES
+            )
+        return line
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +150,9 @@ class CWFRecord(SWFRecord):
                 actual=base.actual,
                 kind=JobKind.DEDICATED,
                 requested_start=float(self.requested_start),
+                min_procs=base.min_procs,
+                pref_procs=base.pref_procs,
+                max_procs=base.max_procs,
             )
         return base
 
@@ -154,6 +186,9 @@ class CWFRecord(SWFRecord):
         )
         record.request_type = ECCKind.SUBMIT
         record.amount = UNKNOWN
+        record.min_procs = base.min_procs
+        record.pref_procs = base.pref_procs
+        record.max_procs = base.max_procs
         return record
 
     @classmethod

@@ -69,6 +69,14 @@ class Job:
         cancel_at: Optional user cancellation instant (SWF status 5
             jobs).  A job still queued then is withdrawn; a running job
             is terminated at that instant.
+        min_procs / pref_procs / max_procs: Optional malleability range
+            (docs/malleability.md).  ``None`` on all three (the
+            default) marks the job *rigid* — exactly the paper's model,
+            and byte-identical behaviour for every existing workload.
+            When any is set the missing ones default to ``num`` and the
+            scheduler-initiated malleability layer may resize the job
+            within ``[min_procs, max_procs]`` at runtime; ``pref_procs``
+            is the size the job would ideally run at.
     """
 
     job_id: int
@@ -81,6 +89,11 @@ class Job:
     scount: int = 0
     ecc_count: int = 0
     cancel_at: Optional[float] = None
+
+    # Malleability range (None on all three = rigid, the default).
+    min_procs: Optional[int] = None
+    pref_procs: Optional[int] = None
+    max_procs: Optional[int] = None
 
     # Lifecycle (filled in by the simulation runner).
     state: JobState = JobState.PENDING
@@ -124,6 +137,32 @@ class Job:
                 )
         elif self.requested_start is not None:
             raise ValueError(f"batch job {self.job_id} must not set requested_start")
+        if (
+            self.min_procs is not None
+            or self.pref_procs is not None
+            or self.max_procs is not None
+        ):
+            if self.min_procs is None:
+                self.min_procs = self.num
+            if self.max_procs is None:
+                self.max_procs = self.num
+            if self.pref_procs is None:
+                self.pref_procs = self.num
+            if self.min_procs <= 0:
+                raise ValueError(
+                    f"job {self.job_id}: min_procs must be positive, got {self.min_procs}"
+                )
+            if not self.min_procs <= self.pref_procs <= self.max_procs:
+                raise ValueError(
+                    f"job {self.job_id}: malleability range must satisfy "
+                    f"min <= pref <= max, got {self.min_procs} <= "
+                    f"{self.pref_procs} <= {self.max_procs}"
+                )
+            if not self.min_procs <= self.num <= self.max_procs:
+                raise ValueError(
+                    f"job {self.job_id}: num {self.num} outside malleability "
+                    f"range [{self.min_procs}, {self.max_procs}]"
+                )
         if not self.original_estimate:
             self.original_estimate = self.estimate
 
@@ -134,6 +173,15 @@ class Job:
     def is_dedicated(self) -> bool:
         """Whether the job is rigid in its start time."""
         return self.kind is JobKind.DEDICATED
+
+    @property
+    def is_malleable(self) -> bool:
+        """Whether the job declared a processor range (docs/malleability.md).
+
+        Rigid jobs (all three range fields ``None``, the default) are
+        never touched by the scheduler-initiated malleability layer.
+        """
+        return self.min_procs is not None
 
     def effective_runtime(self) -> float:
         """Time the job will actually occupy processors once started.
@@ -209,6 +257,9 @@ class Job:
             kind=self.kind,
             requested_start=self.requested_start,
             cancel_at=self.cancel_at,
+            min_procs=self.min_procs,
+            pref_procs=self.pref_procs,
+            max_procs=self.max_procs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

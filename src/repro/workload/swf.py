@@ -30,6 +30,18 @@ Field reference (1-indexed, as in the archive spec):
  17   preceding job
  18   think time
 ====  =======================  ==========================================
+
+Optional malleability extension (this repo; docs/malleability.md):
+fields 19–21 carry a job's ``min/pref/max`` processor range for the
+scheduler-initiated malleability layer.  ``-1`` (or absence — archive
+logs always stop at 18 fields) means rigid, so every legacy trace
+parses unchanged and round-trips without the extra columns.
+
+====  =======================  ==========================================
+ 19   min processors           smallest size the job can shrink to
+ 20   preferred processors     size the job would ideally run at
+ 21   max processors           largest size the job can expand to
+====  =======================  ==========================================
 """
 
 from __future__ import annotations
@@ -75,6 +87,10 @@ class SWFRecord:
     partition: int = UNKNOWN
     preceding_job: int = UNKNOWN
     think_time: float = UNKNOWN
+    # Malleability extension (optional fields 19–21; UNKNOWN = rigid).
+    min_procs: int = UNKNOWN
+    pref_procs: int = UNKNOWN
+    max_procs: int = UNKNOWN
 
     FIELD_NAMES = (
         "job_id",
@@ -97,6 +113,9 @@ class SWFRecord:
         "think_time",
     )
 
+    #: Optional trailing columns (fields 19–21): the malleability range.
+    RANGE_FIELD_NAMES = ("min_procs", "pref_procs", "max_procs")
+
     _INT_FIELDS = frozenset(
         {
             "job_id",
@@ -118,14 +137,16 @@ class SWFRecord:
         """Parse one non-comment SWF line.
 
         Lines shorter than 18 fields are padded with ``-1`` (several
-        archive logs truncate trailing unknowns); longer lines raise.
+        archive logs truncate trailing unknowns); fields 19–21, when
+        present, carry the malleability range; longer lines raise.
         """
         tokens = line.split()
         if not tokens:
             raise SWFParseError("empty line")
-        if len(tokens) > len(cls.FIELD_NAMES):
+        limit = len(cls.FIELD_NAMES) + len(cls.RANGE_FIELD_NAMES)
+        if len(tokens) > limit:
             raise SWFParseError(
-                f"expected at most {len(cls.FIELD_NAMES)} fields, got {len(tokens)}"
+                f"expected at most {limit} fields, got {len(tokens)}"
             )
         values = {}
         for name, token in zip(cls.FIELD_NAMES, tokens):
@@ -134,10 +155,27 @@ class SWFRecord:
             except ValueError as exc:
                 raise SWFParseError(f"field {name}: non-numeric token {token!r}") from exc
             values[name] = int(number) if name in cls._INT_FIELDS else number
+        for name, token in zip(
+            cls.RANGE_FIELD_NAMES, tokens[len(cls.FIELD_NAMES) :]
+        ):
+            try:
+                values[name] = int(float(token))
+            except ValueError as exc:
+                raise SWFParseError(f"field {name}: non-numeric token {token!r}") from exc
         return cls(**values)
 
+    @property
+    def has_malleable_range(self) -> bool:
+        """Whether any malleability column (fields 19–21) is set."""
+        return self.min_procs > 0 or self.pref_procs > 0 or self.max_procs > 0
+
     def to_line(self) -> str:
-        """Serialize to one canonical SWF line."""
+        """Serialize to one canonical SWF line.
+
+        The malleability columns are appended only when set, so rigid
+        records — every record of a legacy archive log — round-trip to
+        standard 18-field SWF byte-for-byte.
+        """
         parts = []
         for name in self.FIELD_NAMES:
             value = getattr(self, name)
@@ -146,6 +184,9 @@ class SWFRecord:
             else:
                 # Keep integral floats compact, as archive logs do.
                 parts.append(str(int(value)) if float(value).is_integer() else f"{value:.2f}")
+        if self.has_malleable_range:
+            for name in self.RANGE_FIELD_NAMES:
+                parts.append(str(int(getattr(self, name))))
         return " ".join(parts)
 
     # ------------------------------------------------------------------
@@ -181,6 +222,9 @@ class SWFRecord:
             actual=float(actual),
             kind=JobKind.BATCH,
             cancel_at=cancel_at,
+            min_procs=self.min_procs if self.min_procs > 0 else None,
+            pref_procs=self.pref_procs if self.pref_procs > 0 else None,
+            max_procs=self.max_procs if self.max_procs > 0 else None,
         )
 
     @classmethod
@@ -201,6 +245,9 @@ class SWFRecord:
             requested_procs=job.num,
             requested_time=job.original_estimate,
             status=1,
+            min_procs=job.min_procs if job.min_procs is not None else UNKNOWN,
+            pref_procs=job.pref_procs if job.pref_procs is not None else UNKNOWN,
+            max_procs=job.max_procs if job.max_procs is not None else UNKNOWN,
         )
 
 

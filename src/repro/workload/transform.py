@@ -7,7 +7,9 @@ composing scenarios:
 - :func:`merge` — combine workloads (e.g. a batch background plus a
   hand-built dedicated schedule) with job-id collision handling,
 - :func:`filter_jobs` — keep a predicate-selected subset with its ECCs,
-- :func:`head` — the first N jobs by submission.
+- :func:`head` — the first N jobs by submission,
+- :func:`make_malleable` — declare ``[min, pref, max]`` processor
+  ranges on a sampled subset of batch jobs (docs/malleability.md).
 
 All functions return new :class:`Workload` objects; inputs are never
 mutated (jobs are copied via :meth:`Job.copy_for_run`).
@@ -15,6 +17,8 @@ mutated (jobs are copied via :meth:`Job.copy_for_run`).
 
 from __future__ import annotations
 
+import math
+import random
 from typing import Callable, List, Optional, Sequence
 
 from repro.workload.ecc import ECC
@@ -34,6 +38,9 @@ def _copy_shift(job: Job, delta: float) -> Job:
             None if job.requested_start is None else job.requested_start + delta
         ),
         cancel_at=None if job.cancel_at is None else job.cancel_at + delta,
+        min_procs=job.min_procs,
+        pref_procs=job.pref_procs,
+        max_procs=job.max_procs,
     )
 
 
@@ -103,6 +110,69 @@ def head(workload: Workload, n: int) -> Workload:
     return filter_jobs(workload, lambda job: job.job_id in kept_ids)
 
 
+def make_malleable(
+    workload: Workload,
+    fraction: float = 1.0,
+    *,
+    min_factor: float = 0.5,
+    pref_factor: float = 1.5,
+    max_factor: float = 2.0,
+    seed: int = 0,
+) -> Workload:
+    """Declare a malleability range on a sampled subset of batch jobs.
+
+    The rigid sizes and runtimes are untouched — a job selected here
+    merely *permits* the scheduler-initiated malleability layer
+    (:mod:`repro.core.malleable`, docs/malleability.md) to resize it at
+    runtime.  Under any non-malleable policy the returned workload
+    therefore behaves byte-identically to the input (the CI
+    ``malleable-equivalence`` job pins this).
+
+    Args:
+        workload: Source workload (never mutated).
+        fraction: Probability each *batch* job is made malleable
+            (dedicated jobs are rigid in time and stay rigid in size).
+        min_factor: ``min_procs = num * min_factor`` (floored, clamped
+            into ``[1, num]``).
+        pref_factor: ``pref_procs = num * pref_factor`` (rounded,
+            clamped into the range).
+        max_factor: ``max_procs = num * max_factor`` (ceiled, clamped
+            into ``[num, machine_size]``).
+        seed: Selection RNG seed — one draw per batch job in workload
+            order, so the same seed always picks the same jobs.
+
+    Raises:
+        ValueError: on a fraction outside ``[0, 1]`` or factors that
+            cannot produce a valid range.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not 0.0 < min_factor <= 1.0:
+        raise ValueError(f"min_factor must be in (0, 1], got {min_factor}")
+    if max_factor < 1.0:
+        raise ValueError(f"max_factor must be >= 1, got {max_factor}")
+    rng = random.Random(seed)
+    machine_size = workload.machine_size
+    jobs: List[Job] = []
+    for job in workload.jobs:
+        clone = job.copy_for_run()
+        if not clone.is_dedicated and rng.random() < fraction:
+            lo = max(1, min(clone.num, int(clone.num * min_factor)))
+            hi = max(clone.num, min(machine_size, math.ceil(clone.num * max_factor)))
+            pref = max(lo, min(hi, int(round(clone.num * pref_factor))))
+            clone.min_procs = lo
+            clone.pref_procs = pref
+            clone.max_procs = hi
+        jobs.append(clone)
+    return Workload(
+        jobs=jobs,
+        eccs=list(workload.eccs),
+        machine_size=machine_size,
+        granularity=workload.granularity,
+        description=f"{workload.description} [malleable f={fraction:g}]".strip(),
+    )
+
+
 def merge(
     workloads: Sequence[Workload],
     machine_size: Optional[int] = None,
@@ -159,4 +229,4 @@ def merge(
     )
 
 
-__all__ = ["filter_jobs", "head", "merge", "time_slice"]
+__all__ = ["filter_jobs", "head", "make_malleable", "merge", "time_slice"]

@@ -131,3 +131,64 @@ def test_invariants_hold_under_random_operations(operations):
         machine.check_invariants()
         assert machine.used == sum(live.values())
         assert machine.free == 320 - sum(live.values())
+
+
+class TestResize:
+    """In-place reallocation — the malleability primitive."""
+
+    def test_shrink_frees_capacity(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 128)
+        assert machine.resize("a", 64) == 128
+        assert machine.used == 64 and machine.free == 256
+
+    def test_grow_claims_free_capacity(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 64)
+        assert machine.resize("a", 192) == 64
+        assert machine.used == 192
+
+    def test_grow_beyond_free_rejected(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 128)
+        machine.allocate("b", 128)
+        with pytest.raises(AllocationError, match="cannot grow"):
+            machine.resize("a", 320)
+        assert machine.used == 256  # unchanged
+
+    def test_unknown_allocation_rejected(self):
+        machine = Machine(total=320, granularity=32)
+        with pytest.raises(AllocationError, match="not live"):
+            machine.resize("ghost", 64)
+
+    def test_same_size_is_a_noop(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 128)
+        assert machine.resize("a", 128) == 128
+        assert machine.used == 128
+
+    def test_granularity_enforced(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 128)
+        with pytest.raises(AllocationError):
+            machine.resize("a", 100)
+
+    def test_release_after_resize_frees_new_size(self):
+        machine = Machine(total=320, granularity=32)
+        machine.allocate("a", 128)
+        machine.resize("a", 64)
+        assert machine.release("a") == 64
+        assert machine.used == 0 and machine.free == 320
+
+    def test_placement_tracking_survives_resizes(self):
+        machine = Machine(total=8, granularity=1, track_placement=True)
+        machine.allocate("a", 4)
+        machine.allocate("b", 4)
+        machine.release("b")
+        machine.resize("a", 6)
+        machine.check_invariants()
+        machine.resize("a", 2)
+        machine.check_invariants()
+        machine.allocate("c", 6)  # reuses everything a gave back
+        machine.check_invariants()
+        assert machine.free == 0

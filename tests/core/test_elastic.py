@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.elastic import MIN_RUNTIME, ECCOutcome, ECCProcessor
 from repro.workload.ecc import ECC, ECCKind
-from repro.workload.job import JobState
+from repro.workload.job import Job, JobState
 from tests.conftest import batch_job
 
 
@@ -144,3 +144,97 @@ class TestResourceECCs:
         shrink.state = JobState.QUEUED
         processor.apply(self.rp(amount=320.0), shrink, 0.0)
         assert shrink.num == 32
+
+
+class TestRunningResize:
+    """EP/RP on *running* jobs — the malleability primitive
+    (docs/malleability.md), gated behind ``allow_running_resize``."""
+
+    def processor(self, **kwargs):
+        return ECCProcessor(
+            allow_resource_eccs=True,
+            allow_running_resize=True,
+            machine_granularity=32,
+            machine_size=320,
+            **kwargs,
+        )
+
+    def running(self, num=128, estimate=100.0, lo=None, hi=None):
+        job = Job(
+            job_id=1,
+            submit=0.0,
+            num=num,
+            estimate=estimate,
+            min_procs=lo,
+            max_procs=hi,
+        )
+        job.start_time = 0.0
+        job.state = JobState.RUNNING
+        return job
+
+    def rp(self, amount):
+        return ECC(job_id=1, issue_time=0.0, kind=ECCKind.REDUCE_PROCS, amount=amount)
+
+    def ep(self, amount):
+        return ECC(job_id=1, issue_time=0.0, kind=ECCKind.EXTEND_PROCS, amount=amount)
+
+    def test_rejected_without_running_opt_in(self):
+        processor = ECCProcessor(allow_resource_eccs=True, machine_granularity=32)
+        job = self.running()
+        result = processor.apply(self.rp(64.0), job, 40.0, free=0)
+        assert result.outcome is ECCOutcome.REJECTED_RESOURCE
+        assert job.num == 128  # untouched
+
+    def test_shrink_is_work_conserving(self):
+        job = self.running(num=128, estimate=100.0)
+        result = self.processor().apply(self.rp(64.0), job, 40.0, free=0)
+        assert result.outcome is ECCOutcome.APPLIED_RUNNING
+        assert result.old_num == 128 and job.num == 64
+        # the 60 s residual doubled at half the processors
+        assert result.new_kill_by == pytest.approx(40.0 + 60.0 * 2)
+        assert job.estimate == pytest.approx(160.0)
+
+    def test_expand_compresses_residual(self):
+        job = self.running(num=128, estimate=100.0)
+        result = self.processor().apply(self.ep(64.0), job, 40.0, free=64)
+        assert job.num == 192
+        assert result.new_kill_by == pytest.approx(40.0 + 60.0 * (128 / 192))
+
+    def test_expand_capped_by_free_capacity(self):
+        job = self.running(num=128, estimate=100.0)
+        self.processor().apply(self.ep(128.0), job, 0.0, free=40)
+        assert job.num == 160  # headroom 40 snapped down to 32
+
+    def test_expand_with_unknown_free_is_rejected(self):
+        job = self.running(num=128)
+        result = self.processor().apply(self.ep(64.0), job, 0.0)
+        assert result.outcome is ECCOutcome.REJECTED_RESOURCE
+
+    def test_shrink_clamped_to_declared_min(self):
+        job = self.running(num=128, lo=64)
+        self.processor().apply(self.rp(128.0), job, 0.0, free=0)
+        assert job.num == 64
+
+    def test_noop_after_clamping_is_rejected(self):
+        job = self.running(num=64, lo=64)
+        result = self.processor().apply(self.rp(32.0), job, 0.0, free=0)
+        assert result.outcome is ECCOutcome.REJECTED_RESOURCE
+        assert job.num == 64
+
+    def test_resize_with_zero_residual_terminates(self):
+        job = self.running(num=128, estimate=100.0)
+        result = self.processor().apply(self.rp(64.0), job, 100.0, free=0)
+        assert result.outcome is ECCOutcome.TERMINATED_JOB
+        assert result.new_kill_by == 100.0
+        assert job.num == 64  # terminates at its new size
+
+    def test_scheduler_initiated_bypasses_user_cap(self):
+        processor = self.processor(max_eccs_per_job=0)
+        job = self.running(num=128)
+        user = processor.apply(self.rp(32.0), job, 10.0, free=0)
+        assert user.outcome is ECCOutcome.REJECTED_CAP
+        forced = processor.apply(
+            self.rp(32.0), job, 10.0, free=0, scheduler_initiated=True
+        )
+        assert forced.outcome is ECCOutcome.APPLIED_RUNNING
+        assert job.ecc_count == 1  # still counted, just not capped

@@ -31,6 +31,7 @@ from repro.durable.checkpoint import (
 from repro.experiments.runner import SimulationRunner, simulate
 from repro.faults.model import FaultConfig
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
+from repro.workload.transform import make_malleable
 from repro.workload.twostage import TwoStageSizeConfig
 
 #: Fault-injected coverage uses this subset: non-elastic policies hit a
@@ -331,3 +332,50 @@ class TestConfig:
         workload = generate(n_jobs=20)
         with pytest.raises(ValueError):
             simulate(workload, resume_from=tmp_path)
+
+
+class TestMalleableResume:
+    """Scheduler-initiated resizes are engine events like any other:
+    resuming mid-run must replay them bit-for-bit
+    (docs/malleability.md)."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["Malleable-FCFS", "Malleable-Backfill", "Malleable-Agreement"]
+    )
+    def test_resume_matches_uninterrupted(self, tmp_path, algorithm):
+        workload = make_malleable(generate(), 1.0, seed=3)
+        baseline = simulate(workload, make_scheduler(algorithm))
+        ckdir = tmp_path / "ck"
+        config = CheckpointConfig(dir=ckdir, every_events=60, keep=0)
+        assert simulate(workload, make_scheduler(algorithm), checkpoint=config) == baseline
+        checkpoints = list_checkpoints(ckdir)
+        assert checkpoints, "run too short to checkpoint"
+        middle = checkpoints[len(checkpoints) // 2]
+        assert load_checkpoint(middle).run() == baseline
+
+    def test_resumed_trace_with_resizes_is_byte_identical(self, tmp_path):
+        workload = make_malleable(generate(), 1.0, seed=3)
+        plain = tmp_path / "plain.jsonl"
+        ckpt = tmp_path / "ckpt.jsonl"
+        baseline = simulate(
+            workload, make_scheduler("Malleable-Backfill"), trace_out=str(plain)
+        )
+        expected = plain.read_bytes()
+        assert b'"origin": "scheduler"' in expected or b'"origin":"scheduler"' in expected, (
+            "the scenario must actually exercise scheduler-initiated resizes"
+        )
+        ckdir = tmp_path / "ck"
+        checkpointed = simulate(
+            workload,
+            make_scheduler("Malleable-Backfill"),
+            trace_out=str(ckpt),
+            checkpoint=CheckpointConfig(dir=ckdir, every_events=60, keep=0),
+        )
+        assert checkpointed == baseline
+        assert ckpt.read_bytes() == expected
+        # resume from the middle; the journal truncates and re-appends
+        checkpoints = list_checkpoints(ckdir)
+        middle = checkpoints[len(checkpoints) // 2]
+        resumed = load_checkpoint(middle).run()
+        assert resumed == baseline
+        assert ckpt.read_bytes() == expected

@@ -58,8 +58,10 @@ class TestParsing:
         assert record.is_submission
 
     def test_too_many_fields_rejected(self):
-        with pytest.raises(CWFParseError, match="at most 21"):
-            CWFRecord.parse(" ".join(["1"] * 22))
+        # 21 CWF fields plus the optional 3-column malleability range
+        # (fields 22-24) is the ceiling.
+        with pytest.raises(CWFParseError, match="at most 24"):
+            CWFRecord.parse(" ".join(["1"] * 25))
 
 
 class TestConversionErrors:
@@ -141,3 +143,40 @@ class TestGzipSupport:
         records = [CWFRecord.parse(line) for line in (SUBMIT_LINE, ECC_LINE)]
         write_cwf(records, path)
         assert read_cwf(path) == records
+
+
+class TestMalleableColumns:
+    """Optional fields 22-24: the min/pref/max processor range."""
+
+    RANGED_SUBMIT = SUBMIT_LINE + " 32 64 128"
+
+    def test_parse_and_convert(self):
+        record = CWFRecord.parse(self.RANGED_SUBMIT)
+        assert (record.min_procs, record.pref_procs, record.max_procs) == (32, 64, 128)
+        job = record.to_job()
+        assert job.is_malleable and not job.is_dedicated
+
+    def test_ranged_line_roundtrips(self):
+        record = CWFRecord.parse(self.RANGED_SUBMIT)
+        assert len(record.to_line().split()) == 24
+        assert CWFRecord.parse(record.to_line()) == record
+
+    def test_rigid_line_stays_21_fields(self):
+        record = CWFRecord.parse(SUBMIT_LINE)
+        assert len(record.to_line().split()) == 21
+
+    def test_dedicated_submission_carries_the_range(self):
+        record = CWFRecord.parse(DEDICATED_LINE + " 32 64 128")
+        job = record.to_job()
+        assert job.is_dedicated and job.is_malleable
+        assert (job.min_procs, job.pref_procs, job.max_procs) == (32, 64, 128)
+
+    def test_from_job_round_trip(self):
+        job = CWFRecord.parse(self.RANGED_SUBMIT).to_job()
+        again = CWFRecord.from_job(job).to_job()
+        assert (again.min_procs, again.pref_procs, again.max_procs) == (32, 64, 128)
+
+    def test_ecc_lines_never_grow_columns(self):
+        record = CWFRecord.parse(ECC_LINE)
+        assert len(record.to_line().split()) == 21
+        assert record.to_ecc().kind is ECCKind.EXTEND_TIME

@@ -123,3 +123,60 @@ class TestCopyForRun:
         job = dedicated_job(3, requested_start=77.0)
         clone = job.copy_for_run()
         assert clone.is_dedicated and clone.requested_start == 77.0
+
+
+class TestMalleabilityRange:
+    def test_default_is_rigid(self):
+        job = batch_job(1, num=64)
+        assert not job.is_malleable
+        assert job.min_procs is None and job.max_procs is None
+
+    def test_partial_range_is_completed_with_num(self):
+        job = Job(job_id=1, submit=0.0, num=64, estimate=10.0, min_procs=32)
+        assert job.is_malleable
+        assert (job.min_procs, job.pref_procs, job.max_procs) == (32, 64, 64)
+
+    def test_max_alone_fills_the_rest(self):
+        job = Job(job_id=1, submit=0.0, num=64, estimate=10.0, max_procs=128)
+        assert (job.min_procs, job.pref_procs, job.max_procs) == (64, 64, 128)
+
+    def test_nonpositive_min_rejected(self):
+        with pytest.raises(ValueError, match="min_procs must be positive"):
+            Job(job_id=1, submit=0.0, num=64, estimate=10.0, min_procs=0)
+
+    def test_unordered_range_rejected(self):
+        with pytest.raises(ValueError, match="min <= pref <= max"):
+            Job(
+                job_id=1,
+                submit=0.0,
+                num=64,
+                estimate=10.0,
+                min_procs=32,
+                pref_procs=256,
+                max_procs=128,
+            )
+
+    def test_num_outside_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            Job(
+                job_id=1,
+                submit=0.0,
+                num=16,
+                estimate=10.0,
+                min_procs=32,
+                max_procs=128,
+            )
+
+    def test_copy_for_run_carries_the_range(self):
+        job = Job(
+            job_id=1,
+            submit=0.0,
+            num=64,
+            estimate=10.0,
+            min_procs=32,
+            pref_procs=96,
+            max_procs=128,
+        )
+        clone = job.copy_for_run()
+        assert clone.is_malleable
+        assert (clone.min_procs, clone.pref_procs, clone.max_procs) == (32, 96, 128)

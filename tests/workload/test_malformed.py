@@ -47,8 +47,9 @@ class TestSWF:
         assert [r.job_id for r in records] == [1, 2]
 
     def test_too_many_fields(self) -> None:
-        line = " ".join(["1"] * 19)
-        with pytest.raises(SWFParseError, match="at most 18 fields"):
+        # 18 standard + 3 optional malleability columns is the ceiling.
+        line = " ".join(["1"] * 22)
+        with pytest.raises(SWFParseError, match="at most 21 fields"):
             SWFRecord.parse(line)
 
     def test_error_types_are_compatible(self) -> None:

@@ -37,8 +37,10 @@ class TestParsing:
             SWFRecord.parse("   ")
 
     def test_too_many_fields_rejected(self):
-        with pytest.raises(SWFParseError, match="at most 18"):
-            SWFRecord.parse(" ".join(["1"] * 19))
+        # 18 standard fields plus the optional 3-column malleability
+        # range (fields 19-21) is the ceiling.
+        with pytest.raises(SWFParseError, match="at most 21"):
+            SWFRecord.parse(" ".join(["1"] * 22))
 
     def test_non_numeric_rejected(self):
         with pytest.raises(SWFParseError, match="non-numeric"):
@@ -140,3 +142,49 @@ class TestGzipSupport:
         with gzip.open(path, "rt", encoding="utf-8") as fh:
             assert fh.readline().startswith("; compressed")
         assert read_swf(path) == records
+
+
+class TestMalleableColumns:
+    """Optional fields 19-21: the min/pref/max processor range."""
+
+    RANGED_LINE = FULL_LINE + " 32 64 128"
+
+    def test_parse_and_convert(self):
+        record = SWFRecord.parse(self.RANGED_LINE)
+        assert (record.min_procs, record.pref_procs, record.max_procs) == (32, 64, 128)
+        job = record.to_job()
+        assert job.is_malleable
+        assert (job.min_procs, job.pref_procs, job.max_procs) == (32, 64, 128)
+
+    def test_ranged_line_roundtrips(self):
+        record = SWFRecord.parse(self.RANGED_LINE)
+        assert len(record.to_line().split()) == 21
+        assert SWFRecord.parse(record.to_line()) == record
+
+    def test_rigid_line_stays_18_fields(self):
+        record = SWFRecord.parse(FULL_LINE)
+        assert not record.has_malleable_range
+        assert len(record.to_line().split()) == 18
+
+    def test_unknown_markers_mean_rigid(self):
+        record = SWFRecord.parse(FULL_LINE + " -1 -1 -1")
+        assert not record.has_malleable_range
+        job = record.to_job()
+        assert not job.is_malleable
+        # and the -1s are not echoed back out
+        assert len(record.to_line().split()) == 18
+
+    def test_from_job_carries_the_range(self):
+        job = SWFRecord.parse(self.RANGED_LINE).to_job()
+        again = SWFRecord.from_job(job)
+        assert (again.min_procs, again.pref_procs, again.max_procs) == (32, 64, 128)
+
+    def test_legacy_lenient_read_emits_no_warnings(self):
+        # strict=False on a clean 18-field archive log must stay silent
+        import warnings
+
+        stream = io.StringIO(f"; header\n{FULL_LINE}\n2 200 -1 60 8 -1 -1 8 100\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = read_swf(stream, strict=False)
+        assert [r.job_id for r in records] == [1, 2]

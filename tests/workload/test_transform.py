@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.workload.ecc import ECC, ECCKind
-from repro.workload.transform import filter_jobs, head, merge, time_slice
+from repro.workload.transform import (
+    filter_jobs,
+    head,
+    make_malleable,
+    merge,
+    time_slice,
+)
 from tests.conftest import batch_job, dedicated_job, make_workload
 
 
@@ -134,3 +140,48 @@ class TestCancellationPreserved:
         scaled = workload.scale_arrivals(2.0)
         # Submission moves to 200; patience (80s) is preserved.
         assert scaled.jobs[0].cancel_at == 280.0
+
+
+class TestMakeMalleable:
+    def test_full_fraction_covers_every_batch_job(self, workload):
+        out = make_malleable(workload, 1.0)
+        for job in out.jobs:
+            if job.is_dedicated:
+                assert not job.is_malleable
+            else:
+                assert job.is_malleable
+                assert job.min_procs <= job.num <= job.max_procs
+                assert job.min_procs <= job.pref_procs <= job.max_procs
+                assert job.max_procs <= workload.machine_size
+
+    def test_zero_fraction_is_identity(self, workload):
+        out = make_malleable(workload, 0.0)
+        assert all(not job.is_malleable for job in out.jobs)
+        assert [j.job_id for j in out.jobs] == [j.job_id for j in workload.jobs]
+
+    def test_deterministic_per_seed(self, workload):
+        a = make_malleable(workload, 0.5, seed=7)
+        b = make_malleable(workload, 0.5, seed=7)
+        ranges = lambda w: [(j.min_procs, j.pref_procs, j.max_procs) for j in w.jobs]
+        assert ranges(a) == ranges(b)
+
+    def test_source_is_not_mutated(self, workload):
+        make_malleable(workload, 1.0)
+        assert all(not job.is_malleable for job in workload.jobs)
+
+    def test_eccs_are_preserved(self, workload):
+        assert make_malleable(workload, 1.0).eccs == workload.eccs
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fraction": 1.5},
+            {"fraction": -0.1},
+            {"min_factor": 0.0},
+            {"min_factor": 1.5},
+            {"max_factor": 0.5},
+        ],
+    )
+    def test_validation(self, workload, kwargs):
+        with pytest.raises(ValueError):
+            make_malleable(workload, **{"fraction": 1.0, **kwargs})
