@@ -17,6 +17,11 @@ the repository root, so performance changes are visible across PRs:
   the untraced wall time (docs/observability.md budgets this at ≤5%
   with tracing *disabled* — telemetry alone — and the traced ratio
   documents the full cost of streaming the JSONL file),
+- phase attribution (schema 4): the same scenario re-timed with the
+  phase-span profiler on (``spans_out``, docs/performance.md) — the
+  per-phase self-time shares let ``repro bench-compare`` name the
+  phase behind a wall-time regression, and the spans-over-plain ratio
+  tracks the profiler's own ≤5% overhead budget,
 - (opt-in, ``--scale-tier``) streaming-scale runs: 100k- and
   1M-job synthetic streams plus an archive-shaped SWF replay, each
   executed in a subprocess with ``online=True, retain_records=False``
@@ -388,8 +393,50 @@ def run_bench(
         "trace_bytes": trace_bytes,
     }
 
+    # Phase attribution (schema 4): the same scenario once more with
+    # the span profiler on (docs/performance.md).  The per-phase self
+    # times let ``repro bench-compare`` name the phase a regression
+    # lives in; the spans_over_plain ratio documents the profiler's
+    # own overhead against the ≤5% budget.  Aggregate-only mode (no
+    # Chrome export) — the mode the budget is defined for; the
+    # timeline/export path is the documented expensive opt-in.
+    spans_spec = RunSpec(obs_workload, obs_algorithm, spans=True)
+    spans_best = float("inf")
+    snapshot = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        spans_metrics = execute_spec(spans_spec)
+        spans_best = min(spans_best, time.perf_counter() - started)
+        snapshot = spans_metrics.telemetry
+    phase_rows: List[Dict] = []
+    if snapshot is not None:
+        wall = snapshot.timers.get("run_wall_s", 0.0)
+        for name in sorted(snapshot.timers):
+            if name.startswith("span_") and name.endswith("_self_s"):
+                phase = name[len("span_"):-len("_self_s")]
+                self_s = snapshot.timers[name]
+                phase_rows.append({
+                    "phase": phase,
+                    "count": snapshot.counters.get(f"span_{phase}", 0),
+                    "self_s": round(self_s, 6),
+                    "share": round(self_s / wall, 4) if wall > 0 else 0.0,
+                })
+        phase_rows.sort(key=lambda row: row["self_s"], reverse=True)
+    phases = {
+        "algorithm": obs_algorithm,
+        "n_jobs": pipeline_scale,
+        "plain_wall_time_s": plain["wall_time_s"],
+        "spans_wall_time_s": round(spans_best, 6),
+        "spans_over_plain": (
+            round(spans_best / plain["wall_time_s"], 3)
+            if plain["wall_time_s"] > 0
+            else 0.0
+        ),
+        "phases": phase_rows,
+    }
+
     document = {
-        "schema": 3,
+        "schema": 4,
         "benchmark": "benchmarks.bench_perf_core",
         "quick": quick,
         "workers": workers,
@@ -405,6 +452,7 @@ def run_bench(
             "parallel_equals_serial": identical,
         },
         "observability": observability,
+        "phases": phases,
     }
     if scale_tier:
         document["scale"] = run_scale_tier(quick)
@@ -443,6 +491,16 @@ def _print_summary(document: Dict) -> None:
         f"({obs['traced_over_untraced']:.2f}x, "
         f"{obs['trace_bytes']} trace bytes)"
     )
+    phases = document.get("phases")
+    if phases:
+        hot = ", ".join(
+            f"{row['phase']} {row['share']:.0%}" for row in phases["phases"][:3]
+        )
+        print(
+            f"phases: {phases['algorithm']} x {phases['n_jobs']} jobs — "
+            f"spans {phases['spans_wall_time_s']:.4f}s "
+            f"({phases['spans_over_plain']:.2f}x plain; hottest: {hot})"
+        )
     scale = document.get("scale")
     if scale:
         print(f"scale tier ({scale['algorithm']}, streaming, online metrics):")

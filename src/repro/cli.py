@@ -17,6 +17,8 @@ the trace-report builder and the benchmark history diff
     repro sim --algorithms EASY --trace-out run.jsonl
     repro trace run.jsonl --check
     repro report run.jsonl -o report.md
+    repro profile --algorithm Delayed-LOS --spans-out spans.json
+    repro explain run.jsonl --job 17
     repro bench-compare --threshold 1.5
 
 Useful for eyeballing the system without writing Python; the full
@@ -97,6 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="export each run's event trace as JSONL (docs/observability.md); "
         "with several algorithms the name expands per run, e.g. "
         "run.jsonl -> run.EASY.jsonl.  Inspect with 'repro trace PATH'",
+    )
+    parser.add_argument(
+        "--spans-out", type=str, default=None, metavar="PATH",
+        help="profile each run with phase spans and write the timeline as "
+        "Chrome trace-event JSON, loadable in Perfetto or chrome://tracing "
+        "(docs/performance.md); with several algorithms the name expands "
+        "per run like --trace-out.  Per-phase aggregates also appear in "
+        "--telemetry output",
+    )
+    parser.add_argument(
+        "--decisions", action="store_true",
+        help="record a 'decision' trace record with a reason code whenever "
+        "a queued job is passed over (requires --trace-out); inspect with "
+        "'repro explain TRACE --job N'",
     )
     parser.add_argument(
         "--progress", action="store_true",
@@ -325,6 +341,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = None
     if args.trace_out:
         trace_out = _trace_paths(args.trace_out, args.algorithms)
+    if args.decisions and trace_out is None:
+        print(
+            "--decisions records pass-over provenance in the trace stream; "
+            "pass --trace-out as well",
+            file=sys.stderr,
+        )
+        return 2
+    spans_out = None
+    if args.spans_out:
+        spans_out = _trace_paths(args.spans_out, args.algorithms)
     # Always collect progress events (so the end-of-sweep summary line
     # — cache hit rate, serial retries — prints even without
     # --progress); forward them to a live reporter only when asked.
@@ -343,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.parallel,
                 cache=cache,
                 trace_out=trace_out,
+                spans_out=spans_out,
+                decisions=args.decisions,
                 progress=progress,
                 manifest=args.manifest,
                 checkpoint_dir=args.checkpoint_dir,
@@ -390,12 +418,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             ]
         rows.append(row)
     print(format_table(headers, rows))
-    print(progress.render(cache.stats.hit_rate if cache is not None else None))
+    # Total bounded-series truncation across the batch, so dropped
+    # telemetry samples are visible without --telemetry.
+    samples_dropped = sum(
+        value
+        for metrics in results.values()
+        if metrics.telemetry is not None
+        for counter, value in metrics.telemetry.counters.items()
+        if counter.endswith("_samples_dropped")
+    )
+    print(progress.render(
+        cache.stats.hit_rate if cache is not None else None,
+        samples_dropped=samples_dropped,
+    ))
     if cache is not None:
         print(str(cache.stats))
     if trace_out is not None:
         for name in args.algorithms:
             print(f"trace ({name}): wrote {trace_out[name]}")
+    if spans_out is not None:
+        for name in args.algorithms:
+            print(f"spans ({name}): wrote {spans_out[name]}")
     if args.telemetry:
         from repro.obs.telemetry import format_snapshot
 
@@ -567,6 +610,101 @@ def _resume_main(argv: List[str]) -> int:
     return 0
 
 
+def _profile_main(argv: List[str]) -> int:
+    """``repro profile``: phase-span hot-spot profile of one run."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one simulation with the phase-span profiler "
+        "enabled and print the per-phase hot-spot table "
+        "(docs/performance.md).  --spans-out exports the span timeline "
+        "as Chrome trace-event JSON for Perfetto / chrome://tracing; "
+        "--cprofile adds function-level detail on top.",
+    )
+    parser.add_argument(
+        "--algorithm", default="Delayed-LOS", choices=sorted(ALGORITHMS)
+    )
+    parser.add_argument("--jobs", type=int, default=500, help="jobs to generate")
+    parser.add_argument("--p-small", type=float, default=0.5, help="P_S")
+    parser.add_argument("--p-extend", type=float, default=0.0, help="P_E")
+    parser.add_argument("--p-reduce", type=float, default=0.0, help="P_R")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--cs", type=int, default=7, help="C_s skip threshold")
+    parser.add_argument("--lookahead", type=int, default=50, help="DP lookahead")
+    parser.add_argument(
+        "--cwf", default=None, metavar="PATH",
+        help="profile this CWF workload instead of generating one",
+    )
+    parser.add_argument(
+        "--spans-out", default=None, metavar="PATH",
+        help="write the span timeline as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--cprofile", default=None, metavar="PATH",
+        help="additionally run under cProfile and dump raw stats to PATH "
+        "(view with pstats/snakeviz)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.registry import make_scheduler
+    from repro.experiments.runner import SimulationRunner
+    from repro.obs.spans import phase_table
+
+    if args.cwf:
+        jobs, eccs = parse_cwf_workload(args.cwf)
+        workload = Workload(
+            jobs=jobs, eccs=eccs, machine_size=320, granularity=1,
+            description=f"loaded from {args.cwf}",
+        )
+    else:
+        config = GeneratorConfig(
+            n_jobs=args.jobs,
+            size=TwoStageSizeConfig(p_small=args.p_small),
+            p_extend=args.p_extend,
+            p_reduce=args.p_reduce,
+        )
+        workload = CWFWorkloadGenerator(config).generate(
+            np.random.default_rng(args.seed)
+        )
+    scheduler = make_scheduler(
+        args.algorithm, max_skip_count=args.cs, lookahead=args.lookahead
+    )
+    runner = SimulationRunner(
+        workload, scheduler, spans=True, spans_out=args.spans_out
+    )
+
+    profiler = None
+    if args.cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    metrics = runner.run()
+    if profiler is not None:
+        profiler.disable()
+
+    print(
+        f"{args.algorithm}: {metrics.n_jobs} jobs, utilization "
+        f"{metrics.utilization:.3f}, mean wait {metrics.mean_wait:.0f}s"
+    )
+    snapshot = metrics.telemetry
+    assert snapshot is not None  # telemetry is always on for direct runs
+    wall = snapshot.timers.get("run_wall_s", 0.0)
+    events = snapshot.counters.get("span_event", 0)
+    if wall > 0 and events:
+        print(f"{events} events in {wall:.3f}s wall ({events / wall:,.0f} events/s)")
+    print()
+    print(phase_table(snapshot))
+    if args.spans_out:
+        print(f"\nspans: wrote {args.spans_out} (open in Perfetto)")
+    if profiler is not None:
+        import pstats
+
+        pstats.Stats(profiler).dump_stats(args.cprofile)
+        print(f"cProfile stats saved to {args.cprofile} (view with snakeviz/pstats)")
+    return 0
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
     """Umbrella entry point: ``repro <subcommand> ...``.
 
@@ -578,13 +716,17 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         (:mod:`repro.obs.inspect`; docs/observability.md).
         ``report``: build a self-contained Markdown/HTML report from
         traces or a sweep directory (:mod:`repro.obs.report`).
+        ``profile``: phase-span hot-spot profile of one run
+        (:mod:`repro.obs.spans`; docs/performance.md).
+        ``explain``: one job's annotated timeline with pass-over
+        provenance (:mod:`repro.obs.explain`; docs/observability.md).
         ``bench-compare``: diff the newest benchmark history entry
         against prior runs (:mod:`repro.obs.bench_history`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {sim,resume,trace,report,bench-compare} ...  "
-        "(repro <subcommand> --help for details)"
+        "usage: repro {sim,resume,trace,report,profile,explain,bench-compare} "
+        "...  (repro <subcommand> --help for details)"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)
@@ -602,6 +744,12 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.report import main as report_main
 
         return report_main(rest)
+    if command == "profile":
+        return _profile_main(rest)
+    if command == "explain":
+        from repro.obs.explain import main as explain_main
+
+        return explain_main(rest)
     if command == "bench-compare":
         from repro.obs.bench_history import main as bench_compare_main
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.machine import Machine
 from repro.queues.active_list import ActiveList
@@ -28,6 +28,40 @@ from repro.queues.batch_queue import BatchQueue
 from repro.queues.dedicated_queue import DedicatedQueue
 from repro.workload.ecc import ECC
 from repro.workload.job import Job
+
+# ----------------------------------------------------------------------
+# Decision-provenance reason codes
+# ----------------------------------------------------------------------
+# Why a queued job was passed over this cycle.  Policies report these
+# through ``SchedulerContext.explain`` (set by the runner only when
+# decision recording is on, so the default path costs one ``None``
+# check); the runner dedups and emits them as ``decision`` records in
+# the ``repro.trace/1`` stream, rendered by ``repro explain --job N``.
+# The full catalog lives in docs/observability.md.
+
+#: The job (or backfill candidate) needs more processors than are free.
+REASON_INSUFFICIENT = "insufficient-free-procs"
+#: A backfill candidate fits now but would delay the head's reservation.
+REASON_RESERVATION = "reservation-block"
+#: The DP selection maximizing utilization left the job out this cycle.
+REASON_DP_EXCLUDED = "dp-excluded"
+#: Starting the job would collide with a dedicated-job freeze window.
+REASON_FREEZE_WINDOW = "freeze-window"
+#: A Malleable-* policy could not free enough capacity by shrinking.
+REASON_SHRINK_INFEASIBLE = "malleable-shrink-infeasible"
+#: The job crashed and is waiting out its retry backoff.
+REASON_FAULT_BACKOFF = "fault-backoff"
+
+#: Every reason code a policy or the runner may report (docs catalog +
+#: ``tools/check_counter_catalog.py`` cross-check this tuple).
+DECISION_REASONS = (
+    REASON_INSUFFICIENT,
+    REASON_RESERVATION,
+    REASON_DP_EXCLUDED,
+    REASON_FREEZE_WINDOW,
+    REASON_SHRINK_INFEASIBLE,
+    REASON_FAULT_BACKOFF,
+)
 
 
 @dataclass(slots=True)
@@ -58,6 +92,14 @@ class SchedulerContext:
     #: the runner reuses one context across passes, resetting this
     #: after applying a decision (see :meth:`invalidate_free`).
     _free: Optional[int] = field(default=None, repr=False, compare=False)
+    #: Decision-provenance sink, ``callable(job, reason)`` with
+    #: ``reason`` one of :data:`DECISION_REASONS`.  ``None`` (the
+    #: default) unless the runner is recording decision records, so
+    #: policies guard with ``if ctx.explain is not None`` and the
+    #: common path stays observation-free.
+    explain: Optional[Callable[[Job, str], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def free(self) -> int:
@@ -201,4 +243,15 @@ class Scheduler(abc.ABC):
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-__all__ = ["CycleDecision", "Scheduler", "SchedulerContext"]
+__all__ = [
+    "CycleDecision",
+    "DECISION_REASONS",
+    "REASON_DP_EXCLUDED",
+    "REASON_FAULT_BACKOFF",
+    "REASON_FREEZE_WINDOW",
+    "REASON_INSUFFICIENT",
+    "REASON_RESERVATION",
+    "REASON_SHRINK_INFEASIBLE",
+    "Scheduler",
+    "SchedulerContext",
+]

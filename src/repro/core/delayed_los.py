@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.base import (
+    REASON_DP_EXCLUDED,
+    REASON_INSUFFICIENT,
+    CycleDecision,
+    Scheduler,
+    SchedulerContext,
+)
 from repro.core.dp import DEFAULT_LOOKAHEAD, basic_dp_select, reservation_dp_select
 from repro.core.freeze import batch_head_freeze
 
@@ -74,12 +80,17 @@ class DelayedLOS(Scheduler):
                 lookahead=self.lookahead,
                 memo=ctx.memo,
             )
-            if ctx.allow_scount_increment and not selection.head_selected:
-                head.scount += 1
+            if not selection.head_selected:
+                if ctx.allow_scount_increment:
+                    head.scount += 1
+                if ctx.explain is not None:
+                    ctx.explain(head, REASON_DP_EXCLUDED)
             return CycleDecision(starts=selection.jobs)
 
         # Lines 12-20: head cannot fit; reserve it at the freeze end
         # time and fill the holes without overrunning the reservation.
+        if ctx.explain is not None:
+            ctx.explain(head, REASON_INSUFFICIENT)
         freeze = batch_head_freeze(ctx, head)
         selection = reservation_dp_select(
             ctx.batch_queue,

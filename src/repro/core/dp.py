@@ -57,6 +57,7 @@ from repro.core.memo import (
     lookup,
     memo_enabled,
 )
+from repro.obs.spans import begin as _span_begin, end as _span_end
 from repro.obs.telemetry import bump
 from repro.workload.job import Job
 
@@ -125,9 +126,13 @@ def _solve_basic(capacity: int, entries: Tuple[Tuple[int, int], ...]) -> Tuple[i
     invariant); the value-table solver is the general fallback and the
     reference the property tests compare against.
     """
-    if _proportional_ratio([s for s, _ in entries], [v for _, v in entries]) is not None:
-        return _solve_basic_bitset(capacity, entries)
-    return _solve_basic_table(capacity, entries)
+    token = _span_begin("dp_solve")
+    try:
+        if _proportional_ratio([s for s, _ in entries], [v for _, v in entries]) is not None:
+            return _solve_basic_bitset(capacity, entries)
+        return _solve_basic_table(capacity, entries)
+    finally:
+        _span_end(token)
 
 
 def _solve_basic_bitset(
@@ -219,12 +224,16 @@ def _solve_reservation(
     two capacity dimensions when values are proportional to sizes,
     value-table fallback otherwise.
     """
-    if (
-        _proportional_ratio([s for s, _, _ in entries], [v for _, _, v in entries])
-        is not None
-    ):
-        return _solve_reservation_bitset(cap_now, cap_freeze, entries)
-    return _solve_reservation_table(cap_now, cap_freeze, entries)
+    token = _span_begin("dp_solve")
+    try:
+        if (
+            _proportional_ratio([s for s, _, _ in entries], [v for _, _, v in entries])
+            is not None
+        ):
+            return _solve_reservation_bitset(cap_now, cap_freeze, entries)
+        return _solve_reservation_table(cap_now, cap_freeze, entries)
+    finally:
+        _span_end(token)
 
 
 def _solve_reservation_bitset(

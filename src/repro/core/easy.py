@@ -21,8 +21,15 @@ bookkeeping would) and keeps the policy trivially auditable.
 
 from __future__ import annotations
 
-from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.base import (
+    REASON_INSUFFICIENT,
+    REASON_RESERVATION,
+    CycleDecision,
+    Scheduler,
+    SchedulerContext,
+)
 from repro.core.freeze import batch_head_freeze
+from repro.obs.spans import begin as _span_begin, end as _span_end
 from repro.obs.telemetry import bump
 
 
@@ -39,28 +46,39 @@ class EasyBackfill(Scheduler):
         m = ctx.free
         if head.num <= m:
             return CycleDecision(starts=[head])
+        explain = ctx.explain
+        if explain is not None:
+            explain(head, REASON_INSUFFICIENT)
         if len(queue) == 1 or m <= 0:
             return CycleDecision.nothing()
 
-        shadow = batch_head_freeze(ctx, head)
-        # Telemetry is accumulated locally and reported once per cycle:
-        # a bump() per scanned candidate would dominate this tight loop.
-        # Iterates the queue in place — no per-pass snapshot copy.
-        scanned = 0
-        tail = iter(queue)
-        next(tail)  # skip the head
-        for job in tail:
-            scanned += 1
-            if job.num > m:
-                continue
-            ends_by_shadow = ctx.now + job.estimate <= shadow.fret
-            fits_extra = job.num <= shadow.frec
-            if ends_by_shadow or fits_extra:
-                bump("backfill_attempts", scanned)
-                bump("backfill_starts")
-                return CycleDecision(starts=[job])
-        bump("backfill_attempts", scanned)
-        return CycleDecision.nothing()
+        token = _span_begin("backfill")
+        try:
+            shadow = batch_head_freeze(ctx, head)
+            # Telemetry is accumulated locally and reported once per cycle:
+            # a bump() per scanned candidate would dominate this tight loop.
+            # Iterates the queue in place — no per-pass snapshot copy.
+            scanned = 0
+            tail = iter(queue)
+            next(tail)  # skip the head
+            for job in tail:
+                scanned += 1
+                if job.num > m:
+                    if explain is not None:
+                        explain(job, REASON_INSUFFICIENT)
+                    continue
+                ends_by_shadow = ctx.now + job.estimate <= shadow.fret
+                fits_extra = job.num <= shadow.frec
+                if ends_by_shadow or fits_extra:
+                    bump("backfill_attempts", scanned)
+                    bump("backfill_starts")
+                    return CycleDecision(starts=[job])
+                if explain is not None:
+                    explain(job, REASON_RESERVATION)
+            bump("backfill_attempts", scanned)
+            return CycleDecision.nothing()
+        finally:
+            _span_end(token)
 
 
 __all__ = ["EasyBackfill"]

@@ -8,7 +8,12 @@ gains against it.
 
 from __future__ import annotations
 
-from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.base import (
+    REASON_INSUFFICIENT,
+    CycleDecision,
+    Scheduler,
+    SchedulerContext,
+)
 
 
 class FCFS(Scheduler):
@@ -24,6 +29,8 @@ class FCFS(Scheduler):
         head = ctx.batch_queue.head
         if head is not None and head.num <= ctx.free:
             return CycleDecision(starts=[head])
+        if head is not None and ctx.explain is not None:
+            ctx.explain(head, REASON_INSUFFICIENT)
         return CycleDecision.nothing()
 
 

@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.base import CycleDecision, SchedulerContext
+from repro.core.base import (
+    REASON_FREEZE_WINDOW,
+    REASON_INSUFFICIENT,
+    CycleDecision,
+    SchedulerContext,
+)
 from repro.core.delayed_los import DelayedLOS
 from repro.core.dp import DEFAULT_LOOKAHEAD, reservation_dp_select
 from repro.core.freeze import dedicated_freeze
@@ -69,6 +74,8 @@ class HybridLOS(DelayedLOS):
                 # Lines 35-37 (capacity-guarded, see module docstring).
                 if head.num <= m:
                     return CycleDecision(starts=[head])
+                if ctx.explain is not None:
+                    ctx.explain(head, REASON_INSUFFICIENT)
                 promotion = self._promotion(ctx)
                 if promotion is not None:
                     return promotion
@@ -117,13 +124,13 @@ class HybridLOS(DelayedLOS):
             lookahead=self.lookahead,
             memo=ctx.memo,
         )
-        if (
-            bump_scount
-            and ctx.allow_scount_increment
-            and not selection.head_selected
-        ):
-            # Lines 22 / 30: skipping the batch head counts.
-            head.scount += 1
+        if not selection.head_selected:
+            if bump_scount and ctx.allow_scount_increment:
+                # Lines 22 / 30: skipping the batch head counts.
+                head.scount += 1
+            if ctx.explain is not None:
+                # Held back by the dedicated reservation's freeze window.
+                ctx.explain(head, REASON_FREEZE_WINDOW)
         return CycleDecision(starts=selection.jobs)
 
 

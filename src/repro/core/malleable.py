@@ -48,7 +48,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
-from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.base import (
+    REASON_SHRINK_INFEASIBLE,
+    CycleDecision,
+    Scheduler,
+    SchedulerContext,
+)
 from repro.core.easy import EasyBackfill
 from repro.core.fcfs import FCFS
 from repro.workload.ecc import ECC, ECCKind
@@ -210,11 +215,17 @@ class _MalleableBase(Scheduler):
         running = self._running_malleable(ctx)
         donors = [job for job in running if job.num > shrink_floor(job, gran)]
         if not donors:
+            if ctx.explain is not None:
+                ctx.explain(head, REASON_SHRINK_INFEASIBLE)
             return CycleDecision.nothing()
         if self.agreement > 0.0 and len(donors) < self.agreement * len(running):
+            if ctx.explain is not None:
+                ctx.explain(head, REASON_SHRINK_INFEASIBLE)
             return CycleDecision.nothing()
         plan = plan_average_steal(donors, need, gran)
         if plan is None:
+            if ctx.explain is not None:
+                ctx.explain(head, REASON_SHRINK_INFEASIBLE)
             return CycleDecision.nothing()
         commands = [
             ECC(

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.durable.atomic import CorruptFileError, checksummed_read, checksummed_write
 from repro.durable.signals import SignalFlag, graceful_shutdown
+from repro.obs.spans import begin as _span_begin, end as _span_end
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us lazily)
     from repro.experiments.runner import SimulationRunner
@@ -180,12 +181,18 @@ def _capture(
     saved_iter = getattr(runner, "_stream_iter", None)
     saved_items = runner.workload.items if runner._streaming else None
     saved_sink = runner.trace.sink
+    # The live span recorder (if any) is detached too: its open-span
+    # stack includes the checkpoint_save span this very capture runs
+    # under, and a resumed process rebuilds a fresh recorder anyway
+    # (perf_counter origins don't survive processes).
+    saved_recorder = runner._span_recorder
     try:
         if runner._streaming:
             runner._stream_iter = None
             runner.workload.items = None
         runner.trace.sink = None
         runner._trace_writer = None
+        runner._span_recorder = None
         try:
             payload = pickle.dumps(runner, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -196,6 +203,7 @@ def _capture(
             runner.workload.items = saved_items
         runner.trace.sink = saved_sink
         runner._trace_writer = writer
+        runner._span_recorder = saved_recorder
 
     meta: Dict[str, Any] = {
         "event_count": sim.processed_events,
@@ -228,17 +236,21 @@ def save_checkpoint(
     Returns the checkpoint path.
     """
     config = CheckpointConfig.coerce(config)
-    payload, meta = _capture(runner, run_key=config.run_key)
-    path = checkpoint_path(config.dir, meta["event_count"])
-    checksummed_write(path, payload, magic=CHECKPOINT_SCHEMA, meta=meta)
-    runner.telemetry.count("checkpoints_written")
-    if config.keep > 0:
-        for old in list_checkpoints(config.dir)[: -config.keep]:
-            try:
-                old.unlink()
-            except OSError:  # pragma: no cover - racing cleanup is fine
-                pass
-    return path
+    token = _span_begin("checkpoint_save")
+    try:
+        payload, meta = _capture(runner, run_key=config.run_key)
+        path = checkpoint_path(config.dir, meta["event_count"])
+        checksummed_write(path, payload, magic=CHECKPOINT_SCHEMA, meta=meta)
+        runner.telemetry.count("checkpoints_written")
+        if config.keep > 0:
+            for old in list_checkpoints(config.dir)[: -config.keep]:
+                try:
+                    old.unlink()
+                except OSError:  # pragma: no cover - racing cleanup is fine
+                    pass
+        return path
+    finally:
+        _span_end(token)
 
 
 # ----------------------------------------------------------------------

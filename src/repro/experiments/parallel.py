@@ -109,6 +109,23 @@ class RunSpec:
     checkpoint_every: Optional[int] = None
     #: Optional wall-clock cadence in seconds.
     checkpoint_seconds: Optional[float] = None
+    #: Profile the run with phase spans and write a Chrome trace-event
+    #: JSON file here (docs/performance.md).  Like ``trace_out``, never
+    #: part of the cache key — spans are pure observation (the
+    #: byte-identity tests enforce identical traces spans-on vs off) —
+    #: and a spec asking for a spans file is always simulated so the
+    #: file actually appears.
+    spans_out: Optional[str] = None
+    #: Enable aggregate-only phase spans (``span_*`` telemetry) without
+    #: a Chrome export.  Implied by ``spans_out``.  Not part of the
+    #: cache key; a spans-requesting spec is simulated (never served
+    #: from cache) so the telemetry is actually present.
+    spans: bool = False
+    #: Record per-job pass-over ``decision`` records in the run's trace
+    #: (docs/observability.md).  Only meaningful with ``trace_out``;
+    #: not part of the cache key (decision provenance never changes
+    #: metrics), and trace-requesting specs bypass the cache anyway.
+    decisions: bool = False
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -200,6 +217,9 @@ def execute_spec(spec: RunSpec) -> RunMetrics:
             max_eccs_per_job=spec.max_eccs_per_job,
             faults=spec.faults,
             retry=spec.retry,
+            spans=spec.spans or spec.spans_out is not None,
+            spans_out=spec.spans_out,
+            decisions=spec.decisions,
         )
     metrics = runner.run(checkpoint=checkpoint)
     if checkpoint is not None:
@@ -364,9 +384,10 @@ def execute_runs(
     index regardless of completion order, so the output is identical
     to a serial loop — the determinism tests enforce this bit-for-bit.
 
-    Specs that request a trace file (``RunSpec.trace_out``) are always
-    simulated, never served from the cache: a hit would skip the run
-    and leave no trace behind.  Their metrics are still stored back.
+    Specs that request a trace file (``RunSpec.trace_out``) or a spans
+    profile (``RunSpec.spans_out``) are always simulated, never served
+    from the cache: a hit would skip the run and leave no file behind.
+    Their metrics are still stored back.
 
     Args:
         specs: The runs to perform.
@@ -419,7 +440,7 @@ def execute_runs(
                 faults=spec.faults,
                 retry=spec.retry,
             )
-            if spec.trace_out is None:
+            if spec.trace_out is None and spec.spans_out is None and not spec.spans:
                 hit = cache.get(keys[index])
                 if hit is not None:
                     results[index] = hit

@@ -23,6 +23,7 @@ when tracing is on; tests assert event-level invariants on it.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import ExitStack
 from functools import partial
 from pathlib import Path
 from time import perf_counter
@@ -30,7 +31,12 @@ from typing import Dict, List, Optional, Union
 
 from repro.cluster.accounting import UtilizationTracker
 from repro.cluster.machine import Machine
-from repro.core.base import CycleDecision, Scheduler, SchedulerContext
+from repro.core.base import (
+    REASON_FAULT_BACKOFF,
+    CycleDecision,
+    Scheduler,
+    SchedulerContext,
+)
 from repro.core.elastic import ECCOutcome, ECCProcessor
 from repro.core.memo import (
     BASIC_CACHE,
@@ -48,6 +54,7 @@ from repro.metrics.records import (
     JobRecord,
     RunMetrics,
 )
+from repro.obs import spans as obs_spans
 from repro.obs import telemetry as obs_telemetry
 from repro.queues.active_list import ActiveList
 from repro.queues.batch_queue import BatchQueue
@@ -103,6 +110,22 @@ class SimulationRunner:
             records go straight to disk and memory stays flat.
             Tracing never changes scheduling — metrics are identical
             with and without it.
+        spans: Record hierarchical phase spans
+            (:mod:`repro.obs.spans`) for this run; per-phase
+            self/cumulative wall time lands in the telemetry snapshot
+            (``span_*`` counters/timers).  Off by default — the
+            disabled path costs nothing and traces are byte-identical
+            either way (CI-enforced).
+        spans_out: Also write the spans as a Chrome trace-event JSON
+            file (open in Perfetto or chrome://tracing).  Implies
+            ``spans=True``.
+        decisions: Record decision provenance: whenever the policy
+            passes over a queued job it reports a reason code
+            (:data:`repro.core.base.DECISION_REASONS`), deduplicated
+            per job and emitted as ``decision`` records in the trace
+            stream (rendered by ``repro explain --job N``).  Off by
+            default, keeping the trace byte-identical to prior
+            versions; enabling it only adds ``decision`` records.
         max_eccs_per_job: Optional per-job ECC budget (§III-C).
         allow_resource_eccs: Opt-in for the EP/RP prototype.
         faults: Optional fault model (docs/resilience.md).  Node
@@ -126,6 +149,9 @@ class SimulationRunner:
         *,
         trace: bool = False,
         trace_out: Optional[Union[str, Path]] = None,
+        spans: bool = False,
+        spans_out: Optional[Union[str, Path]] = None,
+        decisions: bool = False,
         max_eccs_per_job: Optional[int] = None,
         allow_resource_eccs: bool = False,
         faults: Optional[FaultConfig] = None,
@@ -245,6 +271,19 @@ class SimulationRunner:
         # Cached so hot handlers can skip building the kwargs payload
         # entirely on untraced runs (the common case in sweeps).
         self._trace_on = self.trace.enabled
+        self._spans_out = Path(spans_out) if spans_out is not None else None
+        self._spans_on = spans or self._spans_out is not None
+        # Live SpanRecorder while run() executes with spans on (None
+        # otherwise); hot paths read this attribute instead of the
+        # module hook.  run() creates a fresh recorder per call so a
+        # checkpoint-resumed process never mixes perf_counter origins.
+        self._span_recorder: Optional[obs_spans.SpanRecorder] = None
+        self._decisions = decisions
+        # Decision-provenance dedup: job_id -> last reported reason.
+        # Policies re-report on every pass while a stall persists, so
+        # only reason *changes* become trace records; the entry clears
+        # when the job starts or requeues (a new wait episode).
+        self._last_pass_reason: Dict[int, str] = {}
         self.telemetry = obs_telemetry.Telemetry()
         self._depth_series = self.telemetry.series_handle("queue_depth")
         # Cycle bookkeeping accumulated in plain attributes and folded
@@ -280,6 +319,10 @@ class SimulationRunner:
             dedicated_queue=self.dedicated_queue,
             active=self.active,
         )
+        if decisions:
+            # Bound method: picklable since Python 3.5, so checkpoints
+            # carry the wiring and resumes keep recording decisions.
+            self._ctx.explain = self._note_pass_over
         self._cancelled_while_running: set[int] = set()
         self._finish_events: Dict[int, Event] = {}
         self._pending_cycle_time: Optional[float] = None
@@ -310,6 +353,17 @@ class SimulationRunner:
         self._wire_events()
         if self.faults is not None:
             self.faults.install()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Checkpoint forward-compat: runners pickled by versions
+        # without the spans/decision-provenance attributes must still
+        # resume (repro.durable.checkpoint pickles the whole runner).
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_spans_out", None)
+        self.__dict__.setdefault("_spans_on", False)
+        self.__dict__.setdefault("_span_recorder", None)
+        self.__dict__.setdefault("_decisions", False)
+        self.__dict__.setdefault("_last_pass_reason", {})
 
     # ------------------------------------------------------------------
     # Wiring
@@ -596,7 +650,15 @@ class SimulationRunner:
                 return
             raise SimulationError(f"ECC references unknown job {ecc.job_id}")
         estimate_before = job.estimate
-        result = self.ecc_processor.apply(ecc, job, now, free=self._free_now())
+        recorder = self._span_recorder
+        if recorder is None:
+            result = self.ecc_processor.apply(ecc, job, now, free=self._free_now())
+        else:
+            span_token = recorder.begin("ecc_apply")
+            try:
+                result = self.ecc_processor.apply(ecc, job, now, free=self._free_now())
+            finally:
+                recorder.end(span_token)
         if result.old_num is not None:
             # A running job was resized: mirror the new size into the
             # machine allocation and the active-list aggregate before
@@ -731,6 +793,10 @@ class SimulationRunner:
             # object stays in _jobs_by_id for late-ECC state checks.
             self._jobs_retired += 1
         else:
+            if self._decisions:
+                # The job is off the queue waiting out its backoff —
+                # the one pass-over the policies never see.
+                self._note_pass_over(job, REASON_FAULT_BACKOFF)
             self.sim.schedule_in(
                 self.retry.delay(attempt),
                 partial(self._on_requeue, job),
@@ -743,6 +809,9 @@ class SimulationRunner:
     def _on_requeue(self, job: Job) -> None:
         """Backoff expired: the failed job rejoins the batch queue."""
         now = self.sim.now
+        if self._decisions:
+            # A new wait episode: report the next pass-over afresh.
+            self._last_pass_reason.pop(job.job_id, None)
         self.batch_queue.push_requeue(job, now)
         self.queue_tracker.on_enqueue(now, job.num * job.estimate)
         self._requeue_count += 1
@@ -750,6 +819,27 @@ class SimulationRunner:
             self.trace.record(now, "requeue", job=job.job_id, attempt=job.requeues)
         self._sample_queue_depth(now)
         self._request_cycle()
+
+    # ------------------------------------------------------------------
+    # Decision provenance (docs/observability.md)
+    # ------------------------------------------------------------------
+    def _note_pass_over(self, job: Job, reason: str) -> None:
+        """Record why ``job`` was passed over (the ``ctx.explain`` sink).
+
+        Wired onto the context only when ``decisions=True``, so the
+        default path never reaches here.  Deduplicated on the job's
+        *last* reason: policies re-report on every pass while a stall
+        persists, so only changes land as ``decision`` records in the
+        trace stream (``repro explain --job N`` renders them).
+        """
+        if self._last_pass_reason.get(job.job_id) == reason:
+            return
+        self._last_pass_reason[job.job_id] = reason
+        self.telemetry.count("decisions_recorded")
+        if self._trace_on:
+            self.trace.record(
+                self.sim.now, "decision", job=job.job_id, reason=reason, num=job.num
+            )
 
     # ------------------------------------------------------------------
     # Scheduling cycle
@@ -835,6 +925,12 @@ class SimulationRunner:
                 return
         self._n_cycles += 1
         started = perf_counter()
+        recorder = self._span_recorder
+        # begin_at/end_at reuse this method's own clock reads so the
+        # span costs the hot cycle no extra perf_counter() calls.
+        span_token = (
+            None if recorder is None else recorder.begin_at("schedule_cycle", started)
+        )
         ctx = self._ctx
         ctx.now = now
         ctx._free = None  # invalidate_free(), inlined for the hot loop
@@ -868,7 +964,10 @@ class SimulationRunner:
                 ctx._free = None
         finally:
             self._n_passes += pass_index + 1
-            self._sched_wall += perf_counter() - started
+            ended = perf_counter()
+            self._sched_wall += ended - started
+            if span_token is not None:
+                recorder.end_at(span_token, ended)
         raise SimulationError(
             f"scheduler {self.scheduler.name} did not reach a fix-point "
             f"within {MAX_CYCLE_PASSES} passes at t={now}"
@@ -953,7 +1052,15 @@ class SimulationRunner:
         now = self.sim.now
         trace_on = self._trace_on
         if decision.commands:
-            self._apply_commands(decision.commands, now)
+            recorder = self._span_recorder
+            if recorder is None:
+                self._apply_commands(decision.commands, now)
+            else:
+                span_token = recorder.begin("ecc_apply")
+                try:
+                    self._apply_commands(decision.commands, now)
+                finally:
+                    recorder.end(span_token)
         for job in decision.promotions:
             # Algorithm 3: the due dedicated head becomes the head of
             # the batch queue (scount was set by the policy).
@@ -962,6 +1069,9 @@ class SimulationRunner:
             if trace_on:
                 self.trace.record(now, "promote", job=job.job_id, scount=job.scount)
         for job in decision.starts:
+            if self._decisions:
+                # The stall ended; a later one must re-report.
+                self._last_pass_reason.pop(job.job_id, None)
             self.batch_queue.remove(job)
             self.queue_tracker.on_dequeue(now, job.num * job.estimate)
             self.machine.allocate(job.job_id, job.num, time=now)
@@ -1017,11 +1127,27 @@ class SimulationRunner:
         clear_caches()
         self._memo_on = memo_enabled()
         self._ctx.memo = self._memo_on
+        # Spans get a fresh recorder per run() call: segments of a
+        # split run (run(until=...)) each fold their own totals, and a
+        # checkpoint-resumed process profiles its own segment only —
+        # decision records, not spans, are what resume reproduces
+        # bitwise.
+        # Timeline (per-span Chrome slices) only when an export was
+        # requested; aggregate-only mode is the cheap default.
+        recorder = (
+            obs_spans.SpanRecorder(timeline=self._spans_out is not None)
+            if self._spans_on
+            else None
+        )
+        self._span_recorder = recorder
         try:
-            # The active registry lets instrumented library code
-            # (repro.core.dp, repro.core.easy) report without plumbing
-            # a telemetry handle through every policy signature.
-            with obs_telemetry.activated(self.telemetry):
+            # The active registries let instrumented library code
+            # (repro.core.dp, repro.core.easy, the engine loop) report
+            # without plumbing handles through every policy signature.
+            with ExitStack() as stack:
+                stack.enter_context(obs_telemetry.activated(self.telemetry))
+                if recorder is not None:
+                    stack.enter_context(obs_spans.activated(recorder))
                 with self.telemetry.timeit("run_wall_s"):
                     if checkpoint is None:
                         self.sim.run(until=until)
@@ -1036,6 +1162,11 @@ class SimulationRunner:
                         )
                 self._fold_dp_cache_telemetry()
         finally:
+            if recorder is not None:
+                self._span_recorder = None
+                recorder.fold_into(self.telemetry)
+                if self._spans_out is not None:
+                    recorder.write_chrome_trace(self._spans_out)
             if writer is not None:
                 self.trace.sink = None
                 self._trace_writer = None
@@ -1217,6 +1348,9 @@ def simulate(
     *,
     trace: bool = False,
     trace_out: Optional[Union[str, Path]] = None,
+    spans: bool = False,
+    spans_out: Optional[Union[str, Path]] = None,
+    decisions: bool = False,
     max_eccs_per_job: Optional[int] = None,
     faults: Optional[FaultConfig] = None,
     retry: Optional[RetryPolicy] = None,
@@ -1228,6 +1362,12 @@ def simulate(
     """One-shot convenience wrapper around :class:`SimulationRunner`.
 
     Args:
+        spans: Record phase spans into the telemetry snapshot
+            (:mod:`repro.obs.spans`).
+        spans_out: Write a Chrome trace-event JSON file of the spans
+            (implies ``spans=True``).
+        decisions: Emit per-job ``decision`` (pass-over provenance)
+            records into the trace stream.
         checkpoint: Enable periodic crash-consistent checkpoints — a
             :class:`~repro.durable.checkpoint.CheckpointConfig` or a
             checkpoint directory path (docs/resilience.md).
@@ -1254,6 +1394,9 @@ def simulate(
         scheduler,
         trace=trace,
         trace_out=trace_out,
+        spans=spans,
+        spans_out=spans_out,
+        decisions=decisions,
         max_eccs_per_job=max_eccs_per_job,
         faults=faults,
         retry=retry,

@@ -61,6 +61,8 @@ def run_algorithms(
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
     trace_out: Optional[Mapping[str, str]] = None,
+    spans_out: Optional[Mapping[str, str]] = None,
+    decisions: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     manifest: Optional[object] = None,
     checkpoint_dir: Optional[str] = None,
@@ -80,8 +82,11 @@ def run_algorithms(
     Observability (docs/observability.md): ``trace_out`` maps
     algorithm names to JSONL trace paths — algorithms absent from the
     mapping run untraced, and traced runs produce identical metrics to
-    untraced ones.  ``progress`` receives a
-    :class:`~repro.obs.progress.ProgressEvent` per resolved run.
+    untraced ones.  ``spans_out`` likewise maps algorithm names to
+    Chrome trace-event JSON paths and turns on the phase-span profiler
+    for those runs (docs/performance.md); ``decisions`` records
+    per-job pass-over provenance in each trace.  ``progress`` receives
+    a :class:`~repro.obs.progress.ProgressEvent` per resolved run.
 
     Durability (docs/resilience.md): ``manifest`` (a
     :class:`~repro.durable.manifest.SweepManifest` or path) records
@@ -100,6 +105,8 @@ def run_algorithms(
             faults=faults,
             retry=retry,
             trace_out=None if trace_out is None else trace_out.get(name),
+            spans_out=None if spans_out is None else spans_out.get(name),
+            decisions=decisions,
             checkpoint_dir=(
                 None if checkpoint_dir is None
                 else os.path.join(checkpoint_dir, name)

@@ -10,7 +10,7 @@ back: **observability must not change scheduling decisions**, and a
 traced run produces `RunMetrics` identical to an untraced one (the
 determinism tests in ``tests/obs/`` enforce both).
 
-Seven modules:
+Nine modules:
 
 - :mod:`repro.obs.trace_io` — a versioned JSONL schema for
   :class:`~repro.sim.trace.TraceRecord` with a streaming writer and
@@ -18,6 +18,14 @@ Seven modules:
 - :mod:`repro.obs.telemetry` — a per-run counters/timers/timeseries
   registry attached to :class:`~repro.metrics.records.RunMetrics`;
   hot-path hooks cost one global load when inactive.
+- :mod:`repro.obs.spans` — hierarchical phase spans over the engine
+  loop and scheduler hot paths: per-phase self/cumulative wall time
+  folded into telemetry, a Chrome trace-event export
+  (Perfetto/chrome://tracing), and the ``repro profile`` hot-spot
+  table.  Zero-cost when no recorder is active.
+- :mod:`repro.obs.explain` — decision provenance: renders the
+  ``decision`` records (why a queued job was passed over) plus the
+  job's lifecycle into the ``repro explain --job N`` timeline.
 - :mod:`repro.obs.progress` — per-run progress events (done/total,
   cache hits vs. cold runs, ETA) emitted by the parallel executor,
   always from the parent process, a terminal reporter, and the
@@ -75,6 +83,12 @@ from repro.obs.progress import (
     ProgressTracker,
     format_duration,
 )
+from repro.obs.explain import explain_job
+from repro.obs.spans import (
+    PHASES,
+    SpanRecorder,
+    phase_table,
+)
 from repro.obs.telemetry import (
     Telemetry,
     TelemetrySnapshot,
@@ -109,10 +123,12 @@ __all__ = [
     "BenchComparison",
     "ECCEpisode",
     "HISTORY_SCHEMA",
+    "PHASES",
     "ProgressEvent",
     "ProgressReporter",
     "ProgressSummary",
     "ProgressTracker",
+    "SpanRecorder",
     "TRACE_SCHEMA",
     "Telemetry",
     "TelemetrySnapshot",
@@ -133,10 +149,12 @@ __all__ = [
     "compare",
     "cross_validate",
     "current",
+    "explain_job",
     "format_duration",
     "format_snapshot",
     "iter_trace",
     "job_timeline",
+    "phase_table",
     "read_history",
     "read_trace",
     "recompute_metrics",

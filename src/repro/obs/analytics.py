@@ -98,6 +98,10 @@ class ECCEpisode:
             policy discarded.
         num: Job size after the command (None for traces written
             before the field existed).
+        origin: ``"job"`` for workload-submitted commands, or
+            ``"scheduler"`` for Malleable-* runtime resizes
+            (docs/malleability.md) — both replay identically; the tag
+            only attributes who initiated the change.
     """
 
     time: float
@@ -106,6 +110,7 @@ class ECCEpisode:
     amount: float
     outcome: str
     num: Optional[int] = None
+    origin: str = "job"
 
     @property
     def applied(self) -> bool:
@@ -342,6 +347,7 @@ def replay(
                 amount=float(data.get("amount", 0.0)),
                 outcome=str(data.get("outcome", "dropped-not-elastic")),
                 num=int(num) if num is not None else None,
+                origin=str(data.get("origin", "job")),
             )
             ecc_episodes.append(episode)
             if state is not None:

@@ -84,7 +84,10 @@ def condense(
     overhead ratio — plus provenance (sha, time, host, quick flag).
     Documents carrying a ``scale`` section (``--scale-tier`` runs)
     additionally contribute condensed streaming scenarios with peak
-    RSS, the substrate of ``repro bench-compare --memory``.
+    RSS, the substrate of ``repro bench-compare --memory``; documents
+    carrying a ``phases`` section (schema 4) contribute the per-phase
+    self-time shares, so a wall-time regression can be attributed to
+    the phase whose share grew.
     """
     entry: Dict[str, Any] = {
         "schema": HISTORY_SCHEMA,
@@ -127,6 +130,17 @@ def condense(
                 }
                 for s in scale.get("scenarios", [])
             ],
+        }
+    phases = document.get("phases")
+    if phases:
+        entry["phases"] = {
+            "algorithm": str(phases.get("algorithm", "")),
+            "n_jobs": int(phases.get("n_jobs", 0)),
+            "spans_over_plain": float(phases.get("spans_over_plain", 0.0)),
+            "shares": {
+                str(row["phase"]): float(row.get("share", 0.0))
+                for row in phases.get("phases", [])
+            },
         }
     return entry
 
@@ -245,6 +259,10 @@ class BenchComparison:
     #: memory growth never fails the build (``ok`` ignores it).
     memory_diffs: List[MemoryDiff] = field(default_factory=list)
     memory_warnings: List[str] = field(default_factory=list)
+    #: Phase attribution (schema-4 entries): which phase's self-time
+    #: share grew most vs. the previous entry with phase data — the
+    #: first place to look when a wall-time regression is flagged.
+    phase_note: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -280,6 +298,8 @@ class BenchComparison:
             f"above {self.threshold:g}x"
         )
         parts = [table, verdict]
+        if self.phase_note:
+            parts.append(self.phase_note)
         if self.memory_diffs:
             rows = []
             for diff in self.memory_diffs:
@@ -404,6 +424,46 @@ def compare(
                     f"({ratio:.2f}x > {memory_threshold:g}x)"
                 )
 
+    # Phase attribution: against the newest prior entry carrying phase
+    # data for the same scenario, name the phase whose self-time share
+    # grew most — where to start reading when a regression is flagged.
+    phase_note: Optional[str] = None
+    latest_phases = latest.get("phases")
+    if latest_phases:
+        key_alg = str(latest_phases.get("algorithm", ""))
+        key_jobs = int(latest_phases.get("n_jobs", 0))
+        prior_phases = next(
+            (
+                e["phases"] for e in reversed(pool)
+                if e.get("phases")
+                and str(e["phases"].get("algorithm", "")) == key_alg
+                and int(e["phases"].get("n_jobs", 0)) == key_jobs
+            ),
+            None,
+        )
+        if prior_phases is not None:
+            shares = {
+                str(k): float(v)
+                for k, v in latest_phases.get("shares", {}).items()
+            }
+            prev_shares = {
+                str(k): float(v)
+                for k, v in prior_phases.get("shares", {}).items()
+            }
+            deltas = {
+                name: shares.get(name, 0.0) - prev_shares.get(name, 0.0)
+                for name in set(shares) | set(prev_shares)
+            }
+            if deltas:
+                grew = max(sorted(deltas), key=lambda name: deltas[name])
+                phase_note = (
+                    f"phase attribution ({key_alg} x{key_jobs}): largest "
+                    f"self-time share increase is '{grew}' "
+                    f"({prev_shares.get(grew, 0.0):.1%} -> "
+                    f"{shares.get(grew, 0.0):.1%}; spans overhead "
+                    f"{float(latest_phases.get('spans_over_plain', 0.0)):.2f}x)"
+                )
+
     return BenchComparison(
         diffs=diffs,
         threshold=threshold,
@@ -411,6 +471,7 @@ def compare(
         regressions=regressions,
         memory_diffs=memory_diffs,
         memory_warnings=memory_warnings,
+        phase_note=phase_note,
     )
 
 

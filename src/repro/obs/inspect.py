@@ -170,10 +170,13 @@ def check_trace(
       the post-command ``num``): every applied expand/shrink maps to a
       matching allocation delta — ``EP`` never shrinks a job, ``RP``
       never grows one, time-dimension commands (``ET``/``RT``) never
-      change size, resource commands never apply to a *running* job,
-      and a job starts/releases exactly its traced size — no job ever
-      exceeds ``machine_size``, and a ``terminated-job`` outcome is
-      followed by that job's ``finish`` at the same instant.
+      change size, *job-origin* resource commands never apply to a
+      running job (scheduler-origin records from the Malleable-*
+      policies are the sanctioned exception: they resize running jobs,
+      and occupancy tracking follows the new allocation), and a job
+      starts/releases exactly its traced size — no job ever exceeds
+      ``machine_size``, and a ``terminated-job`` outcome is followed
+      by that job's ``finish`` at the same instant.
     """
     return _check(records, machine_size).findings
 
@@ -260,9 +263,23 @@ def _check(
         elif kind == "cancel" and record.data.get("was") == "queued":
             state[job] = "cancelled"
         elif kind == "ecc":
+            before = held.get(job)
             findings.extend(
-                _check_ecc(record, job, state, size, machine_size, must_finish_at)
+                _check_ecc(
+                    record, job, state, size, machine_size, must_finish_at, held
+                )
             )
+            after = held.get(job)
+            if before is not None and after is not None and after != before:
+                # A scheduler-initiated resize moved processors while
+                # the job ran; occupancy follows the new allocation.
+                occupancy += after - before
+                peak = max(peak, occupancy)
+                if machine_size is not None and occupancy > machine_size:
+                    findings.append(
+                        f"t={time:g}: traced occupancy {occupancy} exceeds "
+                        f"machine size {machine_size}"
+                    )
     for job, expected in sorted(must_finish_at.items()):
         findings.append(
             f"job {job}: terminated by an ECC at t={expected:g} but never finished"
@@ -284,11 +301,18 @@ def _check_ecc(
     size: Dict[int, int],
     machine_size: Optional[int],
     must_finish_at: Dict[int, float],
+    held: Dict[int, int],
 ) -> List[str]:
     """Elastic-policy invariants for one applied ``ecc`` record.
 
     Skips silently when the record predates the post-command ``num``
     field (older traces) — the size-delta checks need it.
+
+    Scheduler-initiated records (``"origin": "scheduler"``, written by
+    the Malleable-* policies; docs/malleability.md) follow the same
+    EP/RP direction invariants as job-origin ones, but are *allowed*
+    to resize a running job — that is their entire point — so they
+    update ``held`` instead of raising the fixed-once-started finding.
     """
     data = record.data
     outcome = str(data.get("outcome", ""))
@@ -322,11 +346,17 @@ def _check_ecc(
                 f"job {job}: time-dimension {ecc_kind} {at} changed size "
                 f"{old_num} -> {new_num}"
             )
+    scheduler_origin = data.get("origin") == "scheduler"
     if ecc_kind in _ECC_RESOURCE and state.get(job) == "running":
-        findings.append(
-            f"job {job}: resource ECC {ecc_kind} applied {at} while the job "
-            "is running (sizes are fixed once started)"
-        )
+        if scheduler_origin:
+            # Runtime malleability: the job's allocation changes now.
+            if job in held:
+                held[job] = new_num
+        else:
+            findings.append(
+                f"job {job}: resource ECC {ecc_kind} applied {at} while the "
+                "job is running (sizes are fixed once started)"
+            )
     if machine_size is not None and new_num > machine_size:
         findings.append(
             f"job {job}: ECC {at} grows size to {new_num}, exceeding "

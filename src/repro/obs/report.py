@@ -149,7 +149,9 @@ def _ecc_summary(section: TraceSection) -> str:
     for episode in episodes:
         kinds[episode.kind] = kinds.get(episode.kind, 0) + 1
     shape = ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds))
-    return f"{len(episodes)} ECC episodes ({applied} applied; {shape})"
+    scheduler = sum(1 for e in episodes if e.origin == "scheduler")
+    by_origin = f"; {scheduler} scheduler-initiated" if scheduler else ""
+    return f"{len(episodes)} ECC episodes ({applied} applied; {shape}{by_origin})"
 
 
 def _queue_depth_plot(section: TraceSection, *, width: int = 64) -> Optional[str]:

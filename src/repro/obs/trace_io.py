@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
+from repro.obs.spans import begin as _span_begin, end as _span_end
 from repro.sim.trace import TraceRecord
 
 #: Schema tag written to (and required of) every trace file header.
@@ -163,12 +164,16 @@ class TraceWriter:
         journal: the writer only ever appends, so file size and write
         position coincide.  Only meaningful for path-backed writers.
         """
-        self._fh.flush()
-        if not self._owns_fh:
-            raise ValueError("sync() requires a path-backed TraceWriter")
-        fd = self._fh.fileno()
-        os.fsync(fd)
-        return os.fstat(fd).st_size
+        token = _span_begin("trace_flush")
+        try:
+            self._fh.flush()
+            if not self._owns_fh:
+                raise ValueError("sync() requires a path-backed TraceWriter")
+            fd = self._fh.fileno()
+            os.fsync(fd)
+            return os.fstat(fd).st_size
+        finally:
+            _span_end(token)
 
     def close(self) -> None:
         """Flush and (for path targets) close the underlying file."""

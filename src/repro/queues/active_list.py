@@ -29,6 +29,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, List, Optional, Tuple
 
+from repro.obs.spans import begin as _span_begin, end as _span_end
 from repro.obs.telemetry import bump
 from repro.workload.job import Job, JobState
 
@@ -170,14 +171,18 @@ class ActiveList:
             self._releases_dirty = True
 
     def _rebuild_releases(self) -> None:
-        releases: dict[float, int] = {}
-        for job in self._jobs:
-            kill_by = job.kill_by()
-            releases[kill_by] = releases.get(kill_by, 0) + job.num
-        self._release_times = sorted(releases)
-        self._release_nums = [releases[time] for time in self._release_times]
-        self._releases_dirty = False
-        bump("profile_rebuilds")
+        token = _span_begin("profile_rebuild")
+        try:
+            releases: dict[float, int] = {}
+            for job in self._jobs:
+                kill_by = job.kill_by()
+                releases[kill_by] = releases.get(kill_by, 0) + job.num
+            self._release_times = sorted(releases)
+            self._release_nums = [releases[time] for time in self._release_times]
+            self._releases_dirty = False
+            bump("profile_rebuilds")
+        finally:
+            _span_end(token)
 
     def release_breakpoints(self, rebuild: bool = False) -> Tuple[List[float], List[int]]:
         """Aggregated ``(kill-by times, processors released)`` steps.

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Iterator, Optional
 
 from repro.sim.events import Event, EventPriority, _seq_counter
@@ -194,7 +195,106 @@ class Simulator:
         fired = 0
         heap = self._heap
         pop = heappop
+        # Span instrumentation is selected ONCE here: when a recorder
+        # is active, dedicated loop variants account each dispatch to
+        # the "event" phase; otherwise the loops below are exactly the
+        # pre-instrumentation code, so the disabled-path per-event
+        # cost is zero (docs/observability.md, spans-equivalence CI).
+        #
+        # Aggregate mode (no timeline) times dispatches with two bare
+        # clock reads and folds the batch in once via add_bulk() —
+        # spans opened inside actions close as stack roots, so the
+        # root_child delta across this call is exactly the child time
+        # to subtract from the batch's self time.  Timeline mode keeps
+        # the begin/end pair per event so the Chrome export gets one
+        # slice per dispatch; that is the expensive opt-in path.
+        from repro.obs import spans as _spans
+
+        recorder = _spans._ACTIVE
         try:
+            if recorder is not None and not recorder.timeline:
+                clock = perf_counter
+                bulk_time = 0.0
+                root_child_before = recorder.root_child
+                try:
+                    if until is None and max_events is None:
+                        while heap:
+                            entry = heap[0]
+                            if entry[3].cancelled:
+                                pop(heap)
+                                self._cancelled_in_heap -= 1
+                                continue
+                            event = pop(heap)[3]
+                            event._sink = None
+                            self._now = event.time
+                            fired += 1
+                            started = clock()
+                            event.action()
+                            bulk_time += clock() - started
+                    else:
+                        while True:
+                            if max_events is not None and fired >= max_events:
+                                break
+                            while heap and heap[0][3].cancelled:
+                                pop(heap)
+                                self._cancelled_in_heap -= 1
+                            if not heap:
+                                break
+                            next_time = heap[0][0]
+                            if until is not None and next_time > until:
+                                self._now = max(self._now, until)
+                                break
+                            event = pop(heap)[3]
+                            event._sink = None
+                            self._now = event.time
+                            fired += 1
+                            started = clock()
+                            event.action()
+                            bulk_time += clock() - started
+                finally:
+                    child_time = recorder.root_child - root_child_before
+                    recorder.add_bulk("event", fired, bulk_time, bulk_time - child_time)
+            elif recorder is not None:
+                span_begin = recorder.begin
+                span_end = recorder.end
+                if until is None and max_events is None:
+                    while heap:
+                        entry = heap[0]
+                        if entry[3].cancelled:
+                            pop(heap)
+                            self._cancelled_in_heap -= 1
+                            continue
+                        event = pop(heap)[3]
+                        event._sink = None
+                        self._now = event.time
+                        fired += 1
+                        token = span_begin("event")
+                        try:
+                            event.action()
+                        finally:
+                            span_end(token)
+                else:
+                    while True:
+                        if max_events is not None and fired >= max_events:
+                            break
+                        while heap and heap[0][3].cancelled:
+                            pop(heap)
+                            self._cancelled_in_heap -= 1
+                        if not heap:
+                            break
+                        next_time = heap[0][0]
+                        if until is not None and next_time > until:
+                            self._now = max(self._now, until)
+                            break
+                        event = pop(heap)[3]
+                        event._sink = None
+                        self._now = event.time
+                        fired += 1
+                        token = span_begin("event")
+                        try:
+                            event.action()
+                        finally:
+                            span_end(token)
             # Inlined peek/step: one heap-head inspection per event
             # fired.  This loop is the innermost of every simulation,
             # so the per-event call overhead matters (~5% of wall).
@@ -202,7 +302,7 @@ class Simulator:
             # full simulation) gets its own loop without the two
             # per-iteration horizon checks; the processed-event count
             # is folded in once at exit instead of per event.
-            if until is None and max_events is None:
+            elif until is None and max_events is None:
                 while heap:
                     entry = heap[0]
                     if entry[3].cancelled:

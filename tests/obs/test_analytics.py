@@ -203,3 +203,42 @@ class TestReplay:
         metrics = recompute_metrics(result)
         assert metrics.n_jobs == 0
         assert metrics.utilization == 0.0
+
+
+# ----------------------------------------------------------------------
+# Scheduler-origin ECCs (Malleable-* runtime resizes)
+# ----------------------------------------------------------------------
+class TestSchedulerOriginEccs:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        from repro.workload.transform import make_malleable
+
+        path = tmp_path_factory.mktemp("malleable") / "run.jsonl"
+        workload = make_malleable(_workload("Malleable-Backfill", n_jobs=60), 0.6, seed=3)
+        metrics = execute_spec(
+            RunSpec(workload=workload, algorithm="Malleable-Backfill",
+                    trace_out=str(path))
+        )
+        trace = read_trace(path)
+        return metrics, trace
+
+    def test_replay_tags_scheduler_origin(self, traced):
+        _, trace = traced
+        result = replay(trace.records, trace.meta)
+        scheduler = [e for e in result.ecc_episodes if e.origin == "scheduler"]
+        assert scheduler, "a congested malleable run must resize someone"
+        for episode in scheduler:
+            assert episode.applied
+
+    def test_recompute_matches_run_metrics(self, traced):
+        metrics, trace = traced
+        result = replay(trace.records, trace.meta)
+        assert cross_validate(result, metrics, rel_tol=REL_TOLERANCE) == []
+        assert_consistent(result, metrics)
+
+    def test_check_trace_accepts_running_resizes(self, traced):
+        from repro.obs.inspect import check_trace
+
+        _, trace = traced
+        machine = int(trace.meta["machine_size"])
+        assert check_trace(trace.records, machine) == []

@@ -243,3 +243,52 @@ class TestMemoryDiff:
         ) == 0
         out = capsys.readouterr().out
         assert "RSS (MiB)" in out
+
+
+class TestPhaseAttribution:
+    @staticmethod
+    def _phased_document(cycle_share: float) -> dict:
+        document = _document()
+        document["phases"] = {
+            "algorithm": "Delayed-LOS",
+            "n_jobs": 100,
+            "plain_wall_time_s": 0.005,
+            "spans_wall_time_s": 0.0052,
+            "spans_over_plain": 1.04,
+            "phases": [
+                {"phase": "schedule_cycle", "share": cycle_share},
+                {"phase": "event", "share": 1.0 - cycle_share},
+            ],
+        }
+        return document
+
+    def test_condense_keeps_phase_shares(self):
+        entry = condense(self._phased_document(0.3),
+                         git_sha="a", timestamp="t", host="ci")
+        phases = entry["phases"]
+        assert phases["algorithm"] == "Delayed-LOS"
+        assert phases["n_jobs"] == 100
+        assert phases["spans_over_plain"] == 1.04
+        assert phases["shares"] == {"schedule_cycle": 0.3, "event": 0.7}
+
+    def test_condense_without_phases_omits_section(self):
+        entry = condense(_document(), git_sha="a", timestamp="t", host="ci")
+        assert "phases" not in entry
+
+    def test_compare_names_the_grown_phase(self):
+        base = condense(self._phased_document(0.30),
+                        git_sha="old", timestamp="t", host="ci")
+        latest = condense(self._phased_document(0.55),
+                          git_sha="new", timestamp="t", host="ci")
+        result = compare(latest, [base])
+        assert result.phase_note is not None
+        assert "'schedule_cycle'" in result.phase_note
+        assert "30.0% -> 55.0%" in result.phase_note
+        assert "1.04x" in result.phase_note
+        assert result.phase_note in result.render()
+
+    def test_no_prior_phase_data_means_no_note(self):
+        base = condense(_document(), git_sha="old", timestamp="t", host="ci")
+        latest = condense(self._phased_document(0.4),
+                          git_sha="new", timestamp="t", host="ci")
+        assert compare(latest, [base]).phase_note is None

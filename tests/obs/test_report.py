@@ -108,3 +108,24 @@ class TestCli:
         out = tmp_path / "via_umbrella.md"
         assert repro_main(["report", str(sweep_dir), "-o", str(out)]) == 0
         assert out.exists()
+
+
+class TestSchedulerInitiatedEccs:
+    def test_summary_attributes_runtime_resizes(self, tmp_path):
+        from repro.workload.transform import make_malleable
+
+        config = GeneratorConfig(n_jobs=60, p_extend=0.2, p_reduce=0.1)
+        workload = make_malleable(
+            CWFWorkloadGenerator(config).generate(np.random.default_rng(11)),
+            0.6,
+            seed=3,
+        )
+        execute_spec(
+            RunSpec(
+                workload=workload,
+                algorithm="Malleable-Backfill",
+                trace_out=str(tmp_path / "run.jsonl"),
+            )
+        )
+        report = build_report([str(tmp_path)])
+        assert "scheduler-initiated" in report

@@ -1,96 +1,62 @@
 #!/usr/bin/env python3
-"""Profile a simulation run (the guides' rule: no optimization without
-measuring).
+"""DEPRECATED shim: use ``repro profile`` instead.
 
-Runs one paper-scale simulation under cProfile and prints the top
-functions by cumulative time, so hot spots are identified before
-anyone "optimizes" anything:
+The standalone cProfile harness grew into the ``repro profile``
+subcommand (:mod:`repro.cli`), which runs the phase-span profiler
+(docs/performance.md), prints the per-phase hot-spot table, exports a
+Perfetto-loadable Chrome trace with ``--spans-out``, and still offers
+function-level cProfile output via ``--cprofile PATH``.
 
-    python tools/profile_simulation.py                       # Delayed-LOS, 500 jobs
+This wrapper keeps the old flags working for scripts that call it:
+
     python tools/profile_simulation.py --algorithm LOS --jobs 2000
-    python tools/profile_simulation.py --sort tottime --top 30
 
-Output goes through the same monospace table formatting as
-``repro-sim --telemetry`` (:func:`repro.obs.telemetry.format_snapshot`
-and :func:`repro.metrics.report.format_table`), so profiling sessions
-and telemetry dumps read alike.
+``--output`` maps to ``repro profile --cprofile``; ``--sort``/``--top``
+are accepted but ignored (inspect the dumped stats with ``pstats`` or
+snakeviz, which sort interactively).
 """
 
 from __future__ import annotations
 
 import argparse
-import cProfile
-import pstats
 import sys
-from typing import List
-
-import numpy as np
-
-from repro.core.registry import ALGORITHMS, make_scheduler
-from repro.experiments.runner import SimulationRunner
-from repro.metrics.report import format_table
-from repro.obs.telemetry import format_snapshot
-from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
-from repro.workload.twostage import TwoStageSizeConfig
-
-#: pstats sort key -> index into its per-function stat tuple
-#: ``(call_count, n_calls, tottime, cumtime, callers)``.
-_SORT_INDEX = {"ncalls": 1, "tottime": 2, "cumulative": 3}
 
 
-def profile_table(stats: pstats.Stats, sort: str, top: int) -> str:
-    """The top-``top`` profile rows as a monospace table."""
-    entries = []
-    for (filename, line, function), stat in stats.stats.items():  # type: ignore[attr-defined]
-        call_count, n_calls, tottime, cumtime = stat[:4]
-        where = f"{filename.rsplit('/', 1)[-1]}:{line}({function})"
-        entries.append((n_calls, tottime, cumtime, where))
-    entries.sort(key=lambda e: e[_SORT_INDEX[sort] - 1], reverse=True)
-    rows: List[List[object]] = [
-        [n_calls, f"{tottime:.4f}s", f"{cumtime:.4f}s", where]
-        for n_calls, tottime, cumtime, where in entries[:top]
-    ]
-    return format_table(["ncalls", "tottime", "cumtime", "function"], rows)
-
-
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--algorithm", default="Delayed-LOS", choices=sorted(ALGORITHMS))
+    parser.add_argument("--algorithm", default="Delayed-LOS")
     parser.add_argument("--jobs", type=int, default=500)
     parser.add_argument("--p-small", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--sort", default="cumulative", choices=sorted(_SORT_INDEX))
-    parser.add_argument("--top", type=int, default=25)
-    parser.add_argument("--output", default=None, help="also save raw stats to this file")
-    args = parser.parse_args()
-
-    config = GeneratorConfig(
-        n_jobs=args.jobs, size=TwoStageSizeConfig(p_small=args.p_small)
-    )
-    workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(args.seed))
-    scheduler = make_scheduler(args.algorithm, max_skip_count=7)
-    runner = SimulationRunner(workload, scheduler)
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    metrics = runner.run()
-    profiler.disable()
+    parser.add_argument("--sort", default=None, help="ignored (deprecated)")
+    parser.add_argument("--top", type=int, default=None, help="ignored (deprecated)")
+    parser.add_argument("--output", default=None, help="maps to repro profile --cprofile")
+    args = parser.parse_args(argv)
 
     print(
-        f"{args.algorithm}: {metrics.n_jobs} jobs, utilization "
-        f"{metrics.utilization:.3f}, mean wait {metrics.mean_wait:.0f}s"
+        "tools/profile_simulation.py is deprecated; use `repro profile` "
+        "(same workload flags, plus --spans-out for a Perfetto timeline).",
+        file=sys.stderr,
     )
-    if metrics.telemetry is not None:
-        print(f"\n--- telemetry: {args.algorithm} ---")
-        print(format_snapshot(metrics.telemetry))
+    if args.sort is not None or args.top is not None:
+        print(
+            "note: --sort/--top are ignored; sort the --output stats with "
+            "pstats or snakeviz instead.",
+            file=sys.stderr,
+        )
 
-    stats = pstats.Stats(profiler)
-    print(f"\n--- profile: top {args.top} by {args.sort} ---")
-    print(profile_table(stats, args.sort, args.top))
+    forwarded = [
+        "--algorithm", args.algorithm,
+        "--jobs", str(args.jobs),
+        "--p-small", str(args.p_small),
+        "--seed", str(args.seed),
+    ]
     if args.output:
-        stats.dump_stats(args.output)
-        print(f"raw stats saved to {args.output} (view with snakeviz/pstats)")
-    return 0
+        forwarded += ["--cprofile", args.output]
+
+    from repro.cli import _profile_main
+
+    return _profile_main(forwarded)
 
 
 if __name__ == "__main__":
