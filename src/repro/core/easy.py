@@ -57,16 +57,38 @@ class EasyBackfill(Scheduler):
             shadow = batch_head_freeze(ctx, head)
             # Telemetry is accumulated locally and reported once per cycle:
             # a bump() per scanned candidate would dominate this tight loop.
-            # Iterates the queue in place — no per-pass snapshot copy.
             scanned = 0
+            if explain is None and ctx.memo:
+                # Size-indexed fast path: only jobs with num <= m can
+                # backfill, and the queue's size index yields exactly
+                # those, in queue order — the first match is the same
+                # job the full scan would pick (the scan requires
+                # num <= m before any other test).  The head never
+                # appears: head.num > m on this branch.  Under
+                # saturation this skips the too-wide majority of a
+                # deep backlog (docs/performance.md).
+                fret = shadow.fret
+                frec = shadow.frec
+                now = ctx.now
+                for job in queue.iter_fitting(m):
+                    scanned += 1
+                    if now + job.estimate <= fret or job.num <= frec:
+                        bump("backfill_attempts", scanned)
+                        bump("backfill_starts")
+                        return CycleDecision(starts=[job])
+                bump("backfill_attempts", scanned)
+                return CycleDecision.nothing()
+            # Full scan: the provenance (ctx.explain) and REPRO_NO_MEMO
+            # reference path.  Iterates the queue in place — no
+            # per-pass snapshot copy.
             tail = iter(queue)
             next(tail)  # skip the head
             for job in tail:
-                scanned += 1
                 if job.num > m:
                     if explain is not None:
                         explain(job, REASON_INSUFFICIENT)
                     continue
+                scanned += 1
                 ends_by_shadow = ctx.now + job.estimate <= shadow.fret
                 fits_extra = job.num <= shadow.frec
                 if ends_by_shadow or fits_extra:

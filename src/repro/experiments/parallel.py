@@ -34,19 +34,36 @@ dwarf these millisecond-scale simulations under ``spawn``), and — when
 the worker count was only implied — for batches too small to amortize
 pool startup.  Workers pin ``REPRO_JOBS=1`` so nested calls never
 oversubscribe the machine with pools-inside-pools.
+
+Pool startup is amortized across batches: the first parallel batch
+forks a **persistent warm pool** that later same-sized batches reuse
+(``REPRO_WARM_POOL=0`` restores a fresh pool per batch), and
+:func:`warm_pool` pre-forks it explicitly so benchmarks can report
+spin-up separately (``pool_startup_s``).  The pool is discarded
+whenever reuse could change behavior or hide a failure: any worker
+crash or per-run timeout (the worker may still be executing the
+abandoned task), a ``KeyboardInterrupt``, or a parent-side
+environment change since the workers forked (forked children snapshot
+``os.environ`` — a stale ``REPRO_NO_MEMO`` must not diverge workers
+from the serial path).  Batches wider than the pool are submitted in
+contiguous chunks (:data:`CHUNKS_PER_WORKER` per worker) so per-future
+pickling and IPC amortize; a per-run ``REPRO_RUN_TIMEOUT`` forces
+one-run-per-future so the bound keeps its meaning.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.registry import make_scheduler
 from repro.experiments.cache import RunCache
@@ -245,6 +262,11 @@ def _init_worker() -> None:
     os.environ[ENV_JOBS] = "1"
 
 
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
+    """Worker-side: run one submitted chunk of items in order."""
+    return [fn(item) for item in chunk]
+
+
 def _effective_workers(
     jobs: Optional[int], n_tasks: int, work_hint: Optional[int]
 ) -> int:
@@ -263,6 +285,112 @@ def _pool(workers: int) -> ProcessPoolExecutor:
         mp_context=get_context("fork"),
         initializer=_init_worker,
     )
+
+
+# ----------------------------------------------------------------------
+# Persistent warm pool (docs/performance.md)
+# ----------------------------------------------------------------------
+#: Kill switch for the persistent worker pool: "0"/"false"/"no"/"off"
+#: restores the original fresh-pool-per-batch behavior.
+ENV_WARM_POOL = "REPRO_WARM_POOL"
+
+#: Chunked submission granularity: batches larger than the worker
+#: count are submitted as ~this many chunks per worker, so per-task
+#: pickling/IPC overhead amortizes while load still balances.
+CHUNKS_PER_WORKER = 4
+
+_warm_pool: Optional[ProcessPoolExecutor] = None
+_warm_pool_workers = 0
+_warm_pool_env: Optional[Dict[str, str]] = None
+_warm_pool_atexit = False
+
+
+def warm_pool_enabled() -> bool:
+    """Whether batches reuse one persistent pool (:data:`ENV_WARM_POOL`)."""
+    return os.environ.get(ENV_WARM_POOL, "").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def shutdown_warm_pool(wait: bool = False) -> None:
+    """Discard the persistent pool (idempotent).
+
+    Called automatically at interpreter exit, whenever a batch sees a
+    worker crash or timeout (a timed-out task may still be running in
+    its worker — the pool is poisoned for reuse), and whenever the
+    parent's environment changed since the workers forked.
+    """
+    global _warm_pool, _warm_pool_workers, _warm_pool_env
+    pool = _warm_pool
+    _warm_pool = None
+    _warm_pool_workers = 0
+    _warm_pool_env = None
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+def _acquire_pool(workers: int) -> Tuple[ProcessPoolExecutor, bool]:
+    """The pool for one batch: ``(pool, caller_owns_shutdown)``.
+
+    With the warm pool enabled, an existing pool is reused when its
+    size matches **and** the parent's environment is unchanged since
+    its workers forked — forked workers snapshot ``os.environ``, so a
+    parent-side change (``REPRO_NO_MEMO``, ``REPRO_TRACE_VALIDATE``,
+    ...) silently diverging worker behavior from the serial path must
+    recreate them.  A module-owned pool outlives the batch; the
+    caller must call :func:`shutdown_warm_pool` instead of shutting it
+    down when the batch poisoned it.
+    """
+    global _warm_pool, _warm_pool_workers, _warm_pool_env, _warm_pool_atexit
+    if not warm_pool_enabled():
+        return _pool(workers), True
+    env = dict(os.environ)
+    if (
+        _warm_pool is not None
+        and _warm_pool_workers == workers
+        and _warm_pool_env == env
+    ):
+        return _warm_pool, False
+    shutdown_warm_pool()
+    _warm_pool = _pool(workers)
+    _warm_pool_workers = workers
+    _warm_pool_env = env
+    if not _warm_pool_atexit:
+        atexit.register(shutdown_warm_pool)
+        _warm_pool_atexit = True
+    return _warm_pool, False
+
+
+def _worker_pid(_: object) -> int:
+    return os.getpid()
+
+
+def warm_pool(workers: Optional[int] = None) -> float:
+    """Pre-fork the persistent pool; returns the spin-up seconds.
+
+    Forks the pool's workers *now* (a round of no-op tasks forces the
+    lazy executor to spawn every one), so a subsequent batch pays no
+    startup cost inside its timed region.  Returns ``0.0`` when the
+    right-sized pool is already warm or the warm pool is disabled —
+    the benchmark records the return value as ``pool_startup_s``,
+    separating amortizable spin-up from steady-state dispatch cost.
+    """
+    if not warm_pool_enabled() or not fork_available():
+        return 0.0
+    count = resolve_jobs(workers)
+    if (
+        _warm_pool is not None
+        and _warm_pool_workers == count
+        and _warm_pool_env == dict(os.environ)
+    ):
+        return 0.0
+    started = time.perf_counter()
+    pool, _ = _acquire_pool(count)
+    # One task per worker slot; collecting the results guarantees all
+    # forks happened (submission alone spawns processes lazily).
+    list(pool.map(_worker_pid, range(count)))
+    elapsed = time.perf_counter() - started
+    return elapsed
 
 
 def run_timeout() -> Optional[float]:
@@ -310,29 +438,67 @@ def _map_resilient(
     results: List[Optional[R]] = [None] * len(items)
     retry_indexes: List[int] = []
     timeout = run_timeout()
+    pool, owns_pool = _acquire_pool(workers)
+    poisoned = False
     try:
-        with _pool(workers) as pool:
+        try:
+            # Chunked submission: one future per run while a per-run
+            # timeout is in force (the bound applies to single runs),
+            # otherwise ~CHUNKS_PER_WORKER chunks per worker so large
+            # sweeps amortize pickling/IPC per future (specs sharing a
+            # workload object even share its pickle within a chunk).
+            if timeout is None and len(items) > workers:
+                size = -(-len(items) // (workers * CHUNKS_PER_WORKER))
+            else:
+                size = 1
+            spans = [
+                range(start, min(start + size, len(items)))
+                for start in range(0, len(items), size)
+            ]
+            futures = [
+                pool.submit(_run_chunk, fn, tuple(items[i] for i in span))
+                for span in spans
+            ]
             try:
-                futures = [pool.submit(fn, item) for item in items]
-                for index, future in enumerate(futures):
+                for span, future in zip(spans, futures):
                     try:
-                        results[index] = future.result(timeout=timeout)
+                        chunk = future.result(timeout=timeout)
                     except FuturesTimeoutError:
                         future.cancel()
-                        retry_indexes.append(index)
+                        poisoned = True
+                        retry_indexes.extend(span)
                     except (BrokenProcessPool, CancelledError):
-                        retry_indexes.append(index)
+                        poisoned = True
+                        retry_indexes.extend(span)
                     else:
-                        if on_result is not None:
-                            on_result(index, results[index], False)
-            except KeyboardInterrupt:
-                pool.shutdown(wait=False, cancel_futures=True)
+                        for offset, index in enumerate(span):
+                            results[index] = chunk[offset]
+                            if on_result is not None:
+                                on_result(index, chunk[offset], False)
+            except Exception:
+                # fn raised (deterministic failure — propagates after
+                # the serial-retry policy's contract): don't leave the
+                # rest of the batch running behind the caller's back.
+                for future in futures:
+                    future.cancel()
                 raise
+        except KeyboardInterrupt:
+            poisoned = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     except BrokenProcessPool:
         # The pool died while submitting or shutting down; every item
         # without a result gets the serial retry.
+        poisoned = True
         done = set(index for index in range(len(items)) if results[index] is not None)
         retry_indexes = sorted(set(retry_indexes) | (set(range(len(items))) - done))
+    finally:
+        if owns_pool:
+            pool.shutdown(wait=not poisoned, cancel_futures=poisoned)
+        elif poisoned:
+            # A timed-out task may still be running in its worker; a
+            # poisoned pool must never serve the next batch.
+            shutdown_warm_pool()
     if retry_indexes:
         warnings.warn(
             f"parallel execution failed for {len(retry_indexes)} of "
@@ -542,8 +708,10 @@ def parallel_map(
 
 
 __all__ = [
+    "CHUNKS_PER_WORKER",
     "ENV_JOBS",
     "ENV_RUN_TIMEOUT",
+    "ENV_WARM_POOL",
     "PARALLEL_MIN_WORK",
     "RunSpec",
     "SweepInterrupted",
@@ -553,4 +721,7 @@ __all__ = [
     "parallel_map",
     "resolve_jobs",
     "run_timeout",
+    "shutdown_warm_pool",
+    "warm_pool",
+    "warm_pool_enabled",
 ]

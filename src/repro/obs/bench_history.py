@@ -80,14 +80,18 @@ def condense(
     """One history line from a full ``bench_perf_core`` document.
 
     Keeps exactly what longitudinal comparison needs: per-scenario
-    wall time and events/sec, the pipeline speedup, the observability
-    overhead ratio — plus provenance (sha, time, host, quick flag).
-    Documents carrying a ``scale`` section (``--scale-tier`` runs)
-    additionally contribute condensed streaming scenarios with peak
-    RSS, the substrate of ``repro bench-compare --memory``; documents
-    carrying a ``phases`` section (schema 4) contribute the per-phase
+    wall time and events/sec, the pipeline speedup (and, schema 5,
+    its ``pool_startup_s`` spin-up cost), the observability overhead
+    ratio — plus provenance (sha, time, host, quick flag).  Documents
+    carrying a ``scale`` section (``--scale-tier`` runs) additionally
+    contribute condensed streaming scenarios with peak RSS, the
+    substrate of ``repro bench-compare --memory``; documents carrying
+    a ``phases`` section (schema 4) contribute the per-phase
     self-time shares, so a wall-time regression can be attributed to
-    the phase whose share grew.
+    the phase whose share grew; documents carrying a
+    ``scaling_curve`` section (schema 5, ``--scaling-curve``)
+    contribute the per-size events/sec points that :func:`compare`
+    gates on — the tripwire against a reintroduced scaling cliff.
     """
     entry: Dict[str, Any] = {
         "schema": HISTORY_SCHEMA,
@@ -106,7 +110,10 @@ def condense(
             for s in document.get("scenarios", [])
         ],
         "pipeline": {
-            "speedup": float(document.get("pipeline", {}).get("speedup", 0.0))
+            "speedup": float(document.get("pipeline", {}).get("speedup", 0.0)),
+            "pool_startup_s": float(
+                document.get("pipeline", {}).get("pool_startup_s", 0.0)
+            ),
         },
         "observability": {
             "traced_over_untraced": float(
@@ -130,6 +137,23 @@ def condense(
                 }
                 for s in scale.get("scenarios", [])
             ],
+        }
+    curve = document.get("scaling_curve")
+    if curve:
+        entry["scaling_curve"] = {
+            "algorithm": str(curve.get("algorithm", "")),
+            "points": [
+                {
+                    "n_jobs": int(p["n_jobs"]),
+                    "wall_time_s": float(p["wall_time_s"]),
+                    "events_per_sec": float(p.get("events_per_sec", 0.0)),
+                }
+                for p in curve.get("points", [])
+            ],
+            "throughput_ratio": float(
+                curve.get("throughput_ratio_smallest_over_largest", 0.0)
+            ),
+            "wall_time_exponent": float(curve.get("wall_time_exponent", 0.0)),
         }
     phases = document.get("phases")
     if phases:
@@ -228,6 +252,31 @@ class ScenarioDiff:
 
 
 @dataclass(frozen=True)
+class ThroughputDiff:
+    """Latest vs. baseline events/sec for one streaming scenario.
+
+    Covers the scale-tier scenarios and the scaling-curve points —
+    the sizes where a reintroduced scaling cliff actually bites.
+    Unlike wall time (which grows with workload size by construction),
+    events/sec is size-normalized, so it diffs directly against the
+    *best* prior value.
+    """
+
+    scenario: str
+    n_jobs: int
+    latest_eps: float
+    baseline_eps: Optional[float]
+    baseline_sha: str = ""
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """baseline / latest events/sec (>1 = slower than baseline)."""
+        if not self.baseline_eps or self.latest_eps <= 0:
+            return None
+        return self.baseline_eps / self.latest_eps
+
+
+@dataclass(frozen=True)
 class MemoryDiff:
     """Latest vs. baseline peak RSS for one streaming scale scenario."""
 
@@ -253,6 +302,11 @@ class BenchComparison:
     threshold: float
     n_history: int
     regressions: List[str] = field(default_factory=list)
+    #: Events/sec diffs of streaming scenarios (scale tier + scaling
+    #: curve).  These GATE: a point slower than baseline/threshold
+    #: lands in ``regressions`` and fails ``--strict`` — the tripwire
+    #: for scaling cliffs that the small tracked rows cannot see.
+    throughput_diffs: List[ThroughputDiff] = field(default_factory=list)
     #: Peak-RSS diffs of streaming scale scenarios (``memory=True``
     #: compares with ``scale`` sections in history).  Warnings are
     #: advisory — RSS depends on allocator and interpreter build, so a
@@ -298,6 +352,26 @@ class BenchComparison:
             f"above {self.threshold:g}x"
         )
         parts = [table, verdict]
+        if self.throughput_diffs:
+            rows = []
+            for diff in self.throughput_diffs:
+                slowdown = diff.slowdown
+                rows.append([
+                    diff.scenario,
+                    diff.n_jobs,
+                    f"{diff.latest_eps:.0f}",
+                    f"{diff.baseline_eps:.0f}" if diff.baseline_eps else "-",
+                    f"{slowdown:.2f}x" if slowdown is not None else "-",
+                    diff.baseline_sha or "-",
+                    ("REGRESSION"
+                     if slowdown is not None and slowdown > self.threshold
+                     else "ok" if slowdown is not None else "no baseline"),
+                ])
+            parts.append(format_table(
+                ["scenario", "n_jobs", "latest (ev/s)", "baseline (ev/s)",
+                 "slowdown", "baseline sha", "status"],
+                rows,
+            ))
         if self.phase_note:
             parts.append(self.phase_note)
         if self.memory_diffs:
@@ -341,6 +415,24 @@ def _scale_map(entry: Mapping[str, Any]) -> Dict[_Key, Dict[str, Any]]:
     }
 
 
+def _throughput_map(entry: Mapping[str, Any]) -> Dict[_Key, float]:
+    """Streaming events/sec per ``(scenario, n_jobs)`` in one entry.
+
+    Pools the subprocess-isolated scale tier and the in-process
+    scaling curve; curve points are keyed under ``"scaling-curve"``.
+    """
+    out: Dict[_Key, float] = {}
+    for s in entry.get("scale", {}).get("scenarios", []):
+        out[(str(s["scenario"]), int(s["n_jobs"]))] = float(
+            s.get("events_per_sec", 0.0)
+        )
+    for p in entry.get("scaling_curve", {}).get("points", []):
+        out[("scaling-curve", int(p["n_jobs"]))] = float(
+            p.get("events_per_sec", 0.0)
+        )
+    return out
+
+
 def compare(
     latest: Mapping[str, Any],
     history: Sequence[Mapping[str, Any]],
@@ -355,6 +447,12 @@ def compare(
     taken from same-host entries when the history has any (wall clocks
     don't compare across machines), otherwise from the whole history.
     Scenarios absent from history get no verdict.
+
+    Streaming throughput is always gated too: every scale-tier
+    scenario and scaling-curve point in ``latest`` is compared on
+    events/sec against the best prior value for the same
+    ``(scenario, n_jobs)``; a point slower than baseline/threshold
+    counts as a regression exactly like a tracked-row wall time.
 
     With ``memory=True``, streaming scale scenarios (entries carrying
     a ``scale`` section) are additionally diffed on peak RSS against
@@ -393,6 +491,35 @@ def compare(
                 f"{algorithm} x{n_jobs}: {latest_wall:g}s vs "
                 f"{baseline[0]:g}s baseline "
                 f"({ratio:.2f}x > {threshold:g}x threshold)"
+            )
+
+    # Streaming throughput (scale tier + scaling curve): gate each
+    # point's events/sec against the best same-host baseline.  Wall
+    # time cannot be compared across sizes, but events/sec can — and
+    # these are the sizes where a scaling cliff shows up first.
+    throughput_diffs: List[ThroughputDiff] = []
+    best_eps: Dict[_Key, Tuple[float, str]] = {}
+    for entry in pool:
+        for key, eps in _throughput_map(entry).items():
+            if eps > 0 and (key not in best_eps or eps > best_eps[key][0]):
+                best_eps[key] = (eps, str(entry.get("git_sha", "")))
+    for key, eps in _throughput_map(latest).items():
+        name, n_jobs = key
+        baseline = best_eps.get(key)
+        diff = ThroughputDiff(
+            scenario=name,
+            n_jobs=n_jobs,
+            latest_eps=eps,
+            baseline_eps=baseline[0] if baseline else None,
+            baseline_sha=baseline[1] if baseline else "",
+        )
+        throughput_diffs.append(diff)
+        slowdown = diff.slowdown
+        if slowdown is not None and slowdown > threshold:
+            regressions.append(
+                f"{name} x{n_jobs}: {eps:g} events/s vs "
+                f"{baseline[0]:g} baseline "
+                f"({slowdown:.2f}x slower > {threshold:g}x threshold)"
             )
 
     memory_diffs: List[MemoryDiff] = []
@@ -469,6 +596,7 @@ def compare(
         threshold=threshold,
         n_history=len(history),
         regressions=regressions,
+        throughput_diffs=throughput_diffs,
         memory_diffs=memory_diffs,
         memory_warnings=memory_warnings,
         phase_note=phase_note,
@@ -549,6 +677,7 @@ __all__ = [
     "HISTORY_SCHEMA",
     "MemoryDiff",
     "ScenarioDiff",
+    "ThroughputDiff",
     "append_entry",
     "compare",
     "condense",

@@ -116,17 +116,32 @@ class ActiveList:
             ValueError: when the job is not active.
         """
         job_id = job.job_id
-        for index, active in enumerate(self._jobs):
-            if active.job_id == job_id:
-                del self._jobs[index]
-                kill_by = self._keys[index][0]
-                del self._keys[index]
-                self.total_used -= active.num
-                self.version += 1
-                if not self._releases_dirty:
-                    self._shift_release(kill_by, -active.num)
-                return
-        raise ValueError(f"job {job.job_id} is not active")
+        index: Optional[int] = None
+        if job.start_time is not None:
+            # Fast path: the sorted key list locates a running job by
+            # bisect.  A job whose kill-by moved without resort() (no
+            # such caller exists today) would miss; fall back to the
+            # scan rather than mis-remove.
+            key = (job.start_time + job.estimate, job_id)
+            found = bisect.bisect_left(self._keys, key)
+            if found < len(self._keys) and self._keys[found] == key:
+                index = found
+        if index is None or self._jobs[index].job_id != job_id:
+            index = None
+            for position, active in enumerate(self._jobs):
+                if active.job_id == job_id:
+                    index = position
+                    break
+            if index is None:
+                raise ValueError(f"job {job.job_id} is not active")
+        active = self._jobs[index]
+        del self._jobs[index]
+        kill_by = self._keys[index][0]
+        del self._keys[index]
+        self.total_used -= active.num
+        self.version += 1
+        if not self._releases_dirty:
+            self._shift_release(kill_by, -active.num)
 
     def note_resize(self, delta: int) -> None:
         """Account a running job's processor-count change (EP/RP resize).

@@ -5,12 +5,32 @@ One exception is built into the paper itself: Algorithm 3 moves a due
 dedicated job *to the head* of the batch queue regardless of arrival
 order, so the queue supports an explicit :meth:`push_head` alongside
 the arrival-ordered :meth:`push`.
+
+Representation (docs/performance.md, "the streaming-scale cliff"):
+every queued job holds an integer **order token** — tail pushes take
+increasing tokens, head pushes decreasing ones — so ascending token
+order *is* FIFO order.  Three indexes hang off the tokens:
+
+- ``_order`` — the sorted live tokens (queue order; head at index 0),
+- ``_by_token``/``_index`` — token ↔ job maps giving O(1) membership
+  and O(log B) :meth:`remove` instead of the old O(B) deque scan
+  (under saturation the backlog depth grows with the workload length,
+  which made every mid-queue removal superlinear in total job count),
+- ``_by_size`` — per-processor-count token lists feeding
+  :meth:`iter_fitting`, the backfill fast path that visits only the
+  candidates whose size fits the free capacity, in exact queue order.
+
+A job's indexed size can go stale when an EP/RP command resizes it
+*while queued* (the ECC processor mutates ``job.num`` in place); the
+runner reports that through :meth:`note_resize` so the size index
+never lies.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterator, List, Optional
+import heapq
+from bisect import bisect_left, insort
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.workload.job import Job, JobState
 
@@ -19,7 +39,18 @@ class BatchQueue:
     """FIFO waiting queue of batch jobs with arrival-order checking."""
 
     def __init__(self) -> None:
-        self._queue: Deque[Job] = deque()
+        #: Live order tokens, ascending == FIFO order (head first).
+        self._order: List[int] = []
+        #: token -> queued job.
+        self._by_token: Dict[int, Job] = {}
+        #: job_id -> (token, indexed processor count).  The size is
+        #: recorded at insertion so removal never trusts a ``job.num``
+        #: that an ECC may have moved without :meth:`note_resize`.
+        self._index: Dict[int, Tuple[int, int]] = {}
+        #: processor count -> ascending tokens of queued jobs that size.
+        self._by_size: Dict[int, List[int]] = {}
+        self._next_tail = 0
+        self._next_head = -1
         #: Monotonic mutation counter (any push/pop/remove bumps it).
         #: The runner folds it into its cycle-elision fingerprint so any
         #: membership or order change invalidates elision in O(1).  A
@@ -29,31 +60,81 @@ class BatchQueue:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._order)
 
     def __iter__(self) -> Iterator[Job]:
-        return iter(self._queue)
+        by_token = self._by_token
+        return (by_token[token] for token in self._order)
 
     def __bool__(self) -> bool:
-        return bool(self._queue)
+        return bool(self._order)
 
     def __contains__(self, job: Job) -> bool:
-        return any(j.job_id == job.job_id for j in self._queue)
+        return job.job_id in self._index
 
     @property
     def head(self) -> Optional[Job]:
         """The paper's ``w_1^b`` (None when empty)."""
-        return self._queue[0] if self._queue else None
+        return self._by_token[self._order[0]] if self._order else None
 
     def jobs(self) -> List[Job]:
         """Snapshot of the queue in FIFO order."""
-        return list(self._queue)
+        by_token = self._by_token
+        return [by_token[token] for token in self._order]
 
     def tail(self) -> List[Job]:
         """All jobs behind the head."""
-        return list(self._queue)[1:]
+        by_token = self._by_token
+        return [by_token[token] for token in self._order[1:]]
+
+    def iter_fitting(self, max_num: int) -> Iterator[Job]:
+        """Queued jobs with ``num <= max_num``, in exact queue order.
+
+        The backfill fast path: a k-way heap merge over the per-size
+        token lists, so a scan for a fitting candidate visits only the
+        jobs that could possibly start — under saturation the backlog
+        is dominated by too-wide jobs the plain scan wades through.
+        The queue must not be mutated while the iterator is live
+        (consumers stop at their first match and return a decision;
+        mutation happens after).
+        """
+        by_size = self._by_size
+        entries = [
+            (tokens[0], 1, size)
+            for size, tokens in by_size.items()
+            if size <= max_num
+        ]
+        if not entries:
+            return
+        heapq.heapify(entries)
+        by_token = self._by_token
+        while entries:
+            token, next_pos, size = entries[0]
+            yield by_token[token]
+            tokens = by_size[size]
+            if next_pos < len(tokens):
+                heapq.heapreplace(entries, (tokens[next_pos], next_pos + 1, size))
+            else:
+                heapq.heappop(entries)
 
     # ------------------------------------------------------------------
+    def _insert(self, job: Job, token: int, at_head: bool) -> None:
+        if at_head:
+            self._order.insert(0, token)
+        else:
+            self._order.append(token)
+        self._by_token[token] = job
+        self._index[job.job_id] = (token, job.num)
+        sized = self._by_size.get(job.num)
+        if sized is None:
+            self._by_size[job.num] = [token]
+        elif at_head:
+            # A head token is smaller than every live token.
+            sized.insert(0, token)
+        else:
+            sized.append(token)
+        self.version += 1
+
     def push(self, job: Job) -> None:
         """Append an arriving batch job (FIFO position).
 
@@ -65,21 +146,25 @@ class BatchQueue:
                 more than head-promotion allows (i.e. arrivals must be
                 fed in submission order).
         """
-        if self._queue and job.submit < self._queue[-1].effective_arrival():
-            raise ValueError(
-                f"job {job.job_id} (arr={job.submit}) arrives before queue tail "
-                f"(arr={self._queue[-1].effective_arrival()}); feed arrivals in order"
-            )
+        if self._order:
+            last = self._by_token[self._order[-1]]
+            if job.submit < last.effective_arrival():
+                raise ValueError(
+                    f"job {job.job_id} (arr={job.submit}) arrives before queue tail "
+                    f"(arr={last.effective_arrival()}); feed arrivals in order"
+                )
         job.scount = 0
         job.state = JobState.QUEUED
-        self._queue.append(job)
-        self.version += 1
+        token = self._next_tail
+        self._next_tail += 1
+        self._insert(job, token, at_head=False)
 
     def push_head(self, job: Job) -> None:
         """Prepend a job (Algorithm 3's dedicated-job promotion)."""
         job.state = JobState.QUEUED
-        self._queue.appendleft(job)
-        self.version += 1
+        token = self._next_head
+        self._next_head -= 1
+        self._insert(job, token, at_head=True)
 
     def push_requeue(self, job: Job, now: float) -> None:
         """Re-enqueue a failed/evicted job at the tail (retry policy).
@@ -89,16 +174,31 @@ class BatchQueue:
         a simulation time ``>= now``.  The skip count resets — a
         restarted job starts a fresh Delayed-LOS skip budget.
         """
-        if self._queue and now < self._queue[-1].effective_arrival():
-            raise ValueError(
-                f"job {job.job_id} requeued at t={now} before queue tail "
-                f"(arr={self._queue[-1].effective_arrival()})"
-            )
+        if self._order:
+            last = self._by_token[self._order[-1]]
+            if now < last.effective_arrival():
+                raise ValueError(
+                    f"job {job.job_id} requeued at t={now} before queue tail "
+                    f"(arr={last.effective_arrival()})"
+                )
         job.requeued_at = now
         job.scount = 0
         job.state = JobState.QUEUED
-        self._queue.append(job)
+        token = self._next_tail
+        self._next_tail += 1
+        self._insert(job, token, at_head=False)
+
+    def _delete(self, token: int, position: int) -> Job:
+        del self._order[position]
+        job = self._by_token.pop(token)
+        _, indexed_num = self._index.pop(job.job_id)
+        sized = self._by_size[indexed_num]
+        if len(sized) == 1:
+            del self._by_size[indexed_num]
+        else:
+            del sized[bisect_left(sized, token)]
         self.version += 1
+        return job
 
     def pop_head(self) -> Job:
         """Remove and return ``w_1^b``.
@@ -106,9 +206,7 @@ class BatchQueue:
         Raises:
             IndexError: when the queue is empty.
         """
-        job = self._queue.popleft()
-        self.version += 1
-        return job
+        return self._delete(self._order[0], 0)
 
     def remove(self, job: Job) -> None:
         """Remove a specific job (selected mid-queue by the DP).
@@ -116,21 +214,67 @@ class BatchQueue:
         Raises:
             ValueError: when the job is not queued.
         """
-        for index, queued in enumerate(self._queue):
-            if queued.job_id == job.job_id:
-                del self._queue[index]
-                self.version += 1
-                return
-        raise ValueError(f"job {job.job_id} is not in the batch queue")
+        entry = self._index.get(job.job_id)
+        if entry is None:
+            raise ValueError(f"job {job.job_id} is not in the batch queue")
+        token = entry[0]
+        self._delete(token, bisect_left(self._order, token))
 
     def remove_all(self, jobs: List[Job]) -> None:
         """Remove a selected set ``S`` (order-independent)."""
         for job in jobs:
             self.remove(job)
 
+    def note_resize(self, job: Job) -> bool:
+        """Re-index a queued job whose ``num`` an applied ECC moved.
+
+        The ECC processor mutates ``job.num`` in place for EP/RP
+        commands on *queued* jobs; the runner calls this afterwards so
+        the size index keeps matching reality.  Tolerant of jobs not
+        in the queue (dedicated-queue citizens, pending jobs): returns
+        whether the index changed.
+        """
+        entry = self._index.get(job.job_id)
+        if entry is None:
+            return False
+        token, indexed_num = entry
+        if indexed_num == job.num:
+            return False
+        sized = self._by_size[indexed_num]
+        if len(sized) == 1:
+            del self._by_size[indexed_num]
+        else:
+            del sized[bisect_left(sized, token)]
+        insort(self._by_size.setdefault(job.num, []), token)
+        self._index[job.job_id] = (token, job.num)
+        return True
+
+    # ------------------------------------------------------------------
+    # Pickling (docs/resilience.md): checkpoints serialize the whole
+    # runner.  Persist the ordered job list plus the mutation counter
+    # (it feeds the pickled elision fingerprint) and rebuild the token
+    # indexes on load — tokens are renumbered but order, the only thing
+    # decisions ever read, is preserved exactly.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        return {"jobs": self.jobs(), "version": self.version}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__()
+        if "jobs" in state:
+            jobs = state["jobs"]
+        else:
+            # Pre-index checkpoints stored the raw deque.
+            jobs = list(state.get("_queue", ()))
+        for job in jobs:  # type: ignore[union-attr]
+            token = self._next_tail
+            self._next_tail += 1
+            self._insert(job, token, at_head=False)
+        self.version = int(state.get("version", 0))  # type: ignore[arg-type]
+
     # ------------------------------------------------------------------
     def check_invariants(self, allow_promoted_head: bool = True) -> None:
-        """Assert FIFO ordering (property tests).
+        """Assert FIFO ordering and index consistency (property tests).
 
         ``allow_promoted_head`` tolerates a *prefix* of promoted
         dedicated jobs: Algorithm 3 pushes each due dedicated job to
@@ -142,7 +286,24 @@ class BatchQueue:
         the ordering key, and an evicted dedicated job rejoins as an
         ordinary batch-tail citizen rather than a promoted head.
         """
-        jobs = list(self._queue)
+        assert self._order == sorted(self._order), "token order drifted"
+        assert len(self._order) == len(self._by_token) == len(self._index)
+        sized_count = 0
+        for size, tokens in self._by_size.items():
+            assert tokens == sorted(tokens), f"size-{size} tokens out of order"
+            assert tokens, f"empty token list retained for size {size}"
+            sized_count += len(tokens)
+            for token in tokens:
+                job = self._by_token[token]
+                assert job.num == size, (
+                    f"job {job.job_id} indexed at size {size} but num={job.num} "
+                    "(missed note_resize?)"
+                )
+        assert sized_count == len(self._order), "size index lost a job"
+        for job_id, (token, indexed_num) in self._index.items():
+            assert self._by_token[token].job_id == job_id, "token map drifted"
+            assert self._by_token[token].num == indexed_num
+        jobs = self.jobs()
         start = 0
         if allow_promoted_head:
             while start < len(jobs) and jobs[start].is_dedicated:

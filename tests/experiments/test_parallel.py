@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.experiments.parallel as parallel_module
 from repro.experiments.cache import RunCache
 from repro.experiments.parallel import (
     ENV_JOBS,
@@ -165,6 +166,76 @@ class TestParallelMapPoolPath:
     @needs_fork
     def test_module_level_function_goes_through_pool(self):
         assert parallel_map(_double, [1, 2, 3, 4], jobs=2) == [2, 4, 6, 8]
+
+
+class TestWarmPool:
+    """The persistent pool: reuse, invalidation, kill switch."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        # Start from a cold pool (earlier tests may have warmed it)
+        # and leave no forked workers behind for later ones.
+        parallel_module.shutdown_warm_pool()
+        yield
+        parallel_module.shutdown_warm_pool()
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(parallel_module.ENV_WARM_POOL, "0")
+        assert not parallel_module.warm_pool_enabled()
+        assert parallel_module.warm_pool(2) == 0.0
+        assert parallel_module._warm_pool is None
+
+    @needs_fork
+    def test_pool_is_reused_across_batches(self):
+        spinup = parallel_module.warm_pool(2)
+        assert spinup >= 0.0
+        first = parallel_module._warm_pool
+        assert first is not None
+        pool, owns = parallel_module._acquire_pool(2)
+        assert pool is first
+        assert not owns  # warm pool stays alive after the batch
+
+    @needs_fork
+    def test_already_warm_costs_nothing(self):
+        parallel_module.warm_pool(2)
+        assert parallel_module.warm_pool(2) == 0.0
+
+    @needs_fork
+    def test_env_change_invalidates(self, monkeypatch):
+        parallel_module.warm_pool(2)
+        first = parallel_module._warm_pool
+        # Workers snapshot os.environ at fork; a changed environment
+        # must recycle them or REPRO_NO_MEMO etc. would be stale.
+        monkeypatch.setenv("REPRO_NO_MEMO", "1")
+        pool, owns = parallel_module._acquire_pool(2)
+        assert pool is not first
+        assert not owns
+
+    @needs_fork
+    def test_worker_count_change_invalidates(self):
+        parallel_module.warm_pool(2)
+        first = parallel_module._warm_pool
+        pool, _ = parallel_module._acquire_pool(1)
+        assert pool is not first
+
+    @needs_fork
+    def test_shutdown_is_idempotent(self):
+        parallel_module.warm_pool(2)
+        parallel_module.shutdown_warm_pool()
+        assert parallel_module._warm_pool is None
+        parallel_module.shutdown_warm_pool()  # second call is a no-op
+
+    @needs_fork
+    def test_chunked_batch_preserves_order(self):
+        # More items than workers triggers chunked submission; results
+        # must still align with the input order.
+        landed = []
+        results = parallel_module._map_resilient(
+            _double, list(range(20)), 2,
+            lambda index, value, retried: landed.append((index, value)),
+        )
+        assert results == [x * 2 for x in range(20)]
+        assert sorted(landed) == [(i, i * 2) for i in range(20)]
 
 
 class TestCacheIntegration:

@@ -245,6 +245,100 @@ class TestMemoryDiff:
         assert "RSS (MiB)" in out
 
 
+class TestThroughputGate:
+    """Scale-tier / scaling-curve events/sec regressions block."""
+
+    @staticmethod
+    def _curved_document(eps: float, scale_eps: float = 33000.0) -> dict:
+        document = _document()
+        document["scaling_curve"] = {
+            "algorithm": "EASY",
+            "beta_arr": 0.51,
+            "calibrated_load": 0.9,
+            "points": [
+                {"n_jobs": 10000, "events": 40000, "wall_time_s": 0.7,
+                 "events_per_sec": eps},
+                {"n_jobs": 100000, "events": 400000, "wall_time_s": 7.4,
+                 "events_per_sec": eps},
+            ],
+            "throughput_ratio_smallest_over_largest": 1.0,
+            "wall_time_exponent": 1.0,
+        }
+        document["scale"] = {
+            "peak_rss_ratio_large_over_small": 1.0,
+            "scenarios": [
+                {"scenario": "synthetic-stream", "n_jobs": 100000,
+                 "wall_time_s": 12.0, "events_per_sec": scale_eps,
+                 "peak_rss_kb": 40960},
+            ],
+        }
+        return document
+
+    def test_condense_keeps_curve_points(self):
+        entry = condense(self._curved_document(55000.0),
+                         git_sha="a", timestamp="t", host="ci")
+        curve = entry["scaling_curve"]
+        assert curve["algorithm"] == "EASY"
+        assert [p["n_jobs"] for p in curve["points"]] == [10000, 100000]
+        assert curve["throughput_ratio"] == 1.0
+
+    def test_condense_without_curve_omits_section(self):
+        entry = condense(_document(), git_sha="a", timestamp="t", host="ci")
+        assert "scaling_curve" not in entry
+
+    def test_throughput_collapse_is_a_regression(self):
+        base = condense(self._curved_document(55000.0),
+                        git_sha="fast", timestamp="t", host="ci")
+        cliff = condense(self._curved_document(7000.0),
+                         git_sha="slow", timestamp="t", host="ci")
+        result = compare(cliff, [base], threshold=1.5)
+        assert not result.ok
+        assert any("scaling-curve" in r for r in result.regressions)
+        assert "slowdown" in result.render()
+
+    def test_scale_tier_eps_is_gated_too(self):
+        base = condense(self._curved_document(55000.0, scale_eps=33000.0),
+                        git_sha="fast", timestamp="t", host="ci")
+        slow = condense(self._curved_document(55000.0, scale_eps=8000.0),
+                        git_sha="slow", timestamp="t", host="ci")
+        result = compare(slow, [base], threshold=1.5)
+        assert not result.ok
+        assert any("synthetic-stream" in r for r in result.regressions)
+
+    def test_flat_curve_is_ok_and_rendered(self):
+        base = condense(self._curved_document(55000.0),
+                        git_sha="a", timestamp="t", host="ci")
+        latest = condense(self._curved_document(52000.0),
+                          git_sha="b", timestamp="t", host="ci")
+        result = compare(latest, [base], threshold=1.5)
+        assert result.ok
+        assert len(result.throughput_diffs) == 3  # 2 curve points + 1 tier
+        assert "latest (ev/s)" in result.render()
+
+    def test_baseline_is_best_prior_eps(self):
+        entries = [
+            condense(self._curved_document(eps), git_sha=sha,
+                     timestamp="t", host="ci")
+            for eps, sha in ((30000.0, "old"), (60000.0, "best"))
+        ]
+        latest = condense(self._curved_document(35000.0),
+                          git_sha="new", timestamp="t", host="ci")
+        result = compare(latest, entries, threshold=1.5)
+        curve = [d for d in result.throughput_diffs
+                 if d.scenario == "scaling-curve"]
+        assert all(d.baseline_eps == 60000.0 for d in curve)
+        assert all(d.baseline_sha == "best" for d in curve)
+        assert not result.ok  # 60000 / 35000 = 1.71x > 1.5x
+
+    def test_no_curve_in_latest_no_gate(self):
+        base = condense(self._curved_document(55000.0),
+                        git_sha="a", timestamp="t", host="ci")
+        latest = condense(_document(), git_sha="b", timestamp="t", host="ci")
+        result = compare(latest, [base], threshold=1.5)
+        assert result.ok
+        assert result.throughput_diffs == []
+
+
 class TestPhaseAttribution:
     @staticmethod
     def _phased_document(cycle_share: float) -> dict:

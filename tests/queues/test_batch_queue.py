@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.queues.batch_queue import BatchQueue
@@ -82,7 +84,7 @@ class TestPromotion:
         # Head promotion is fine...
         queue.check_invariants()
         # ...but a mid-queue FIFO violation is not.
-        queue._queue[2].submit = 5.0  # type: ignore[attr-defined]
+        queue.jobs()[2].submit = 5.0
         with pytest.raises(AssertionError):
             queue.check_invariants()
 
@@ -90,8 +92,8 @@ class TestPromotion:
         queue = BatchQueue()
         queue.push(batch_job(1, submit=10.0))
         # A dedicated job appended at the tail is not a legal
-        # Algorithm 3 state.
-        queue._queue.append(dedicated_job(2, submit=20.0, requested_start=50.0))  # type: ignore[attr-defined]
+        # Algorithm 3 state (push itself does not police job kinds).
+        queue.push(dedicated_job(2, submit=20.0, requested_start=50.0))
         with pytest.raises(AssertionError, match="prefix"):
             queue.check_invariants()
 
@@ -125,3 +127,86 @@ class TestRemoval:
         queue.push(job)
         assert job in queue
         assert batch_job(8) not in queue
+
+
+class TestSizeIndex:
+    """The per-size token index behind ``iter_fitting``."""
+
+    def _filled(self):
+        queue = BatchQueue()
+        jobs = [
+            batch_job(1, submit=1.0, num=64),
+            batch_job(2, submit=2.0, num=8),
+            batch_job(3, submit=3.0, num=16),
+            batch_job(4, submit=4.0, num=8),
+            batch_job(5, submit=5.0, num=128),
+        ]
+        for job in jobs:
+            queue.push(job)
+        return queue, jobs
+
+    def test_iter_fitting_is_queue_order_filtered(self):
+        queue, _ = self._filled()
+        assert [j.job_id for j in queue.iter_fitting(16)] == [2, 3, 4]
+        assert [j.job_id for j in queue.iter_fitting(8)] == [2, 4]
+        assert [j.job_id for j in queue.iter_fitting(200)] == [1, 2, 3, 4, 5]
+        assert list(queue.iter_fitting(4)) == []
+        queue.check_invariants()
+
+    def test_iter_fitting_after_removal(self):
+        queue, jobs = self._filled()
+        queue.remove(jobs[1])  # job 2 (num=8)
+        queue.pop_head()       # job 1 (num=64)
+        assert [j.job_id for j in queue.iter_fitting(16)] == [3, 4]
+        queue.check_invariants()
+
+    def test_iter_fitting_sees_head_promotions(self):
+        queue, _ = self._filled()
+        promoted = dedicated_job(99, submit=0.0, num=8, requested_start=9.0)
+        queue.push_head(promoted)
+        assert [j.job_id for j in queue.iter_fitting(8)] == [99, 2, 4]
+        queue.check_invariants(allow_promoted_head=True)
+
+    def test_note_resize_moves_size_buckets(self):
+        queue, jobs = self._filled()
+        jobs[2].num = 8  # an RP shrank queued job 3 in place
+        assert queue.note_resize(jobs[2])
+        assert [j.job_id for j in queue.iter_fitting(8)] == [2, 3, 4]
+        assert [j.job_id for j in queue.iter_fitting(15)] == [2, 3, 4]
+        queue.check_invariants()
+
+    def test_note_resize_absent_job_is_noop(self):
+        queue, _ = self._filled()
+        assert not queue.note_resize(batch_job(42, num=8))
+        queue.check_invariants()
+
+    def test_invariants_catch_missed_resize(self):
+        queue, jobs = self._filled()
+        jobs[2].num = 8  # mutated without note_resize: index is stale
+        with pytest.raises(AssertionError, match="note_resize"):
+            queue.check_invariants()
+
+    def test_pickle_round_trip(self):
+        queue, jobs = self._filled()
+        queue.remove(jobs[3])
+        clone = pickle.loads(pickle.dumps(queue))
+        assert [j.job_id for j in clone.jobs()] == [j.job_id for j in queue.jobs()]
+        assert clone.version == queue.version
+        assert [j.job_id for j in clone.iter_fitting(16)] == [
+            j.job_id for j in queue.iter_fitting(16)
+        ]
+        clone.check_invariants()
+
+    def test_version_bumps_on_membership_change_only(self):
+        queue = BatchQueue()
+        job = batch_job(1, num=8)
+        before = queue.version
+        queue.push(job)
+        assert queue.version != before
+        # A resize does not bump the queue version: the scheduler's
+        # cycle-elision fingerprint covers queued-num changes through
+        # the jobs version, and membership did not change here.
+        resized = queue.version
+        job.num = 4
+        queue.note_resize(job)
+        assert queue.version == resized

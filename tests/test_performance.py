@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.core.registry import make_scheduler
-from repro.experiments.runner import simulate
+from repro.experiments.runner import SimulationRunner, simulate
 from repro.workload.generator import CWFWorkloadGenerator, GeneratorConfig
 from repro.workload.sdsc import generate_sdsc_like
 from repro.workload.twostage import TwoStageSizeConfig
@@ -55,6 +55,44 @@ class TestSimulationThroughput:
         workload = CWFWorkloadGenerator(config).generate(np.random.default_rng(3))
         elapsed = timed(lambda: simulate(workload, make_scheduler("Delayed-LOS")))
         assert elapsed < 20.0, f"{elapsed:.2f}s for 2000 jobs"
+
+
+class TestStreamingScalingFlatness:
+    """Per-event cost must not grow with total job count.
+
+    The streaming tier's original cliff (117k events/s at 1k jobs
+    down to 7k at 1M) came from per-cycle work linear in queue and
+    history size.  This guard replays two synthetic streams 5x apart
+    and bounds the per-event wall-time ratio: flat engines score ~1x;
+    the pre-fix engine scored well over the bound at this spread.
+    """
+
+    @pytest.mark.perf
+    def test_per_event_cost_flat_10k_vs_50k(self):
+        from repro.workload.streaming import SyntheticWorkloadStream
+
+        def per_event_seconds(n_jobs: int) -> float:
+            config = GeneratorConfig(
+                n_jobs=n_jobs, size=TwoStageSizeConfig(p_small=0.5)
+            ).with_beta_arr(0.51)
+            stream = SyntheticWorkloadStream(config, seed=17).stream()
+            runner = SimulationRunner(
+                stream, make_scheduler("EASY"), online=True, retain_records=False
+            )
+            started = time.perf_counter()
+            metrics = runner.run()
+            elapsed = time.perf_counter() - started
+            assert metrics.events_processed > 0
+            return elapsed / metrics.events_processed
+
+        small = per_event_seconds(10_000)
+        large = per_event_seconds(50_000)
+        # Generous: allows 2x noise/cache effects, trips on the ~5x
+        # growth a linear-in-queue scan reintroduces at this spread.
+        assert large < 2.0 * small, (
+            f"per-event cost grew {large / small:.2f}x from 10k to 50k jobs "
+            f"({small * 1e6:.2f}us -> {large * 1e6:.2f}us)"
+        )
 
 
 class TestGenerationThroughput:
